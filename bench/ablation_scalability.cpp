@@ -1,0 +1,65 @@
+// Ablation (ours): scalability in mesh size.  The thesis simulates 16-25
+// tiles and argues "gossip algorithms are known to scale extremely well
+// even beyond these dimensions" — this bench measures it: rounds for a
+// full broadcast vs. mesh side (expected ~ diameter + O(log n) at fixed
+// p), packets per tile (expected ~ flat: each tile relays a bounded
+// number of copies per rumor), against Pittel's fully-connected bound.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/analytic.hpp"
+#include "core/tuning.hpp"
+
+namespace {
+
+class CornerSource final : public snoc::IpCore {
+public:
+    void on_start(snoc::TileContext& ctx) override {
+        ctx.send(snoc::kBroadcast, 0xB1, {std::byte{7}});
+    }
+    void on_message(const snoc::Message&, snoc::TileContext&) override {}
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace snoc;
+    const bool csv = bench::want_csv(argc, argv);
+    constexpr std::size_t kRepeats = 10;
+    constexpr double kP = 0.5;
+
+    Table table({"mesh", "tiles", "rounds to reach all", "diameter/p + slack",
+                 "Pittel (full graph)", "packets/tile"});
+    for (std::size_t side : {4u, 6u, 8u, 10u, 12u, 16u}) {
+        const auto topo = Topology::mesh(side, side);
+        const std::size_t n = topo.node_count();
+        const std::size_t diameter = 2 * (side - 1);
+        Accumulator rounds, packets;
+        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
+            GossipConfig c = bench::config_with_p(kP, 512);
+            GossipNetwork net(topo, c, FaultScenario::none(), seed);
+            net.attach(0, std::make_unique<CornerSource>());
+            const MessageId rumor{0, 0};
+            const auto r = net.run_until(
+                [&net, &rumor, n]() mutable { return net.tiles_knowing(rumor) == n; },
+                2000);
+            if (!r.completed) continue;
+            rounds.add(static_cast<double>(r.rounds));
+            packets.add(static_cast<double>(net.metrics().packets_sent) /
+                        static_cast<double>(n) /
+                        static_cast<double>(r.rounds));
+        }
+        table.add_row({std::to_string(side) + "x" + std::to_string(side),
+                       std::to_string(n), format_number(rounds.mean(), 1),
+                       std::to_string(estimate_ttl(diameter, kP)),
+                       format_number(analytic::pittel_rounds(n), 1),
+                       format_number(packets.mean(), 2)});
+    }
+    bench::emit(table, csv,
+                "Ablation: broadcast scalability vs mesh size (p=0.5)");
+    std::cout << "\nReading: rounds grow with the diameter (linear in the\n"
+                 "side), per-tile per-round traffic stays flat - the locality\n"
+                 "property that makes gossip viable at hundreds of IPs.\n";
+    return 0;
+}

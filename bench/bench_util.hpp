@@ -1,0 +1,144 @@
+// Shared harness pieces for the figure-regeneration benches.
+//
+// Every bench prints (a) the figure/table it regenerates, (b) an aligned
+// ASCII table with the same rows/series the thesis plots, and (c) the same
+// table as CSV on request (--csv), for replotting.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "apps/fft2d_app.hpp"
+#include "apps/master_slave_pi.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "energy/energy.hpp"
+
+namespace snoc::bench {
+
+inline bool want_csv(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--csv") return true;
+    return false;
+}
+
+inline void emit(const Table& table, bool csv, const std::string& caption) {
+    std::cout << "\n== " << caption << " ==\n";
+    if (csv)
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+inline GossipConfig config_with_p(double p, std::uint16_t ttl = 30) {
+    GossipConfig c;
+    c.forward_p = p;
+    c.default_ttl = ttl;
+    return c;
+}
+
+/// One application run's measurements.
+struct AppRun {
+    bool completed{false};
+    Round latency_rounds{0};     ///< rounds until the app finished.
+    std::size_t packets{0};      ///< total transmissions incl. TTL drain.
+    std::size_t bits{0};
+    double seconds{0.0};         ///< wall-clock at completion (GALS model).
+};
+
+/// Master-Slave pi on a 5x5 mesh (Fig. 4-2 deployment).  Latency is the
+/// completion round; packets/bits include the post-completion TTL drain
+/// (the energy keeps burning until every rumor dies).
+inline AppRun run_pi_once(const GossipConfig& config, const FaultScenario& scenario,
+                          std::size_t exact_tile_crashes, std::uint64_t seed,
+                          bool duplicate_slaves = true, Round max_rounds = 3000,
+                          bool direct_addressing = false) {
+    GossipNetwork net(Topology::mesh(5, 5), config, scenario, seed);
+    apps::PiDeployment d;
+    d.duplicate_slaves = duplicate_slaves;
+    d.direct_addressing = direct_addressing;
+    auto& master = apps::deploy_pi(net, d);
+    net.protect(d.master_tile);
+    if (duplicate_slaves) {
+        // With replication, protecting one copy of each task keeps the
+        // workload well-defined while the other copy may crash.
+        for (TileId t : {6u, 7u, 8u, 11u, 13u, 16u, 17u, 18u}) net.protect(t);
+    }
+    net.force_exact_tile_crashes(exact_tile_crashes);
+    const auto r = net.run_until([&master] { return master.done(); }, max_rounds);
+    AppRun out;
+    out.completed = r.completed;
+    out.latency_rounds = r.rounds;
+    out.seconds = r.elapsed_seconds;
+    net.drain();
+    out.packets = net.metrics().packets_sent;
+    out.bits = net.metrics().bits_sent;
+    return out;
+}
+
+/// Parallel 2-D FFT on a 4x4 mesh (Fig. 4-3 deployment).
+inline AppRun run_fft_once(const GossipConfig& config, const FaultScenario& scenario,
+                           std::size_t exact_tile_crashes, std::uint64_t seed,
+                           Round max_rounds = 3000) {
+    GossipNetwork net(Topology::mesh(4, 4), config, scenario, seed);
+    apps::FftDeployment d;
+    d.duplicate_workers = true;
+    auto& root = apps::deploy_fft2d(net, d, seed + 1);
+    net.protect(d.root_tile);
+    for (TileId t : d.worker_tiles) net.protect(t);
+    net.force_exact_tile_crashes(exact_tile_crashes);
+    const auto r = net.run_until([&root] { return root.done(); }, max_rounds);
+    AppRun out;
+    out.completed = r.completed;
+    out.latency_rounds = r.rounds;
+    out.seconds = r.elapsed_seconds;
+    net.drain();
+    out.packets = net.metrics().packets_sent;
+    out.bits = net.metrics().bits_sent;
+    return out;
+}
+
+/// Average an AppRun-producing callable over seeds; reports completion rate.
+template <typename F>
+struct Averaged {
+    double latency_rounds{0.0};
+    double packets{0.0};
+    double bits{0.0};
+    double seconds{0.0};
+    double completion_rate{0.0};
+};
+
+template <typename F>
+auto average_runs(F&& run_one, std::size_t repeats) {
+    Averaged<F> avg;
+    Accumulator lat, pkt, bit, sec;
+    std::size_t completed = 0;
+    for (std::uint64_t seed = 0; seed < repeats; ++seed) {
+        const AppRun r = run_one(seed);
+        if (!r.completed) continue;
+        ++completed;
+        lat.add(static_cast<double>(r.latency_rounds));
+        pkt.add(static_cast<double>(r.packets));
+        bit.add(static_cast<double>(r.bits));
+        sec.add(r.seconds);
+    }
+    avg.completion_rate = static_cast<double>(completed) / static_cast<double>(repeats);
+    if (completed > 0) {
+        avg.latency_rounds = lat.mean();
+        avg.packets = pkt.mean();
+        avg.bits = bit.mean();
+        avg.seconds = sec.mean();
+    }
+    return avg;
+}
+
+/// Eq. 3 energy per useful bit for an averaged run.
+inline double joules_per_useful_bit(double avg_bits, std::size_t useful_bits) {
+    const auto tech = Technology::cmos_025um();
+    if (useful_bits == 0) return 0.0;
+    return avg_bits * tech.link_ebit_joules / static_cast<double>(useful_bits);
+}
+
+} // namespace snoc::bench

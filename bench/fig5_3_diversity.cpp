@@ -1,0 +1,63 @@
+// Figure 5-3: on-chip diversity — comparing the three Fig. 5-2
+// communication architectures on the acoustic beamforming workload.
+//
+// Expected shape (thesis, preliminary experiment with [42]): the
+// hierarchical NoC has the lowest number of message transmissions (lowest
+// power); the flat NoC has slightly better latency than the others; the
+// bus-connected NoCs are the least efficient, but ease migration from
+// today's bus-based designs.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "diversity/architecture.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snoc;
+    const bool csv = bench::want_csv(argc, argv);
+    constexpr std::size_t kFrames = 4;
+    constexpr std::size_t kRepeats = 5;
+
+    Table table({"architecture", "latency [rounds]", "message transmissions",
+                 "completion"});
+    double flat_tx = 0.0, hier_tx = 0.0, flat_lat = 0.0, bus_lat = 0.0;
+    for (auto kind : {diversity::ArchitectureKind::FlatNoc,
+                      diversity::ArchitectureKind::HierarchicalNoc,
+                      diversity::ArchitectureKind::CentralRouterMesh,
+                      diversity::ArchitectureKind::BusConnectedNocs}) {
+        Accumulator rounds, transmissions;
+        std::size_t completed = 0;
+        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
+            const auto r = diversity::run_beamforming(
+                kind, kFrames, bench::config_with_p(0.75, 40),
+                FaultScenario::none(), seed);
+            if (!r.completed) continue;
+            ++completed;
+            rounds.add(static_cast<double>(r.rounds));
+            transmissions.add(static_cast<double>(r.transmissions));
+        }
+        table.add_row({to_string(kind), format_number(rounds.mean(), 1),
+                       format_number(transmissions.mean(), 0),
+                       format_number(100.0 * completed / kRepeats, 0) + "%"});
+        switch (kind) {
+        case diversity::ArchitectureKind::FlatNoc:
+            flat_tx = transmissions.mean();
+            flat_lat = rounds.mean();
+            break;
+        case diversity::ArchitectureKind::HierarchicalNoc:
+            hier_tx = transmissions.mean();
+            break;
+        case diversity::ArchitectureKind::BusConnectedNocs:
+            bus_lat = rounds.mean();
+            break;
+        case diversity::ArchitectureKind::CentralRouterMesh:
+            break; // extension row, not part of the Fig. 5-3 ratios
+        }
+    }
+    bench::emit(table, csv, "Fig. 5-3: on-chip diversity architecture comparison");
+    std::cout << "\nflat/hierarchical transmission ratio: "
+              << format_number(flat_tx / hier_tx, 2)
+              << " (paper: flat highest, hierarchical lowest)\n"
+              << "bus/flat latency ratio: " << format_number(bus_lat / flat_lat, 2)
+              << " (paper: flat slightly best)\n";
+    return (hier_tx < flat_tx && flat_lat <= bus_lat) ? 0 : 1;
+}

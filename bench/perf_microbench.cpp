@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks of the hot paths: CRC, packet codec,
+// a full gossip round, FFT and MDCT kernels.  Not a paper figure — this
+// guards the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/fft.hpp"
+#include "apps/mdct.hpp"
+#include "core/engine.hpp"
+#include "noc/crc.hpp"
+#include "noc/packet.hpp"
+
+namespace {
+
+using namespace snoc;
+
+void BM_Crc32(benchmark::State& state) {
+    std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
+                                std::byte{0x5A});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc::crc32(std::span<const std::byte>(data)));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_PacketEncodeDecode(benchmark::State& state) {
+    Message m;
+    m.id = MessageId{3, 9};
+    m.payload.assign(static_cast<std::size_t>(state.range(0)), std::byte{0x42});
+    for (auto _ : state) {
+        auto p = Packet::encode(m);
+        benchmark::DoNotOptimize(p.decode());
+    }
+}
+BENCHMARK(BM_PacketEncodeDecode)->Arg(32)->Arg(512)->Arg(4096);
+
+class BroadcastSource final : public IpCore {
+public:
+    void on_start(TileContext& ctx) override {
+        ctx.send(kBroadcast, 1, std::vector<std::byte>(32, std::byte{1}));
+    }
+    void on_message(const Message&, TileContext&) override {}
+};
+
+void BM_GossipRound(benchmark::State& state) {
+    const auto side = static_cast<std::size_t>(state.range(0));
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 1000; // keep the rumor alive through the benchmark
+    for (auto _ : state) {
+        state.PauseTiming();
+        GossipNetwork net(Topology::mesh(side, side), c, FaultScenario::none(), 1);
+        net.attach(0, std::make_unique<BroadcastSource>());
+        for (int i = 0; i < 5; ++i) net.step(); // warm the spread up
+        state.ResumeTiming();
+        for (int i = 0; i < 10; ++i) net.step();
+    }
+    state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_GossipRound)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_Fft(benchmark::State& state) {
+    std::vector<apps::Complex> v(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = apps::Complex(static_cast<double>(i % 7), 0.0);
+    for (auto _ : state) {
+        auto copy = v;
+        apps::fft(copy);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Mdct(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    apps::Mdct mdct(n);
+    std::vector<double> window(2 * n, 0.25);
+    for (auto _ : state) benchmark::DoNotOptimize(mdct.forward(window));
+}
+BENCHMARK(BM_Mdct)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

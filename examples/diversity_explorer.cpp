@@ -1,0 +1,48 @@
+// Chapter 5, interactive-ish: run the acoustic-beamforming workload on the
+// three on-chip-diversity communication architectures of Fig. 5-2 and
+// compare latency and message transmissions, with and without faults.
+//
+// Usage: diversity_explorer [frames] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "diversity/architecture.hpp"
+
+using namespace snoc;
+
+int main(int argc, char** argv) {
+    const std::size_t frames =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+    GossipConfig config;
+    config.forward_p = 0.75;
+    config.default_ttl = 40;
+
+    std::cout << "On-chip diversity explorer: beamforming, " << frames
+              << " frames, 16 sensors + 4 aggregators + 1 combiner\n\n";
+
+    for (const bool faulty : {false, true}) {
+        FaultScenario scenario;
+        if (faulty) scenario.p_upset = 0.3;
+        Table table({"architecture", "completed", "rounds", "transmissions"});
+        for (auto kind : {diversity::ArchitectureKind::FlatNoc,
+                          diversity::ArchitectureKind::HierarchicalNoc,
+                          diversity::ArchitectureKind::BusConnectedNocs}) {
+            const auto r =
+                diversity::run_beamforming(kind, frames, config, scenario, seed);
+            table.add_row({to_string(kind), r.completed ? "yes" : "no",
+                           std::to_string(r.rounds),
+                           std::to_string(r.transmissions)});
+        }
+        std::cout << (faulty ? "with 30% data upsets:" : "healthy chip:") << "\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Reading (matches Fig. 5-3): the flat NoC is fastest, the\n"
+                 "hierarchical NoC cheapest in transmissions (gossip confined\n"
+                 "to clusters), and the bus bridge serialises cross-cluster\n"
+                 "traffic - inefficient, but an easy migration path.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+// The 2-D FFT case study of Sec. 4.1.2 (Fig. 4-3): a 16x16 synthetic
+// image is decimated into four quadrants, transformed in parallel by
+// worker tiles of a 4x4 NoC and recombined by the root — all over
+// stochastic communication, under data upsets.
+//
+// The example prints the strongest spectral peaks and checks the
+// distributed result against the sequential oracle: CRC-filtered gossip
+// delivers bit-clean data even when 40% of packets are scrambled.
+//
+// Usage: fft2d_image [seed]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/fft2d_app.hpp"
+
+using namespace snoc;
+using namespace snoc::apps;
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+    GossipConfig config;
+    config.forward_p = 0.5;
+    config.default_ttl = 50;
+    FaultScenario scenario;
+    scenario.p_upset = 0.4; // 40% of transmissions scrambled
+
+    GossipNetwork net(Topology::mesh(4, 4), config, scenario, seed);
+    FftDeployment deployment;
+    deployment.duplicate_workers = true;
+    auto& root = deploy_fft2d(net, deployment, seed);
+
+    std::cout << "Parallel 2-D FFT of a 16x16 image on a 4x4 NoC\n"
+              << "faults: " << scenario.describe() << "\n";
+    const auto run = net.run_until([&root] { return root.done(); }, 3000);
+    if (!run.completed) {
+        std::cout << "did not complete within the round budget\n";
+        return 1;
+    }
+    std::cout << "completed in " << run.rounds << " rounds; packets: "
+              << net.metrics().packets_sent
+              << ", CRC drops: " << net.metrics().crc_drops << "\n";
+
+    // Compare against the sequential transform.
+    const auto oracle = fft2d(make_test_image(deployment.image_size, seed));
+    const double err = max_abs_diff(root.spectrum(), oracle);
+    std::cout << "max |distributed - sequential| = " << err
+              << " (float32 payload quantisation only)\n\n";
+
+    // Show the dominant non-DC peaks: the test image is sin(3x)+0.5cos(5y).
+    struct Peak {
+        std::size_t k1, k2;
+        double mag;
+    };
+    std::vector<Peak> peaks;
+    const auto& s = root.spectrum();
+    for (std::size_t k2 = 0; k2 < s.height; ++k2)
+        for (std::size_t k1 = 0; k1 < s.width; ++k1)
+            if (k1 + k2 > 0) peaks.push_back({k1, k2, std::abs(s.at(k1, k2))});
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak& a, const Peak& b) { return a.mag > b.mag; });
+    std::cout << "strongest spectral peaks (expect +-3 in k1 and +-5 in k2):\n";
+    for (std::size_t i = 0; i < 4 && i < peaks.size(); ++i)
+        std::cout << "  (k1=" << peaks[i].k1 << ", k2=" << peaks[i].k2
+                  << ")  |X| = " << peaks[i].mag << "\n";
+    return err < 1e-2 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// The complex application of Sec. 4.2: an MP3-style encoder pipelined
+// over six tiles of a 4x4 NoC (Fig. 4-7a), streaming synthetic audio.
+//
+// The example runs the pipeline healthy, then under combined buffer
+// overflows + synchronisation errors in streaming mode, and prints the
+// sustained output bit-rate — the Fig. 4-11 "graceful degradation" story.
+//
+// Usage: mp3_pipeline [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/mp3_app.hpp"
+#include "common/table.hpp"
+
+using namespace snoc;
+using namespace snoc::apps;
+
+namespace {
+
+Mp3Config pipeline_config(Round skip_after) {
+    Mp3Config c;
+    c.frame_samples = 128;
+    c.frame_count = 16;
+    c.frame_interval = 3;
+    c.band_count = 16;
+    c.frame_budget_bits = 900;
+    c.reservoir_capacity = 1800;
+    c.skip_after_rounds = skip_after;
+    return c;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+    std::cout << "MP3-style encoder on a 4x4 stochastic NoC\n"
+              << "stages: acquisition -> {psychoacoustic, MDCT} -> iterative\n"
+              << "encoding -> bit reservoir -> output (Fig. 4-7a)\n\n";
+
+    Table table({"scenario", "rounds", "frames out", "skipped",
+                 "bit rate [bits/s]", "jitter [bits/s]"});
+
+    struct Case {
+        const char* name;
+        FaultScenario scenario;
+        Round skip_after;
+    };
+    FaultScenario overflow_sync;
+    overflow_sync.p_overflow = 0.5;
+    overflow_sync.sigma_synchr = 0.5;
+    FaultScenario upsets;
+    upsets.p_upset = 0.5;
+    const Case cases[] = {
+        {"healthy", FaultScenario::none(), 0},
+        {"50% upsets", upsets, 0},
+        {"50% overflow + 50% sync jitter (streaming)", overflow_sync, 25},
+    };
+
+    bool all_ok = true;
+    for (const auto& c : cases) {
+        GossipConfig config;
+        config.forward_p = 0.75;
+        config.default_ttl = 50;
+        GossipNetwork net(Topology::mesh(4, 4), config, c.scenario, seed);
+        const auto cfg = pipeline_config(c.skip_after);
+        auto& output = deploy_mp3(net, cfg);
+        const auto run =
+            net.run_until([&output] { return output.complete(); }, 4000);
+        all_ok = all_ok && run.completed;
+        const auto report = bitrate_report(output, cfg, run.rounds,
+                                           net.config().timing.round_seconds());
+        table.add_row({c.name,
+                       run.completed ? std::to_string(run.rounds) : "DNF",
+                       std::to_string(output.frames_received()),
+                       std::to_string(output.frames_skipped()),
+                       format_sci(report.mean_bits_per_second, 2),
+                       format_sci(report.jitter_bits_per_second, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nStreaming multimedia tolerates small losses as long as the\n"
+                 "bit-rate stays steady - exactly the workload stochastic\n"
+                 "communication is built for (Sec. 4.2.3).\n";
+    return all_ok ? 0 : 1;
+}

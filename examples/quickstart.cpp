@@ -1,0 +1,72 @@
+// Quickstart: the Producer - Consumer walkthrough of Sec. 3.2.1/Fig. 3-3.
+//
+// A producer on tile 6 streams items to a consumer on tile 12 of a 4x4
+// NoC.  Neither knows where the other lives: the stochastic communication
+// layer floods each item with probability p per port per round, CRC-checks
+// every reception and suppresses duplicates.  We then repeat the run with
+// a crashed tile and with heavy data upsets to show that nothing changes
+// from the application's point of view.
+//
+// Usage: quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/producer_consumer.hpp"
+
+using namespace snoc;
+
+namespace {
+
+void run_and_report(const char* title, FaultScenario scenario,
+                    std::uint64_t seed, bool crash_a_tile) {
+    GossipConfig config;
+    config.forward_p = 0.5; // forward on each port with probability 1/2
+    config.default_ttl = 30;
+
+    GossipNetwork net(Topology::mesh(4, 4), config, scenario, seed);
+    // Thesis numbering is 1-based: tile "6" is index 5, tile "12" is 11.
+    auto& consumer = apps::make_producer_consumer(net, /*producer=*/5,
+                                                  /*consumer=*/11, /*items=*/4);
+    if (crash_a_tile) {
+        // Kill one tile that is neither producer nor consumer.
+        for (TileId t = 0; t < 16; ++t)
+            if (t != 6) net.protect(t);
+        net.force_exact_tile_crashes(1);
+    }
+
+    const auto result =
+        net.run_until([&consumer] { return consumer.complete(); }, 500);
+
+    std::cout << "--- " << title << " ---\n";
+    std::cout << "faults: " << scenario.describe() << "\n";
+    if (crash_a_tile) std::cout << "tile 7 (index 6) crashed before round 0\n";
+    std::cout << (result.completed ? "completed" : "DID NOT FINISH") << " after "
+              << result.rounds << " rounds ("
+              << result.elapsed_seconds * 1e6 << " us of simulated time)\n";
+    std::cout << "items delivered: " << consumer.received_count() << "/4\n";
+    std::cout << "packets transmitted: " << net.metrics().packets_sent
+              << ", CRC drops: " << net.metrics().crc_drops
+              << ", duplicates filtered: " << net.metrics().duplicates_ignored
+              << "\n\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+    std::cout << "On-chip stochastic communication - quickstart\n"
+              << "4x4 NoC, producer on tile 6, consumer on tile 12 (Fig. 3-3)\n\n";
+
+    run_and_report("healthy chip", FaultScenario::none(), seed, false);
+
+    FaultScenario upsets;
+    upsets.p_upset = 0.5; // every other packet scrambled in flight
+    run_and_report("50% data upsets", upsets, seed, false);
+
+    run_and_report("one crashed tile on the way", FaultScenario::none(), seed, true);
+
+    std::cout << "The application code never mentioned routing, faults or\n"
+                 "retransmissions: communication and computation are separate.\n";
+    return 0;
+}

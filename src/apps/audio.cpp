@@ -1,0 +1,32 @@
+#include "apps/audio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+ToneGenerator::ToneGenerator(AudioParams params, std::uint64_t seed)
+    : params_(std::move(params)), rng_(splitmix64(seed)) {
+    SNOC_EXPECT(params_.sample_rate_hz > 0.0);
+    SNOC_EXPECT(params_.tone_hz.size() == params_.tone_amp.size());
+}
+
+std::vector<double> ToneGenerator::frame(std::size_t n) {
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(position_ + i) / params_.sample_rate_hz;
+        double v = 0.0;
+        for (std::size_t k = 0; k < params_.tone_hz.size(); ++k)
+            v += params_.tone_amp[k] *
+                 std::sin(2.0 * std::numbers::pi * params_.tone_hz[k] * t);
+        v += params_.noise_amp * (2.0 * rng_.uniform() - 1.0);
+        out[i] = std::clamp(v, -1.0, 1.0);
+    }
+    position_ += n;
+    return out;
+}
+
+} // namespace snoc::apps

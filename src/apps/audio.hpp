@@ -1,0 +1,42 @@
+// Deterministic synthetic PCM source.
+//
+// The thesis feeds the parallel LAME encoder real audio; we substitute a
+// reproducible multi-tone + noise signal (documented in DESIGN.md): the
+// experiments measure *communication* behaviour (rounds, packets, output
+// bit-rate), which depends on the task graph and message sizes, not on
+// what the samples contain — but the samples are still real enough that
+// the MDCT/psychoacoustic/quantisation stages do real work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace snoc::apps {
+
+struct AudioParams {
+    double sample_rate_hz{44100.0};
+    /// Tone frequencies (Hz) and amplitudes of the synthetic source.
+    std::vector<double> tone_hz{440.0, 1320.0, 3520.0};
+    std::vector<double> tone_amp{0.5, 0.25, 0.1};
+    double noise_amp{0.02};
+};
+
+class ToneGenerator {
+public:
+    ToneGenerator(AudioParams params, std::uint64_t seed);
+
+    /// Next `n` samples in [-1, 1]; consecutive calls are continuous.
+    std::vector<double> frame(std::size_t n);
+
+    const AudioParams& params() const { return params_; }
+
+private:
+    AudioParams params_;
+    RngStream rng_;
+    std::uint64_t position_{0};
+};
+
+} // namespace snoc::apps

@@ -1,0 +1,48 @@
+#include "apps/beamforming.hpp"
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+TrafficTrace beamforming_trace(const BeamformingMapping& mapping, std::size_t frames,
+                               std::size_t sample_block_bits,
+                               std::size_t partial_beam_bits) {
+    SNOC_EXPECT(!mapping.sensors.empty());
+    SNOC_EXPECT(!mapping.aggregators.empty());
+    SNOC_EXPECT(mapping.sensors.size() % mapping.aggregators.size() == 0);
+    const std::size_t per_cluster = mapping.sensors.size() / mapping.aggregators.size();
+
+    TrafficTrace trace;
+    for (std::size_t f = 0; f < frames; ++f) {
+        TrafficPhase gather;
+        for (std::size_t s = 0; s < mapping.sensors.size(); ++s)
+            gather.messages.push_back({mapping.sensors[s],
+                                       mapping.aggregators[s / per_cluster],
+                                       sample_block_bits});
+        TrafficPhase combine;
+        for (TileId agg : mapping.aggregators)
+            combine.messages.push_back({agg, mapping.combiner, partial_beam_bits});
+        trace.phases.push_back(std::move(gather));
+        trace.phases.push_back(std::move(combine));
+    }
+    return trace;
+}
+
+std::vector<double> delay_and_sum(const std::vector<std::vector<double>>& blocks,
+                                  const std::vector<std::size_t>& delays) {
+    SNOC_EXPECT(!blocks.empty());
+    SNOC_EXPECT(blocks.size() == delays.size());
+    const std::size_t n = blocks.front().size();
+    for (const auto& b : blocks) SNOC_EXPECT(b.size() == n);
+
+    std::vector<double> beam(n, 0.0);
+    for (std::size_t s = 0; s < blocks.size(); ++s) {
+        const std::size_t d = delays[s];
+        SNOC_EXPECT(d < n);
+        for (std::size_t i = 0; i + d < n; ++i) beam[i] += blocks[s][i + d];
+    }
+    for (double& v : beam) v /= static_cast<double>(blocks.size());
+    return beam;
+}
+
+} // namespace snoc::apps

@@ -1,0 +1,35 @@
+// Acoustic delay-and-sum beamforming traffic (the Ch. 5 preliminary
+// experiment, after Zhang et al. [42]).
+//
+// Logical task graph per frame: 16 sensor tasks (4 per quadrant) push
+// sample blocks to their quadrant's aggregator (delay-and-sum partial);
+// the 4 aggregators push partial beams to one global combiner.  The
+// traffic is deliberately *mostly local* — the property that makes the
+// hierarchical architecture shine in Fig. 5-3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/traffic.hpp"
+
+namespace snoc::apps {
+
+struct BeamformingMapping {
+    std::vector<TileId> sensors;     ///< 16 tiles, 4 per quadrant/cluster.
+    std::vector<TileId> aggregators; ///< 4 tiles, one per quadrant/cluster.
+    TileId combiner{0};
+};
+
+/// The per-frame two-phase trace, repeated `frames` times.
+TrafficTrace beamforming_trace(const BeamformingMapping& mapping, std::size_t frames,
+                               std::size_t sample_block_bits = 2048,
+                               std::size_t partial_beam_bits = 512);
+
+/// Reference delay-and-sum combine (used by tests to keep the math honest):
+/// aligns each sensor block by its integer delay and averages.
+std::vector<double> delay_and_sum(const std::vector<std::vector<double>>& blocks,
+                                  const std::vector<std::size_t>& delays);
+
+} // namespace snoc::apps

@@ -1,0 +1,87 @@
+#include "apps/bitstream.hpp"
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+void BitWriter::put_bit(bool bit) {
+    const std::size_t byte = bits_ / 8;
+    if (byte == bytes_.size()) bytes_.push_back(std::byte{0});
+    if (bit) bytes_[byte] |= static_cast<std::byte>(1u << (7 - bits_ % 8));
+    ++bits_;
+}
+
+void BitWriter::put_bits(std::uint32_t value, std::size_t count) {
+    SNOC_EXPECT(count <= 32);
+    for (std::size_t i = count; i-- > 0;) put_bit((value >> i) & 1u);
+}
+
+void BitWriter::put_line(std::int32_t value) {
+    if (value == 0) {
+        put_bit(false);
+        return;
+    }
+    const std::uint32_t mag = static_cast<std::uint32_t>(value < 0 ? -value : value);
+    std::size_t len = 0;
+    for (std::uint32_t v = mag; v != 0; v >>= 1) ++len;
+    // '1' marks non-zero; then (len-1) more '1's and a terminating '0'
+    // encode len in unary; then the len-1 low bits of mag (the leading 1
+    // is implied); then the sign.  Total: 2*len + 1 bits.
+    put_bit(true);
+    for (std::size_t i = 1; i < len; ++i) put_bit(true);
+    put_bit(false);
+    put_bits(mag & ((1u << (len - 1)) - 1u), len - 1);
+    put_bit(value < 0);
+}
+
+std::vector<std::byte> BitWriter::take() { return std::move(bytes_); }
+
+BitReader::BitReader(std::vector<std::byte> bytes, std::size_t bit_count)
+    : bytes_(std::move(bytes)), bit_count_(bit_count) {
+    SNOC_EXPECT(bit_count_ <= bytes_.size() * 8);
+}
+
+bool BitReader::get_bit() {
+    SNOC_EXPECT(pos_ < bit_count_);
+    const bool bit =
+        (bytes_[pos_ / 8] & static_cast<std::byte>(1u << (7 - pos_ % 8))) != std::byte{0};
+    ++pos_;
+    return bit;
+}
+
+std::uint32_t BitReader::get_bits(std::size_t count) {
+    SNOC_EXPECT(count <= 32);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < count; ++i) v = (v << 1) | (get_bit() ? 1u : 0u);
+    return v;
+}
+
+std::int32_t BitReader::get_line() {
+    // First bit: 0 -> zero line; 1.. -> unary length run.
+    if (!get_bit()) return 0;
+    std::size_t len = 1;
+    while (get_bit()) ++len;
+    const std::uint32_t low = (len > 1) ? get_bits(len - 1) : 0;
+    const std::uint32_t mag = (1u << (len - 1)) | low;
+    const bool negative = get_bit();
+    return negative ? -static_cast<std::int32_t>(mag) : static_cast<std::int32_t>(mag);
+}
+
+std::pair<std::vector<std::byte>, std::size_t> pack_lines(
+    const std::vector<std::int32_t>& lines) {
+    BitWriter w;
+    for (std::int32_t v : lines) w.put_line(v);
+    const std::size_t bits = w.bit_count();
+    return {w.take(), bits};
+}
+
+std::vector<std::int32_t> unpack_lines(const std::vector<std::byte>& bytes,
+                                       std::size_t bit_count, std::size_t line_count) {
+    BitReader r(bytes, bit_count);
+    std::vector<std::int32_t> out;
+    out.reserve(line_count);
+    for (std::size_t i = 0; i < line_count; ++i) out.push_back(r.get_line());
+    return out;
+}
+
+} // namespace snoc::apps

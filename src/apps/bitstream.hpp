@@ -1,0 +1,56 @@
+// Bit-exact packing of quantised frames — the Bit Reservoir stage really
+// assembles a bitstream, so the output bit-rate the Fig. 4-11 monitor
+// reports is the size of real coded bytes, not an estimate.
+//
+// Line code (matches coded_bits_of in quantizer.hpp):
+//   zero line            -> '0'
+//   non-zero magnitude m -> len(m) '1' bits, a terminating '0', the
+//                           len(m)-1 low bits of m (the leading 1 is
+//                           implied), and one sign bit.
+// Cost: 1 bit for zero, 2*len(m)+1 otherwise — exactly coded_bits_of().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snoc::apps {
+
+class BitWriter {
+public:
+    void put_bit(bool bit);
+    void put_bits(std::uint32_t value, std::size_t count); // MSB first
+    void put_line(std::int32_t value);
+
+    std::size_t bit_count() const { return bits_; }
+    /// Final byte padded with zeros.
+    std::vector<std::byte> take();
+
+private:
+    std::vector<std::byte> bytes_;
+    std::size_t bits_{0};
+};
+
+class BitReader {
+public:
+    explicit BitReader(std::vector<std::byte> bytes, std::size_t bit_count);
+
+    bool get_bit();
+    std::uint32_t get_bits(std::size_t count);
+    std::int32_t get_line();
+
+    std::size_t bits_left() const { return bit_count_ - pos_; }
+
+private:
+    std::vector<std::byte> bytes_;
+    std::size_t bit_count_;
+    std::size_t pos_{0};
+};
+
+/// Pack / unpack a whole vector of lines.
+std::pair<std::vector<std::byte>, std::size_t> pack_lines(
+    const std::vector<std::int32_t>& lines);
+std::vector<std::int32_t> unpack_lines(const std::vector<std::byte>& bytes,
+                                       std::size_t bit_count, std::size_t line_count);
+
+} // namespace snoc::apps

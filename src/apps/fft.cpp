@@ -1,0 +1,164 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Bit-reversal permutation for the iterative FFT.
+void bit_reverse(std::vector<Complex>& a) {
+    const std::size_t n = a.size();
+    std::size_t j = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+}
+
+} // namespace
+
+void fft(std::vector<Complex>& a) {
+    SNOC_EXPECT(is_pow2(a.size()));
+    const std::size_t n = a.size();
+    if (n == 1) return;
+    bit_reverse(a);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+        const Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t start = 0; start < n; start += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = a[start + k];
+                const Complex v = a[start + k + len / 2] * w;
+                a[start + k] = u + v;
+                a[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+void ifft(std::vector<Complex>& a) {
+    for (auto& x : a) x = std::conj(x);
+    fft(a);
+    const double inv = 1.0 / static_cast<double>(a.size());
+    for (auto& x : a) x = std::conj(x) * inv;
+}
+
+std::vector<Complex> dft_direct(const std::vector<Complex>& samples) {
+    const std::size_t n = samples.size();
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc(0.0, 0.0);
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                                 static_cast<double>(n);
+            acc += samples[t] * Complex(std::cos(angle), std::sin(angle));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+ComplexImage fft2d(const ComplexImage& image) {
+    SNOC_EXPECT(is_pow2(image.width) && is_pow2(image.height));
+    SNOC_EXPECT(image.data.size() == image.width * image.height);
+    ComplexImage out = image;
+    // Rows.
+    std::vector<Complex> row(out.width);
+    for (std::size_t y = 0; y < out.height; ++y) {
+        for (std::size_t x = 0; x < out.width; ++x) row[x] = out.at(x, y);
+        fft(row);
+        for (std::size_t x = 0; x < out.width; ++x) out.at(x, y) = row[x];
+    }
+    // Columns.
+    std::vector<Complex> col(out.height);
+    for (std::size_t x = 0; x < out.width; ++x) {
+        for (std::size_t y = 0; y < out.height; ++y) col[y] = out.at(x, y);
+        fft(col);
+        for (std::size_t y = 0; y < out.height; ++y) out.at(x, y) = col[y];
+    }
+    return out;
+}
+
+ComplexImage dft2d_direct(const ComplexImage& image) {
+    const std::size_t w = image.width;
+    const std::size_t h = image.height;
+    ComplexImage out = ComplexImage::zeros(w, h);
+    for (std::size_t k2 = 0; k2 < h; ++k2) {
+        for (std::size_t k1 = 0; k1 < w; ++k1) {
+            Complex acc(0.0, 0.0);
+            for (std::size_t n2 = 0; n2 < h; ++n2) {
+                for (std::size_t n1 = 0; n1 < w; ++n1) {
+                    const double angle =
+                        -2.0 * std::numbers::pi *
+                        (static_cast<double>(n1 * k1) / static_cast<double>(w) +
+                         static_cast<double>(n2 * k2) / static_cast<double>(h));
+                    acc += image.at(n1, n2) * Complex(std::cos(angle), std::sin(angle));
+                }
+            }
+            out.at(k1, k2) = acc;
+        }
+    }
+    return out;
+}
+
+std::array<ComplexImage, 4> decimate2d(const ComplexImage& image) {
+    SNOC_EXPECT(image.width == image.height);
+    SNOC_EXPECT(image.width % 2 == 0);
+    const std::size_t half = image.width / 2;
+    std::array<ComplexImage, 4> quads;
+    for (std::size_t b = 0; b < 2; ++b)
+        for (std::size_t a = 0; a < 2; ++a) {
+            ComplexImage q = ComplexImage::zeros(half, half);
+            for (std::size_t m2 = 0; m2 < half; ++m2)
+                for (std::size_t m1 = 0; m1 < half; ++m1)
+                    q.at(m1, m2) = image.at(2 * m1 + a, 2 * m2 + b);
+            quads[b * 2 + a] = std::move(q);
+        }
+    return quads;
+}
+
+ComplexImage combine2d(const std::array<ComplexImage, 4>& quads) {
+    const std::size_t half = quads[0].width;
+    for (const auto& q : quads) {
+        SNOC_EXPECT(q.width == half && q.height == half);
+    }
+    const std::size_t n = half * 2;
+    ComplexImage out = ComplexImage::zeros(n, n);
+    for (std::size_t k2 = 0; k2 < n; ++k2) {
+        for (std::size_t k1 = 0; k1 < n; ++k1) {
+            Complex acc(0.0, 0.0);
+            for (std::size_t b = 0; b < 2; ++b) {
+                for (std::size_t a = 0; a < 2; ++a) {
+                    const double angle =
+                        -2.0 * std::numbers::pi *
+                        (static_cast<double>(a * k1) + static_cast<double>(b * k2)) /
+                        static_cast<double>(n);
+                    acc += Complex(std::cos(angle), std::sin(angle)) *
+                           quads[b * 2 + a].at(k1 % half, k2 % half);
+                }
+            }
+            out.at(k1, k2) = acc;
+        }
+    }
+    return out;
+}
+
+double max_abs_diff(const ComplexImage& a, const ComplexImage& b) {
+    SNOC_EXPECT(a.width == b.width && a.height == b.height);
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.data.size(); ++i)
+        m = std::max(m, std::abs(a.data[i] - b.data[i]));
+    return m;
+}
+
+} // namespace snoc::apps

@@ -1,0 +1,59 @@
+// Fast Fourier Transform substrate (Sec. 4.1.2).
+//
+// A from-scratch iterative radix-2 Cooley-Tukey FFT, a direct O(N^2) DFT
+// used as the test oracle, a row-column 2-D FFT, and the 2-D
+// decimation-in-time split/combine that the parallel tree of Fig. 4-3
+// distributes over tiles:
+//
+//   X(k1,k2) = sum_{a,b in {0,1}} W_N^(a*k1) W_N^(b*k2)
+//              F_ab(k1 mod N/2, k2 mod N/2),       W_N = e^(-2*pi*i/N)
+//
+// where F_ab is the (N/2 x N/2) 2-D FFT of the subimage x(2*m1+a, 2*m2+b).
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace snoc::apps {
+
+using Complex = std::complex<double>;
+
+/// Row-major square (or rectangular) complex image.
+struct ComplexImage {
+    std::size_t width{0};
+    std::size_t height{0};
+    std::vector<Complex> data;
+
+    static ComplexImage zeros(std::size_t w, std::size_t h) {
+        return {w, h, std::vector<Complex>(w * h)};
+    }
+    Complex& at(std::size_t x, std::size_t y) { return data[y * width + x]; }
+    const Complex& at(std::size_t x, std::size_t y) const { return data[y * width + x]; }
+};
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+void fft(std::vector<Complex>& samples);
+/// Inverse FFT (unscaled forward with conjugation + 1/N).
+void ifft(std::vector<Complex>& samples);
+/// Direct DFT — the O(N^2) oracle.
+std::vector<Complex> dft_direct(const std::vector<Complex>& samples);
+
+/// 2-D FFT by rows then columns; width and height must be powers of two.
+ComplexImage fft2d(const ComplexImage& image);
+/// Direct 2-D DFT oracle.
+ComplexImage dft2d_direct(const ComplexImage& image);
+
+/// Split an N x N image (N even) into the four decimated subimages
+/// F[b*2+a] = x(2*m1+a, 2*m2+b) of size N/2 x N/2.
+std::array<ComplexImage, 4> decimate2d(const ComplexImage& image);
+
+/// Combine the four transformed subimages back into the N x N spectrum
+/// (the butterfly executed by the root of the Fig. 4-3 tree).
+ComplexImage combine2d(const std::array<ComplexImage, 4>& quads);
+
+/// Max |a-b| over all pixels — for tests.
+double max_abs_diff(const ComplexImage& a, const ComplexImage& b);
+
+} // namespace snoc::apps

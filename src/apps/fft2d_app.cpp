@@ -1,0 +1,136 @@
+#include "apps/fft2d_app.hpp"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "apps/payload.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace snoc::apps {
+
+std::vector<std::byte> encode_image_payload(std::uint32_t task, const ComplexImage& img) {
+    PayloadWriter w;
+    w.put<std::uint32_t>(task);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(img.width));
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(img.height));
+    for (const Complex& c : img.data) {
+        w.put_f32(c.real());
+        w.put_f32(c.imag());
+    }
+    return w.take();
+}
+
+std::pair<std::uint32_t, ComplexImage> decode_image_payload(
+    std::span<const std::byte> payload) {
+    PayloadReader r(payload);
+    const auto task = r.get<std::uint32_t>();
+    const auto w = r.get<std::uint32_t>();
+    const auto h = r.get<std::uint32_t>();
+    ComplexImage img = ComplexImage::zeros(w, h);
+    for (auto& c : img.data) {
+        const double re = r.get_f32();
+        const double im = r.get_f32();
+        c = Complex(re, im);
+    }
+    SNOC_ENSURE(r.exhausted());
+    return {task, std::move(img)};
+}
+
+// --------------------------------------------------------------------------
+FftRootIp::FftRootIp(ComplexImage input) : input_(std::move(input)) {
+    SNOC_EXPECT(input_.width == input_.height);
+    SNOC_EXPECT(input_.width >= 2 && input_.width % 2 == 0);
+}
+
+void FftRootIp::on_start(TileContext& ctx) {
+    const auto quads = decimate2d(input_);
+    for (std::uint32_t task = 0; task < 4; ++task)
+        ctx.send(kBroadcast, kFftWorkTag, encode_image_payload(task, quads[task]));
+}
+
+void FftRootIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kFftResultTag || done_) return;
+    auto [task, img] = decode_image_payload(message.payload);
+    if (task >= 4 || have_[task]) return;
+    have_[task] = true;
+    results_[task] = std::move(img);
+    if (++received_ == 4) {
+        spectrum_ = combine2d(results_);
+        done_ = true;
+        completion_round_ = ctx.round();
+    }
+}
+
+const ComplexImage& FftRootIp::spectrum() const {
+    SNOC_EXPECT(done_);
+    return spectrum_;
+}
+
+// --------------------------------------------------------------------------
+FftWorkerIp::FftWorkerIp(std::uint32_t task, TileId root_tile)
+    : task_(task), root_(root_tile) {}
+
+void FftWorkerIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kFftWorkTag || answered_) return;
+    auto [task, img] = decode_image_payload(message.payload);
+    if (task != task_) return;
+    const ComplexImage transformed = fft2d(img);
+    ctx.send_with_id(MessageId{TileContext::replica_origin(0x100u | task_), 0}, root_,
+                     kFftResultTag, encode_image_payload(task_, transformed));
+    answered_ = true;
+}
+
+// --------------------------------------------------------------------------
+ComplexImage make_test_image(std::size_t n, std::uint64_t seed) {
+    ComplexImage img = ComplexImage::zeros(n, n);
+    RngStream rng(splitmix64(seed));
+    // Two spatial tones plus sparse impulses: a spectrum with recognisable
+    // peaks, so a scrambled-but-undetected result would be visible.
+    for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+            const double fx = 2.0 * std::numbers::pi * static_cast<double>(x) /
+                              static_cast<double>(n);
+            const double fy = 2.0 * std::numbers::pi * static_cast<double>(y) /
+                              static_cast<double>(n);
+            double v = std::sin(3.0 * fx) + 0.5 * std::cos(5.0 * fy);
+            if (rng.bernoulli(0.02)) v += 4.0;
+            img.at(x, y) = Complex(v, 0.0);
+        }
+    }
+    return img;
+}
+
+FftRootIp& deploy_fft2d(GossipNetwork& net, const FftDeployment& d,
+                        std::uint64_t image_seed) {
+    SNOC_EXPECT(net.topology().node_count() >= 16);
+    auto root = std::make_unique<FftRootIp>(make_test_image(d.image_size, image_seed));
+    FftRootIp& ref = *root;
+    net.attach(d.root_tile, std::move(root));
+    for (std::uint32_t task = 0; task < 4; ++task) {
+        net.attach(d.worker_tiles[task],
+                   std::make_unique<FftWorkerIp>(task, d.root_tile));
+        if (d.duplicate_workers)
+            net.attach(d.replica_tiles[task],
+                       std::make_unique<FftWorkerIp>(task, d.root_tile));
+    }
+    return ref;
+}
+
+TrafficTrace fft2d_trace(const FftDeployment& d) {
+    const std::size_t half = d.image_size / 2;
+    // float32 re+im per pixel, plus the 12-byte payload header.
+    const std::size_t quad_bits = (12 + half * half * 8) * 8;
+    TrafficTrace trace;
+    TrafficPhase scatter, gather;
+    for (std::uint32_t task = 0; task < 4; ++task) {
+        scatter.messages.push_back({d.root_tile, d.worker_tiles[task], quad_bits});
+        gather.messages.push_back({d.worker_tiles[task], d.root_tile, quad_bits});
+    }
+    trace.phases.push_back(std::move(scatter));
+    trace.phases.push_back(std::move(gather));
+    return trace;
+}
+
+} // namespace snoc::apps

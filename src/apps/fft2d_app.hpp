@@ -1,0 +1,85 @@
+// Sec. 4.1.2 — the parallel 2-D FFT mapped onto a 4x4 NoC (Fig. 4-3).
+//
+// The root tile holds the input image, performs the 2-D decimation split,
+// and broadcasts each quadrant as a task rumor.  Worker tiles each own one
+// quadrant task: they compute the (N/2 x N/2) 2-D FFT locally and gossip
+// the result back.  The root executes the combining butterfly, completing
+// the full transform.  Workers can be duplicated exactly like the pi
+// slaves: replicas emit result messages with a shared task-level id.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "apps/fft.hpp"
+#include "core/engine.hpp"
+#include "core/ip_core.hpp"
+#include "noc/traffic.hpp"
+
+namespace snoc::apps {
+
+inline constexpr std::uint32_t kFftWorkTag = 0x46465457;   // 'FFTW'
+inline constexpr std::uint32_t kFftResultTag = 0x46465452; // 'FFTR'
+
+/// Payload codec for images (float32 re/im pairs + dimensions + task id).
+std::vector<std::byte> encode_image_payload(std::uint32_t task, const ComplexImage& img);
+std::pair<std::uint32_t, ComplexImage> decode_image_payload(
+    std::span<const std::byte> payload);
+
+class FftRootIp final : public IpCore {
+public:
+    explicit FftRootIp(ComplexImage input);
+
+    void on_start(TileContext& ctx) override;
+    void on_message(const Message& message, TileContext& ctx) override;
+
+    bool done() const { return done_; }
+    const ComplexImage& spectrum() const;
+    std::optional<Round> completion_round() const { return completion_round_; }
+
+private:
+    ComplexImage input_;
+    std::array<ComplexImage, 4> results_{};
+    std::array<bool, 4> have_{};
+    std::size_t received_{0};
+    bool done_{false};
+    ComplexImage spectrum_{};
+    std::optional<Round> completion_round_;
+};
+
+class FftWorkerIp final : public IpCore {
+public:
+    FftWorkerIp(std::uint32_t task, TileId root_tile);
+
+    void on_message(const Message& message, TileContext& ctx) override;
+
+private:
+    std::uint32_t task_;
+    TileId root_;
+    bool answered_{false};
+};
+
+struct FftDeployment {
+    TileId root_tile{5};                      ///< tile 6 in thesis numbering.
+    std::array<TileId, 4> worker_tiles{1, 6, 9, 14};
+    std::array<TileId, 4> replica_tiles{3, 4, 11, 12};
+    bool duplicate_workers{false};
+    std::size_t image_size{16};               ///< N (power of two).
+};
+
+/// Attach root + workers to a network on a (at least) 4x4 mesh; the input
+/// image is a deterministic synthetic pattern seeded by `image_seed`.
+FftRootIp& deploy_fft2d(GossipNetwork& net, const FftDeployment& deployment,
+                        std::uint64_t image_seed = 1);
+
+/// Deterministic synthetic test image (mixed sinusoid + impulse pattern).
+ComplexImage make_test_image(std::size_t n, std::uint64_t seed);
+
+/// Backend-independent trace for the bus / XY baselines.
+TrafficTrace fft2d_trace(const FftDeployment& deployment);
+
+} // namespace snoc::apps

@@ -1,0 +1,146 @@
+#include "apps/master_slave_pi.hpp"
+
+#include <memory>
+
+#include "apps/payload.hpp"
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+double pi_partial_sum(std::uint64_t first, std::uint64_t last, std::uint64_t terms) {
+    SNOC_EXPECT(first <= last);
+    SNOC_EXPECT(terms > 0);
+    const double n = static_cast<double>(terms);
+    double acc = 0.0;
+    for (std::uint64_t i = first; i < last; ++i) {
+        const double x = (static_cast<double>(i) + 0.5) / n;
+        acc += 4.0 / (1.0 + x * x);
+    }
+    return acc / n;
+}
+
+double pi_reference(std::uint64_t terms) { return pi_partial_sum(0, terms, terms); }
+
+// --------------------------------------------------------------------------
+PiMasterIp::PiMasterIp(std::size_t slave_count, std::uint64_t terms,
+                       std::vector<TileId> slave_tiles)
+    : slave_count_(slave_count),
+      terms_(terms),
+      slave_tiles_(std::move(slave_tiles)),
+      have_(slave_count, false),
+      partials_(slave_count, 0.0) {
+    SNOC_EXPECT(slave_count > 0);
+    SNOC_EXPECT(terms >= slave_count);
+    SNOC_EXPECT(slave_tiles_.empty() || slave_tiles_.size() == slave_count);
+}
+
+void PiMasterIp::on_start(TileContext& ctx) {
+    // Work assignments travel as broadcast rumors carrying the task id:
+    // the master does not know (or care) which tiles host which slaves,
+    // or how many replicas each task has.
+    for (std::uint32_t task = 0; task < slave_count_; ++task) {
+        const std::uint64_t lo = terms_ * task / slave_count_;
+        const std::uint64_t hi = terms_ * (task + 1) / slave_count_;
+        PayloadWriter w;
+        w.put<std::uint32_t>(task);
+        w.put<std::uint64_t>(lo);
+        w.put<std::uint64_t>(hi);
+        w.put<std::uint64_t>(terms_);
+        const TileId dst = slave_tiles_.empty() ? kBroadcast : slave_tiles_[task];
+        ctx.send(dst, kPiWorkTag, w.take());
+    }
+}
+
+void PiMasterIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kPiResultTag || done_) return;
+    PayloadReader r(message.payload);
+    const auto task = r.get<std::uint32_t>();
+    const auto value = r.get<double>();
+    if (task >= slave_count_ || have_[task]) return;
+    have_[task] = true;
+    partials_[task] = value;
+    if (++received_ == slave_count_) {
+        done_ = true;
+        completion_round_ = ctx.round();
+    }
+}
+
+double PiMasterIp::pi() const {
+    SNOC_EXPECT(done_);
+    double acc = 0.0;
+    for (double p : partials_) acc += p;
+    return acc;
+}
+
+// --------------------------------------------------------------------------
+PiSlaveIp::PiSlaveIp(std::uint32_t task, TileId master_tile)
+    : task_(task), master_(master_tile) {}
+
+void PiSlaveIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kPiWorkTag || answered_) return;
+    PayloadReader r(message.payload);
+    const auto task = r.get<std::uint32_t>();
+    if (task != task_) return; // assignment for a different slave
+    const auto lo = r.get<std::uint64_t>();
+    const auto hi = r.get<std::uint64_t>();
+    const auto terms = r.get<std::uint64_t>();
+    const double partial = pi_partial_sum(lo, hi, terms);
+
+    PayloadWriter w;
+    w.put<std::uint32_t>(task_);
+    w.put<double>(partial);
+    // Replicas of this task emit *the same rumor* (identical id + payload),
+    // so duplication adds fault-tolerance without adding unique messages.
+    ctx.send_with_id(MessageId{TileContext::replica_origin(task_), 0}, master_,
+                     kPiResultTag, w.take());
+    answered_ = true;
+}
+
+// --------------------------------------------------------------------------
+namespace {
+
+/// Tiles hosting the primary slaves / the replicas on a 5x5 grid with the
+/// master at the centre: primaries on the 8-neighbourhood ring, replicas
+/// on the outer ring corners/edges (Fig. 4-2's P1..P8 placement).
+const std::vector<TileId> kPrimarySlaves = {6, 7, 8, 11, 13, 16, 17, 18};
+const std::vector<TileId> kReplicaSlaves = {0, 2, 4, 10, 14, 20, 22, 24};
+
+} // namespace
+
+PiMasterIp& deploy_pi(GossipNetwork& net, const PiDeployment& d) {
+    SNOC_EXPECT(net.topology().node_count() >= 25);
+    SNOC_EXPECT(d.slave_count <= kPrimarySlaves.size());
+    std::vector<TileId> direct_tiles;
+    if (d.direct_addressing)
+        direct_tiles.assign(kPrimarySlaves.begin(),
+                            kPrimarySlaves.begin() +
+                                static_cast<std::ptrdiff_t>(d.slave_count));
+    auto master =
+        std::make_unique<PiMasterIp>(d.slave_count, d.terms, std::move(direct_tiles));
+    PiMasterIp& ref = *master;
+    net.attach(d.master_tile, std::move(master));
+    for (std::uint32_t task = 0; task < d.slave_count; ++task) {
+        net.attach(kPrimarySlaves[task], std::make_unique<PiSlaveIp>(task, d.master_tile));
+        if (d.duplicate_slaves)
+            net.attach(kReplicaSlaves[task],
+                       std::make_unique<PiSlaveIp>(task, d.master_tile));
+    }
+    return ref;
+}
+
+TrafficTrace pi_trace(const PiDeployment& d) {
+    // Message sizes mirror the payloads above (plus header framing).
+    constexpr std::size_t kWorkBits = (4 + 8 + 8 + 8) * 8;
+    constexpr std::size_t kResultBits = (4 + 8) * 8;
+    TrafficTrace trace;
+    TrafficPhase work, results;
+    for (std::uint32_t task = 0; task < d.slave_count; ++task) {
+        work.messages.push_back({d.master_tile, kPrimarySlaves[task], kWorkBits});
+        results.messages.push_back({kPrimarySlaves[task], d.master_tile, kResultBits});
+    }
+    trace.phases.push_back(std::move(work));
+    trace.phases.push_back(std::move(results));
+    return trace;
+}
+
+} // namespace snoc::apps

@@ -1,0 +1,95 @@
+// Sec. 4.1.1 — Master - Slave computation of pi (Eq. 4):
+//
+//   pi  =  integral_0^1 4/(1+x^2) dx
+//      ~=  (1/n) * sum_{i=0}^{n-1} 4 / (1 + ((i + 1/2)/n)^2)
+//
+// The sum is split into `slave_count` partial sums computed in parallel.
+// The master broadcasts each task's summation limits (it does not need to
+// know where the slaves live), the slaves reply with partial sums, the
+// master assembles pi.  Slaves may be *duplicated*: replicas emit result
+// messages with a shared task-level id, so the network dedups them and the
+// master processes whichever copy arrives first (Sec. 4.1.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/ip_core.hpp"
+#include "noc/traffic.hpp"
+
+namespace snoc::apps {
+
+inline constexpr std::uint32_t kPiWorkTag = 0x5049574B;   // 'PIWK'
+inline constexpr std::uint32_t kPiResultTag = 0x50495253; // 'PIRS'
+
+/// Reference value: the full Eq. 4 sum evaluated serially.
+double pi_reference(std::uint64_t terms);
+
+/// One slave's share: sum of Eq. 4 terms for i in [first, last).
+double pi_partial_sum(std::uint64_t first, std::uint64_t last, std::uint64_t terms);
+
+class PiMasterIp final : public IpCore {
+public:
+    /// With an empty `slave_tiles` the master broadcasts work assignments
+    /// (it needs no placement knowledge); with a tile list it addresses
+    /// each task's assignment to that tile directly, which lets the
+    /// spread-stop optimisation of Sec. 3.2.2 kill the rumor on delivery.
+    PiMasterIp(std::size_t slave_count, std::uint64_t terms,
+               std::vector<TileId> slave_tiles = {});
+
+    void on_start(TileContext& ctx) override;
+    void on_message(const Message& message, TileContext& ctx) override;
+
+    bool done() const { return done_; }
+    /// Assembled value (only meaningful once done()).
+    double pi() const;
+    std::optional<Round> completion_round() const { return completion_round_; }
+
+private:
+    std::size_t slave_count_;
+    std::uint64_t terms_;
+    std::vector<TileId> slave_tiles_;
+    std::vector<bool> have_;
+    std::vector<double> partials_;
+    std::size_t received_{0};
+    bool done_{false};
+    std::optional<Round> completion_round_;
+};
+
+class PiSlaveIp final : public IpCore {
+public:
+    /// `task` in [0, slave_count); replicas of the same task share it.
+    PiSlaveIp(std::uint32_t task, TileId master_tile);
+
+    void on_message(const Message& message, TileContext& ctx) override;
+
+private:
+    std::uint32_t task_;
+    TileId master_;
+    bool answered_{false};
+};
+
+/// Mapping of the Fig. 4-2 experiment onto a 5x5 mesh: master at the
+/// centre (tile 12), 8 slaves on its ring; with `duplicate_slaves` each
+/// slave gets a replica on the outer ring.
+struct PiDeployment {
+    TileId master_tile{12};
+    std::size_t slave_count{8};
+    std::uint64_t terms{100000};
+    bool duplicate_slaves{false};
+    /// Address work assignments to the primary slave tiles instead of
+    /// broadcasting them (replicas then only cover the result path).
+    bool direct_addressing{false};
+};
+
+/// Attach master + slaves to a network built on a 5x5 mesh.
+/// Returns the master for result inspection (owned by the network).
+PiMasterIp& deploy_pi(GossipNetwork& net, const PiDeployment& deployment);
+
+/// The same communication as a backend-independent trace (for the bus /
+/// XY baselines): phase 1 master->slaves work, phase 2 slaves->master sums.
+TrafficTrace pi_trace(const PiDeployment& deployment);
+
+} // namespace snoc::apps

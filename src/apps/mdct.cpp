@@ -1,0 +1,89 @@
+#include "apps/mdct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+Mdct::Mdct(std::size_t n) : n_(n) {
+    SNOC_EXPECT(n > 0);
+    window_.resize(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+        window_[i] = std::sin(std::numbers::pi / (2.0 * static_cast<double>(n)) *
+                              (static_cast<double>(i) + 0.5));
+}
+
+double Mdct::window(std::size_t i) const {
+    SNOC_EXPECT(i < window_.size());
+    return window_[i];
+}
+
+std::vector<double> Mdct::forward(const std::vector<double>& x) const {
+    SNOC_EXPECT(x.size() == 2 * n_);
+    const double nd = static_cast<double>(n_);
+    std::vector<double> out(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        double acc = 0.0;
+        for (std::size_t n = 0; n < 2 * n_; ++n) {
+            const double angle = std::numbers::pi / nd *
+                                 (static_cast<double>(n) + 0.5 + nd / 2.0) *
+                                 (static_cast<double>(k) + 0.5);
+            acc += window_[n] * x[n] * std::cos(angle);
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<double> Mdct::inverse(const std::vector<double>& coeffs) const {
+    SNOC_EXPECT(coeffs.size() == n_);
+    const double nd = static_cast<double>(n_);
+    std::vector<double> out(2 * n_);
+    for (std::size_t n = 0; n < 2 * n_; ++n) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n_; ++k) {
+            const double angle = std::numbers::pi / nd *
+                                 (static_cast<double>(n) + 0.5 + nd / 2.0) *
+                                 (static_cast<double>(k) + 0.5);
+            acc += coeffs[k] * std::cos(angle);
+        }
+        out[n] = 2.0 / nd * acc * window_[n];
+    }
+    return out;
+}
+
+std::vector<std::vector<double>> mdct_analyze(const Mdct& mdct,
+                                              const std::vector<double>& signal) {
+    const std::size_t n = mdct.size();
+    SNOC_EXPECT(signal.size() % n == 0);
+    const std::size_t hops = signal.size() / n;
+    std::vector<double> padded(signal.size() + 2 * n, 0.0);
+    std::copy(signal.begin(), signal.end(), padded.begin() + static_cast<long>(n));
+
+    std::vector<std::vector<double>> frames;
+    frames.reserve(hops + 1);
+    for (std::size_t h = 0; h <= hops; ++h) {
+        std::vector<double> window(padded.begin() + static_cast<long>(h * n),
+                                   padded.begin() + static_cast<long>(h * n + 2 * n));
+        frames.push_back(mdct.forward(window));
+    }
+    return frames;
+}
+
+std::vector<double> mdct_synthesize(const Mdct& mdct,
+                                    const std::vector<std::vector<double>>& frames) {
+    const std::size_t n = mdct.size();
+    SNOC_EXPECT(!frames.empty());
+    std::vector<double> out((frames.size() + 1) * n, 0.0);
+    for (std::size_t h = 0; h < frames.size(); ++h) {
+        const auto chunk = mdct.inverse(frames[h]);
+        for (std::size_t i = 0; i < 2 * n; ++i) out[h * n + i] += chunk[i];
+    }
+    // Trim the leading history hop so index i aligns with signal[i].
+    return {out.begin() + static_cast<long>(n),
+            out.begin() + static_cast<long>(frames.size() * n)};
+}
+
+} // namespace snoc::apps

@@ -1,0 +1,120 @@
+// Sec. 4.2 — the parallel MP3-style encoder (Fig. 4-7a) on a 4x4 NoC.
+//
+// Stage task graph (each stage is an IP core on its own tile):
+//
+//   SignalAcquisition --(PCM window)--> MDCT ----(spectrum)----+
+//          |                                                   v
+//          +---------(PCM frame)-----> Psychoacoustic --> IterativeEncoding
+//                                                              |
+//                                              (quantised frame)
+//                                                              v
+//                                    BitReservoir (bitstream assembly)
+//                                                              |
+//                                                    (coded bytes)
+//                                                              v
+//                                                           Output
+//
+// Every arrow is gossip traffic; the Output stage is the Fig. 4-11
+// bit-rate monitor.  Frames flow pipelined: acquisition emits one frame
+// every `frame_interval` rounds without waiting for downstream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "apps/audio.hpp"
+#include "apps/mdct.hpp"
+#include "apps/psycho.hpp"
+#include "apps/quantizer.hpp"
+#include "core/engine.hpp"
+#include "core/ip_core.hpp"
+
+namespace snoc::apps {
+
+inline constexpr std::uint32_t kPcmWindowTag = 0x4D503301; // ACQ -> MDCT
+inline constexpr std::uint32_t kPcmFrameTag = 0x4D503302;  // ACQ -> PSY
+inline constexpr std::uint32_t kSpectrumTag = 0x4D503303;  // MDCT -> ENC
+inline constexpr std::uint32_t kMaskTag = 0x4D503304;      // PSY -> ENC
+inline constexpr std::uint32_t kCodedTag = 0x4D503305;     // ENC -> RES
+inline constexpr std::uint32_t kStreamTag = 0x4D503306;    // RES -> OUT
+
+struct Mp3Config {
+    std::size_t frame_samples{128};   ///< n (MDCT window is 2n), power of 2.
+    std::size_t frame_count{24};      ///< frames to encode.
+    Round frame_interval{2};          ///< rounds between acquisitions.
+    std::size_t band_count{16};
+    std::size_t frame_budget_bits{640};   ///< target coded size per frame.
+    std::size_t reservoir_capacity{1280}; ///< bit reservoir depth.
+    /// 0 = strict in-order output (latency experiments: a lost frame means
+    /// the encoding never finishes); > 0 = streaming mode: the reservoir
+    /// stage skips a missing frame after this many rounds (bit-rate
+    /// experiments: graceful degradation).
+    Round skip_after_rounds{0};
+};
+
+/// Tile placement of the six stages (defaults fit a 4x4 mesh, spread out
+/// so every edge is multi-hop).
+struct Mp3Deployment {
+    TileId acquisition{0};
+    TileId psycho{3};
+    TileId mdct{12};
+    TileId encoder{5};
+    TileId reservoir{10};
+    TileId output{15};
+};
+
+/// The Output stage: collects coded chunks, tracks per-frame arrival and
+/// cumulative coded bits (the thesis' continuous bit-rate monitor).
+class Mp3OutputIp final : public IpCore {
+public:
+    explicit Mp3OutputIp(const Mp3Config& config);
+
+    void on_message(const Message& message, TileContext& ctx) override;
+
+    std::size_t frames_received() const { return frames_received_; }
+    std::size_t frames_skipped() const { return frames_skipped_; }
+    std::size_t total_coded_bits() const { return total_bits_; }
+    bool complete() const {
+        return frames_received_ + frames_skipped_ >= config_.frame_count;
+    }
+    /// Round at which encoding finished (all frames accounted for).
+    std::optional<Round> completion_round() const { return completion_round_; }
+    /// (round, cumulative bits) samples, one per received chunk.
+    const std::vector<std::pair<Round, std::size_t>>& emission_log() const {
+        return emission_log_;
+    }
+
+    /// Raw stream chunks (the kStreamTag payloads, in output order) — the
+    /// actual bitstream a decoder consumes (see apps/mp3_decoder.hpp).
+    const std::vector<std::vector<std::byte>>& stream_chunks() const {
+        return chunks_;
+    }
+
+private:
+    Mp3Config config_;
+    std::size_t frames_received_{0};
+    std::size_t frames_skipped_{0};
+    std::size_t total_bits_{0};
+    std::optional<Round> completion_round_;
+    std::vector<std::pair<Round, std::size_t>> emission_log_;
+    std::vector<std::vector<std::byte>> chunks_;
+};
+
+/// Attach the whole pipeline; returns the Output stage for inspection.
+Mp3OutputIp& deploy_mp3(GossipNetwork& net, const Mp3Config& config,
+                        const Mp3Deployment& deployment = {},
+                        std::uint64_t audio_seed = 7);
+
+/// Derived bit-rate statistics from an output log.
+struct BitrateReport {
+    double mean_bits_per_second{0.0};
+    double jitter_bits_per_second{0.0}; ///< std-dev over windows.
+    double completion_fraction{0.0};    ///< frames output / frames expected.
+};
+BitrateReport bitrate_report(const Mp3OutputIp& output, const Mp3Config& config,
+                             Round total_rounds, double round_seconds,
+                             Round window_rounds = 8);
+
+} // namespace snoc::apps

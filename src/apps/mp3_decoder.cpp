@@ -1,0 +1,89 @@
+#include "apps/mp3_decoder.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "apps/bitstream.hpp"
+#include "apps/mdct.hpp"
+#include "apps/payload.hpp"
+#include "apps/quantizer.hpp"
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+std::optional<DecodedFrame> decode_stream_chunk(std::span<const std::byte> chunk) {
+    if (chunk.size() < 5) return std::nullopt;
+    PayloadReader r(chunk);
+    const auto outer_frame = r.get<std::uint32_t>();
+    const auto marker = r.get<std::uint8_t>();
+    if (marker != 0) return std::nullopt; // skip marker: frame was lost
+    // Inner coded payload (as built by EncoderIp::try_encode).
+    QuantizedFrame q;
+    q.frame_index = r.get<std::uint32_t>();
+    if (q.frame_index != outer_frame) return std::nullopt;
+    q.global_gain = r.get_f32();
+    const auto bands = r.get<std::uint32_t>();
+    if (bands > 1024) return std::nullopt;
+    q.band_scale.resize(bands);
+    for (auto& s : q.band_scale) s = r.get_f32();
+    const auto bits = r.get<std::uint32_t>();
+    const auto line_count = r.get<std::uint32_t>();
+    if (line_count > 1 << 20) return std::nullopt;
+    std::vector<std::byte> packed;
+    packed.reserve(r.remaining());
+    while (!r.exhausted()) packed.push_back(r.get<std::byte>());
+    if (packed.size() * 8 < bits) return std::nullopt;
+    q.values = unpack_lines(packed, bits, line_count);
+
+    DecodedFrame out;
+    out.frame_index = q.frame_index;
+    out.lines = dequantize(q);
+    return out;
+}
+
+std::vector<double> decode_stream_to_pcm(
+    const std::vector<std::vector<std::byte>>& chunks, std::size_t frame_samples,
+    std::size_t frame_count) {
+    SNOC_EXPECT(frame_samples > 0);
+    std::map<std::uint32_t, std::vector<double>> frames;
+    for (const auto& chunk : chunks) {
+        auto decoded = decode_stream_chunk(chunk);
+        if (decoded && decoded->lines.size() == frame_samples)
+            frames.emplace(decoded->frame_index, std::move(decoded->lines));
+    }
+
+    const std::size_t n = frame_samples;
+    Mdct mdct(n);
+    std::vector<double> pcm(frame_count * n, 0.0);
+    for (const auto& [index, lines] : frames) {
+        if (index >= frame_count) continue;
+        const auto chunk = mdct.inverse(lines);
+        // Frame k's window covered samples [(k-1)n, (k+1)n); the leading
+        // half of frame 0 lands in the zero history and is discarded.
+        const auto base = static_cast<long>(index) * static_cast<long>(n) -
+                          static_cast<long>(n);
+        for (std::size_t i = 0; i < 2 * n; ++i) {
+            const long s = base + static_cast<long>(i);
+            if (s >= 0 && s < static_cast<long>(pcm.size()))
+                pcm[static_cast<std::size_t>(s)] += chunk[i];
+        }
+    }
+    return pcm;
+}
+
+double snr_db(const std::vector<double>& reference, const std::vector<double>& decoded,
+              std::size_t first, std::size_t last) {
+    SNOC_EXPECT(first < last);
+    SNOC_EXPECT(last <= reference.size());
+    SNOC_EXPECT(last <= decoded.size());
+    double signal = 0.0, noise = 0.0;
+    for (std::size_t i = first; i < last; ++i) {
+        signal += reference[i] * reference[i];
+        noise += (reference[i] - decoded[i]) * (reference[i] - decoded[i]);
+    }
+    if (noise <= 0.0) return 300.0;
+    if (signal <= 0.0) return 0.0;
+    return std::min(300.0, 10.0 * std::log10(signal / noise));
+}
+
+} // namespace snoc::apps

@@ -1,0 +1,38 @@
+// Decoder for the Mp3-style bitstream the pipeline's Output stage emits —
+// the proof that the encoder's output is real coded audio, not just
+// counted bits: unpack the entropy-coded lines, dequantise with the
+// transmitted global gain and band scale factors, IMDCT, and overlap-add
+// back to PCM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace snoc::apps {
+
+struct DecodedFrame {
+    std::uint32_t frame_index{0};
+    std::vector<double> lines; ///< dequantised MDCT lines.
+};
+
+/// Parse one kStreamTag chunk ([frame u32][marker u8][coded payload]).
+/// Returns nullopt for skip markers or malformed chunks.
+std::optional<DecodedFrame> decode_stream_chunk(std::span<const std::byte> chunk);
+
+/// Decode a whole stream back to PCM.  `frame_samples` must match the
+/// encoder's Mp3Config::frame_samples; missing (skipped) frames come back
+/// as silence.  The output covers samples [0, frame_count * n) with the
+/// encoder's lapped-window convention (the first hop ramps in from the
+/// zero history, and the last hop lacks its successor's overlap half).
+std::vector<double> decode_stream_to_pcm(
+    const std::vector<std::vector<std::byte>>& chunks, std::size_t frame_samples,
+    std::size_t frame_count);
+
+/// Signal-to-noise ratio (dB) of `decoded` against `reference` over
+/// [first, last).  Returns +inf-ish (300 dB cap) for a perfect match.
+double snr_db(const std::vector<double>& reference, const std::vector<double>& decoded,
+              std::size_t first, std::size_t last);
+
+} // namespace snoc::apps

@@ -1,0 +1,41 @@
+#include "apps/producer_consumer.hpp"
+
+#include <memory>
+
+#include "apps/payload.hpp"
+
+namespace snoc::apps {
+
+ProducerIp::ProducerIp(TileId consumer_tile, std::size_t item_count, Round interval)
+    : consumer_(consumer_tile), item_count_(item_count), interval_(interval) {
+    SNOC_EXPECT(interval >= 1);
+}
+
+void ProducerIp::on_round(TileContext& ctx) {
+    if (next_item_ >= item_count_) return;
+    if (ctx.round() % interval_ != 0) return;
+    PayloadWriter w;
+    w.put<std::uint64_t>(next_item_);
+    ctx.send(consumer_, kItemTag, w.take());
+    ++next_item_;
+}
+
+void ConsumerIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kItemTag) return;
+    PayloadReader r(message.payload);
+    received_items_.push_back(r.get<std::uint64_t>());
+    arrival_rounds_.push_back(ctx.round());
+}
+
+ConsumerIp& make_producer_consumer(GossipNetwork& net, TileId producer_tile,
+                                   TileId consumer_tile, std::size_t items,
+                                   Round interval) {
+    net.attach(producer_tile,
+               std::make_unique<ProducerIp>(consumer_tile, items, interval));
+    auto consumer = std::make_unique<ConsumerIp>(items);
+    ConsumerIp& ref = *consumer;
+    net.attach(consumer_tile, std::move(consumer));
+    return ref;
+}
+
+} // namespace snoc::apps

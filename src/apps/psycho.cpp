@@ -1,0 +1,58 @@
+#include "apps/psycho.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/fft.hpp"
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+namespace {
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+} // namespace
+
+std::vector<std::size_t> band_of_lines(std::size_t n_coeffs, std::size_t band_count) {
+    SNOC_EXPECT(band_count > 0);
+    SNOC_EXPECT(n_coeffs >= band_count);
+    std::vector<std::size_t> map(n_coeffs);
+    for (std::size_t i = 0; i < n_coeffs; ++i) map[i] = i * band_count / n_coeffs;
+    return map;
+}
+
+PsychoAnalysis analyze_frame(const std::vector<double>& pcm, const PsychoParams& params) {
+    SNOC_EXPECT(!pcm.empty());
+    SNOC_EXPECT((pcm.size() & (pcm.size() - 1)) == 0);
+
+    // Power spectrum of the frame (positive frequencies only).
+    std::vector<Complex> spectrum(pcm.begin(), pcm.end());
+    fft(spectrum);
+    const std::size_t half = pcm.size() / 2;
+
+    PsychoAnalysis out;
+    out.band_energy.assign(params.band_count, 0.0);
+    const auto bands = band_of_lines(half, params.band_count);
+    for (std::size_t i = 0; i < half; ++i)
+        out.band_energy[bands[i]] += std::norm(spectrum[i]) /
+                                     static_cast<double>(pcm.size());
+
+    // Masking: self term + spreading from neighbours + absolute floor.
+    out.band_threshold.assign(params.band_count, params.absolute_floor);
+    for (std::size_t i = 0; i < params.band_count; ++i) {
+        for (std::size_t j = 0; j < params.band_count; ++j) {
+            const double dist = std::abs(static_cast<double>(i) - static_cast<double>(j));
+            const double atten_db = params.self_masking_db + dist * params.spread_per_band_db;
+            out.band_threshold[i] = std::max(
+                out.band_threshold[i], out.band_energy[j] * db_to_linear(atten_db));
+        }
+    }
+
+    out.smr_db.assign(params.band_count, 0.0);
+    for (std::size_t i = 0; i < params.band_count; ++i) {
+        const double e = std::max(out.band_energy[i], params.absolute_floor);
+        out.smr_db[i] = 10.0 * std::log10(e / out.band_threshold[i]);
+    }
+    return out;
+}
+
+} // namespace snoc::apps

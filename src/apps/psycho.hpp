@@ -1,0 +1,38 @@
+// Psychoacoustic model (the Psychoacoustic Model stage of Fig. 4-7a).
+//
+// A deliberately simple but functional model: the PCM frame's spectrum is
+// split into `band_count` bands; each band's masking threshold combines
+// (a) self-masking at -18 dB below the band energy, (b) spreading from
+// neighbouring bands at an additional -12 dB per band of distance, and
+// (c) an absolute threshold floor.  The encoder quantises so that the
+// quantisation noise stays near the threshold — more bits where the
+// threshold is low relative to the energy (high SMR).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace snoc::apps {
+
+struct PsychoParams {
+    std::size_t band_count{16};
+    double self_masking_db{-18.0};
+    double spread_per_band_db{-12.0};
+    double absolute_floor{1e-9};
+};
+
+struct PsychoAnalysis {
+    std::vector<double> band_energy;    ///< linear power per band.
+    std::vector<double> band_threshold; ///< allowed noise power per band.
+    /// Signal-to-mask ratio in dB per band (>= 0 means audible detail).
+    std::vector<double> smr_db;
+};
+
+/// Analyse one PCM frame (length must be a power of two).
+PsychoAnalysis analyze_frame(const std::vector<double>& pcm, const PsychoParams& params);
+
+/// Map the `n_coeffs` MDCT lines onto `band_count` equal bands; returns
+/// the band index of each line.
+std::vector<std::size_t> band_of_lines(std::size_t n_coeffs, std::size_t band_count);
+
+} // namespace snoc::apps

@@ -1,0 +1,97 @@
+#include "apps/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+
+std::size_t coded_bits_of(std::int32_t value) {
+    const std::uint32_t mag = static_cast<std::uint32_t>(value < 0 ? -value : value);
+    if (mag == 0) return 1; // a zero line costs one bit
+    std::size_t magnitude_bits = 0;
+    std::uint32_t v = mag;
+    while (v != 0) {
+        ++magnitude_bits;
+        v >>= 1;
+    }
+    // unary length prefix + magnitude + sign
+    return magnitude_bits + magnitude_bits + 1;
+}
+
+std::size_t coded_bits_of(const std::vector<std::int32_t>& values) {
+    std::size_t total = 0;
+    for (std::int32_t v : values) total += coded_bits_of(v);
+    return total;
+}
+
+std::vector<double> dequantize(const QuantizedFrame& frame) {
+    std::vector<double> out(frame.values.size());
+    for (std::size_t i = 0; i < frame.values.size(); ++i) {
+        const std::size_t band = frame.band_scale.empty()
+                                     ? 0
+                                     : i * frame.band_scale.size() / frame.values.size();
+        const double scale = frame.band_scale.empty() ? 1.0 : frame.band_scale[band];
+        out[i] = static_cast<double>(frame.values[i]) * frame.global_gain * scale;
+    }
+    return out;
+}
+
+IterativeQuantizer::IterativeQuantizer(std::vector<std::size_t> bands,
+                                       std::size_t band_count)
+    : bands_(std::move(bands)), band_count_(band_count) {
+    SNOC_EXPECT(band_count > 0);
+    for (std::size_t b : bands_) SNOC_EXPECT(b < band_count);
+}
+
+QuantizedFrame IterativeQuantizer::quantize(const std::vector<double>& lines,
+                                            const PsychoAnalysis& psycho,
+                                            std::size_t budget_bits,
+                                            std::uint32_t frame_index) const {
+    SNOC_EXPECT(lines.size() == bands_.size());
+    SNOC_EXPECT(psycho.band_threshold.size() == band_count_);
+
+    QuantizedFrame frame;
+    frame.frame_index = frame_index;
+    // Noise shaping: coarser steps where the masking threshold is high.
+    frame.band_scale.resize(band_count_);
+    for (std::size_t b = 0; b < band_count_; ++b)
+        frame.band_scale[b] = std::sqrt(std::max(psycho.band_threshold[b], 1e-12));
+
+    // Outer loop: grow the global gain (coarsen) until the frame fits.
+    double gain = 1.0 / 1024.0; // start fine: ~10 bits of headroom
+    for (int iter = 0; iter < 64; ++iter) {
+        frame.values.resize(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const double step = gain * frame.band_scale[bands_[i]];
+            frame.values[i] = static_cast<std::int32_t>(std::lround(lines[i] / step));
+        }
+        frame.coded_bits = coded_bits_of(frame.values);
+        if (frame.coded_bits <= budget_bits) {
+            frame.global_gain = gain;
+            return frame;
+        }
+        gain *= 2.0;
+    }
+    // Pathological budget: emit silence (all zeros always fits any budget
+    // >= lines.size(); smaller budgets are a caller bug).
+    SNOC_EXPECT(budget_bits >= lines.size());
+    std::fill(frame.values.begin(), frame.values.end(), 0);
+    frame.coded_bits = coded_bits_of(frame.values);
+    frame.global_gain = gain;
+    return frame;
+}
+
+BitReservoir::BitReservoir(std::size_t capacity_bits) : capacity_(capacity_bits) {}
+
+void BitReservoir::settle(std::size_t frame_budget, std::size_t used) {
+    SNOC_EXPECT(used <= frame_budget + level_);
+    if (used <= frame_budget) {
+        level_ = std::min(capacity_, level_ + (frame_budget - used));
+    } else {
+        level_ -= used - frame_budget;
+    }
+}
+
+} // namespace snoc::apps

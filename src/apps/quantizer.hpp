@@ -1,0 +1,73 @@
+// Iterative encoding + bit reservoir (the last two DSP stages of Fig. 4-7a).
+//
+// The rate-control loop mirrors MP3's inner loop: a global gain scales the
+// MDCT lines before integer quantisation; the loop searches the smallest
+// gain (finest quantisation) whose coded size fits the frame budget plus
+// whatever the bit reservoir can lend.  Per-band scale factors derived
+// from the psychoacoustic thresholds shape the noise floor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "apps/psycho.hpp"
+
+namespace snoc::apps {
+
+struct QuantizedFrame {
+    std::uint32_t frame_index{0};
+    double global_gain{1.0};
+    std::vector<double> band_scale;   ///< per-band divisor applied pre-rounding.
+    std::vector<std::int32_t> values; ///< quantised MDCT lines.
+    std::size_t coded_bits{0};        ///< entropy-coded size estimate.
+};
+
+/// Size of one quantised line under the coded-size model: a unary-length
+/// prefix plus magnitude bits (an idealised Golomb/Huffman hybrid); zero
+/// runs are nearly free, large values expensive — the shape that drives
+/// real rate-control loops.
+std::size_t coded_bits_of(std::int32_t value);
+std::size_t coded_bits_of(const std::vector<std::int32_t>& values);
+
+/// Dequantise (the decoder's view) — used by tests to bound the noise.
+std::vector<double> dequantize(const QuantizedFrame& frame);
+
+class IterativeQuantizer {
+public:
+    /// `bands` maps each MDCT line to a band (see band_of_lines).
+    IterativeQuantizer(std::vector<std::size_t> bands, std::size_t band_count);
+
+    /// Quantise `lines` so coded size <= budget_bits, shaping noise by the
+    /// psychoacoustic thresholds.  The gain search doubles the step until
+    /// the frame fits (always terminates: all-zero codes cost the minimum).
+    QuantizedFrame quantize(const std::vector<double>& lines,
+                            const PsychoAnalysis& psycho, std::size_t budget_bits,
+                            std::uint32_t frame_index) const;
+
+private:
+    std::vector<std::size_t> bands_;
+    std::size_t band_count_;
+};
+
+/// The bit reservoir: unused bits of cheap frames fund expensive frames.
+class BitReservoir {
+public:
+    explicit BitReservoir(std::size_t capacity_bits);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t level() const { return level_; }
+
+    /// Bits this frame may spend: base budget + everything banked.
+    std::size_t available(std::size_t frame_budget) const { return frame_budget + level_; }
+
+    /// Record a frame that used `used` bits of a `frame_budget` allowance;
+    /// surplus is banked (up to capacity), deficit drains the bank.
+    void settle(std::size_t frame_budget, std::size_t used);
+
+private:
+    std::size_t capacity_;
+    std::size_t level_{0};
+};
+
+} // namespace snoc::apps

@@ -1,0 +1,371 @@
+#include "apps/sat.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "apps/payload.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace snoc::apps {
+
+bool satisfies(const Cnf& cnf, const Assignment& assignment) {
+    SNOC_EXPECT(assignment.size() >= cnf.variables + 1);
+    for (const Clause& clause : cnf.clauses) {
+        bool sat = false;
+        for (Literal lit : clause) {
+            const auto var = static_cast<std::size_t>(std::abs(lit));
+            const std::int8_t value = assignment[var];
+            if ((lit > 0 && value > 0) || (lit < 0 && value < 0)) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat) return false;
+    }
+    return true;
+}
+
+namespace {
+
+enum class PropagateOutcome { Ok, Conflict };
+
+/// Unit propagation over the current assignment; extends it in place.
+PropagateOutcome propagate(const Cnf& cnf, Assignment& assignment,
+                           std::size_t& propagations) {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Clause& clause : cnf.clauses) {
+            bool satisfied = false;
+            Literal unit = 0;
+            std::size_t unassigned = 0;
+            for (Literal lit : clause) {
+                const auto var = static_cast<std::size_t>(std::abs(lit));
+                const std::int8_t value = assignment[var];
+                if (value == 0) {
+                    ++unassigned;
+                    unit = lit;
+                } else if ((lit > 0) == (value > 0)) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (satisfied) continue;
+            if (unassigned == 0) return PropagateOutcome::Conflict;
+            if (unassigned == 1) {
+                const auto var = static_cast<std::size_t>(std::abs(unit));
+                assignment[var] = unit > 0 ? 1 : -1;
+                ++propagations;
+                changed = true;
+            }
+        }
+    }
+    return PropagateOutcome::Ok;
+}
+
+/// Assign every pure literal (appears with one polarity only).
+void eliminate_pure(const Cnf& cnf, Assignment& assignment) {
+    std::vector<std::uint8_t> polarity(cnf.variables + 1, 0); // bit0 pos, bit1 neg
+    for (const Clause& clause : cnf.clauses) {
+        // Only clauses not yet satisfied constrain polarity.
+        bool satisfied = false;
+        for (Literal lit : clause) {
+            const auto var = static_cast<std::size_t>(std::abs(lit));
+            if (assignment[var] != 0 && (lit > 0) == (assignment[var] > 0))
+                satisfied = true;
+        }
+        if (satisfied) continue;
+        for (Literal lit : clause) {
+            const auto var = static_cast<std::size_t>(std::abs(lit));
+            if (assignment[var] == 0)
+                polarity[var] |= lit > 0 ? 1u : 2u;
+        }
+    }
+    for (std::size_t var = 1; var <= cnf.variables; ++var) {
+        if (assignment[var] != 0) continue;
+        if (polarity[var] == 1) assignment[var] = 1;
+        if (polarity[var] == 2) assignment[var] = -1;
+    }
+}
+
+bool dpll_recurse(const Cnf& cnf, Assignment& assignment, SatResult& stats) {
+    if (propagate(cnf, assignment, stats.propagations) == PropagateOutcome::Conflict)
+        return false;
+    eliminate_pure(cnf, assignment);
+    // Find the first unassigned variable.
+    std::size_t branch_var = 0;
+    for (std::size_t var = 1; var <= cnf.variables; ++var) {
+        if (assignment[var] == 0) {
+            branch_var = var;
+            break;
+        }
+    }
+    if (branch_var == 0) return satisfies(cnf, assignment);
+
+    for (std::int8_t value : {std::int8_t{1}, std::int8_t{-1}}) {
+        Assignment attempt = assignment;
+        attempt[branch_var] = value;
+        ++stats.decisions;
+        if (dpll_recurse(cnf, attempt, stats)) {
+            assignment = std::move(attempt);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+SatResult dpll(const Cnf& cnf, const std::vector<Literal>& assumptions) {
+    SatResult result;
+    Assignment assignment(cnf.variables + 1, 0);
+    for (Literal lit : assumptions) {
+        const auto var = static_cast<std::size_t>(std::abs(lit));
+        SNOC_EXPECT(var >= 1 && var <= cnf.variables);
+        const std::int8_t value = lit > 0 ? 1 : -1;
+        if (assignment[var] != 0 && assignment[var] != value) return result; // UNSAT
+        assignment[var] = value;
+    }
+    if (dpll_recurse(cnf, assignment, result)) {
+        result.satisfiable = true;
+        // Complete the model (free variables default to false).
+        for (std::size_t var = 1; var <= cnf.variables; ++var)
+            if (assignment[var] == 0) assignment[var] = -1;
+        result.model = std::move(assignment);
+    }
+    return result;
+}
+
+bool brute_force_satisfiable(const Cnf& cnf) {
+    SNOC_EXPECT(cnf.variables <= 24);
+    const std::uint32_t combos = 1u << cnf.variables;
+    Assignment assignment(cnf.variables + 1, 0);
+    for (std::uint32_t bits = 0; bits < combos; ++bits) {
+        for (std::size_t var = 1; var <= cnf.variables; ++var)
+            assignment[var] = (bits >> (var - 1)) & 1u ? 1 : -1;
+        if (satisfies(cnf, assignment)) return true;
+    }
+    return false;
+}
+
+Cnf random_ksat(std::uint32_t variables, std::size_t clauses, std::size_t k,
+                std::uint64_t seed) {
+    SNOC_EXPECT(variables >= k && k >= 1);
+    Cnf cnf;
+    cnf.variables = variables;
+    RngStream rng(splitmix64(seed));
+    for (std::size_t c = 0; c < clauses; ++c) {
+        Clause clause;
+        std::vector<std::uint32_t> vars;
+        while (vars.size() < k) {
+            const auto v = static_cast<std::uint32_t>(1 + rng.below(variables));
+            if (std::find(vars.begin(), vars.end(), v) == vars.end()) vars.push_back(v);
+        }
+        for (auto v : vars)
+            clause.push_back(rng.bernoulli(0.5) ? static_cast<Literal>(v)
+                                                : -static_cast<Literal>(v));
+        cnf.clauses.push_back(std::move(clause));
+    }
+    return cnf;
+}
+
+Cnf pigeonhole(std::uint32_t holes) {
+    SNOC_EXPECT(holes >= 1);
+    const std::uint32_t pigeons = holes + 1;
+    // Variable p*holes + h + 1 <=> pigeon p sits in hole h.
+    auto var = [holes](std::uint32_t p, std::uint32_t h) {
+        return static_cast<Literal>(p * holes + h + 1);
+    };
+    Cnf cnf;
+    cnf.variables = pigeons * holes;
+    // Every pigeon sits somewhere.
+    for (std::uint32_t p = 0; p < pigeons; ++p) {
+        Clause clause;
+        for (std::uint32_t h = 0; h < holes; ++h) clause.push_back(var(p, h));
+        cnf.clauses.push_back(std::move(clause));
+    }
+    // No two pigeons share a hole.
+    for (std::uint32_t h = 0; h < holes; ++h)
+        for (std::uint32_t p1 = 0; p1 < pigeons; ++p1)
+            for (std::uint32_t p2 = p1 + 1; p2 < pigeons; ++p2)
+                cnf.clauses.push_back({-var(p1, h), -var(p2, h)});
+    return cnf;
+}
+
+Cnf parse_dimacs(std::istream& in) {
+    Cnf cnf;
+    bool have_header = false;
+    std::size_t expected_clauses = 0;
+    std::string token;
+    Clause current;
+    while (in >> token) {
+        if (token == "c") {
+            std::string rest;
+            std::getline(in, rest); // skip comment line
+            continue;
+        }
+        if (token == "p") {
+            std::string kind;
+            in >> kind;
+            SNOC_EXPECT(kind == "cnf");
+            SNOC_EXPECT(!have_header);
+            long vars = 0;
+            long clauses = 0;
+            in >> vars >> clauses;
+            SNOC_EXPECT(!in.fail());
+            SNOC_EXPECT(vars >= 0 && clauses >= 0);
+            cnf.variables = static_cast<std::uint32_t>(vars);
+            expected_clauses = static_cast<std::size_t>(clauses);
+            have_header = true;
+            continue;
+        }
+        SNOC_EXPECT(have_header);
+        long lit = 0;
+        try {
+            std::size_t pos = 0;
+            lit = std::stol(token, &pos);
+            SNOC_EXPECT(pos == token.size());
+        } catch (const std::exception&) {
+            SNOC_EXPECT(false && "malformed DIMACS literal");
+        }
+        if (lit == 0) {
+            cnf.clauses.push_back(std::move(current));
+            current.clear();
+        } else {
+            const auto var = static_cast<std::uint32_t>(std::labs(lit));
+            SNOC_EXPECT(var >= 1 && var <= cnf.variables);
+            current.push_back(static_cast<Literal>(lit));
+        }
+    }
+    SNOC_EXPECT(have_header);
+    SNOC_EXPECT(current.empty()); // every clause 0-terminated
+    SNOC_EXPECT(cnf.clauses.size() == expected_clauses);
+    return cnf;
+}
+
+Cnf parse_dimacs(const std::string& text) {
+    std::istringstream in(text);
+    return parse_dimacs(in);
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+    std::ostringstream os;
+    os << "c generated by snoc apps/sat\n";
+    os << "p cnf " << cnf.variables << ' ' << cnf.clauses.size() << '\n';
+    for (const Clause& clause : cnf.clauses) {
+        for (Literal lit : clause) os << lit << ' ';
+        os << "0\n";
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<Literal> cube_assumptions(std::uint32_t cube, std::uint32_t split_vars,
+                                      std::uint32_t variables) {
+    std::vector<Literal> assumptions;
+    for (std::uint32_t v = 0; v < split_vars && v < variables; ++v) {
+        const auto lit = static_cast<Literal>(v + 1);
+        assumptions.push_back((cube >> v) & 1u ? lit : -lit);
+    }
+    return assumptions;
+}
+
+const std::vector<TileId> kSatSlaveTiles = {6, 7, 8, 11, 13, 16, 17, 18};
+
+} // namespace
+
+SatMasterIp::SatMasterIp(Cnf cnf, std::uint32_t split_vars)
+    : cnf_(std::move(cnf)),
+      split_vars_(split_vars),
+      cubes_(std::size_t{1} << split_vars),
+      answered_(cubes_, false) {
+    SNOC_EXPECT(split_vars >= 1 && split_vars <= 8);
+}
+
+void SatMasterIp::on_start(TileContext& ctx) {
+    // One work rumor per cube; slaves filter by cube id (the formula is
+    // compiled into each slave at deployment, so work messages stay small).
+    for (std::uint32_t cube = 0; cube < cubes_; ++cube) {
+        PayloadWriter w;
+        w.put<std::uint32_t>(cube);
+        w.put<std::uint32_t>(split_vars_);
+        ctx.send(kBroadcast, kSatWorkTag, w.take());
+    }
+}
+
+void SatMasterIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kSatResultTag || done_) return;
+    PayloadReader r(message.payload);
+    const auto cube = r.get<std::uint32_t>();
+    const auto sat = r.get<std::uint8_t>();
+    if (cube >= cubes_ || answered_[cube]) return;
+    answered_[cube] = true;
+    if (sat != 0) {
+        model_.assign(cnf_.variables + 1, 0);
+        for (std::size_t var = 1; var <= cnf_.variables; ++var)
+            model_[var] = r.get<std::int8_t>();
+        SNOC_ENSURE(satisfies(cnf_, model_)); // slaves must not lie
+        satisfiable_ = true;
+        done_ = true;
+        completion_round_ = ctx.round();
+        return;
+    }
+    if (++unsat_count_ == cubes_) {
+        satisfiable_ = false;
+        done_ = true;
+        completion_round_ = ctx.round();
+    }
+}
+
+bool SatMasterIp::satisfiable() const {
+    SNOC_EXPECT(done_);
+    return satisfiable_;
+}
+
+const Assignment& SatMasterIp::model() const {
+    SNOC_EXPECT(done_ && satisfiable_);
+    return model_;
+}
+
+SatSlaveIp::SatSlaveIp(Cnf cnf, std::uint32_t cube, TileId master_tile)
+    : cnf_(std::move(cnf)), cube_(cube), master_(master_tile) {}
+
+void SatSlaveIp::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != kSatWorkTag || answered_) return;
+    PayloadReader r(message.payload);
+    const auto cube = r.get<std::uint32_t>();
+    if (cube != cube_) return;
+    const auto split_vars = r.get<std::uint32_t>();
+    const auto result =
+        dpll(cnf_, cube_assumptions(cube_, split_vars, cnf_.variables));
+
+    PayloadWriter w;
+    w.put<std::uint32_t>(cube_);
+    w.put<std::uint8_t>(result.satisfiable ? 1 : 0);
+    if (result.satisfiable)
+        for (std::size_t var = 1; var <= cnf_.variables; ++var)
+            w.put<std::int8_t>(result.model[var]);
+    ctx.send_with_id(MessageId{TileContext::replica_origin(0x200u | cube_), 0},
+                     master_, kSatResultTag, w.take());
+    answered_ = true;
+}
+
+SatMasterIp& deploy_sat(GossipNetwork& net, Cnf cnf, const SatDeployment& d) {
+    SNOC_EXPECT(net.topology().node_count() >= 25);
+    const std::size_t cubes = std::size_t{1} << d.split_vars;
+    SNOC_EXPECT(cubes <= kSatSlaveTiles.size());
+    auto master = std::make_unique<SatMasterIp>(cnf, d.split_vars);
+    SatMasterIp& ref = *master;
+    net.attach(d.master_tile, std::move(master));
+    for (std::uint32_t cube = 0; cube < cubes; ++cube)
+        net.attach(kSatSlaveTiles[cube],
+                   std::make_unique<SatSlaveIp>(cnf, cube, d.master_tile));
+    return ref;
+}
+
+} // namespace snoc::apps

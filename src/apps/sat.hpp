@@ -1,0 +1,121 @@
+// Parallel SAT solving over stochastic communication.
+//
+// Sec. 4 opening: "Stochastic communication can have wide applicability,
+// ranging from parallel SAT solvers and multimedia applications to
+// periodic data acquisition from non-critical sensors."  This module
+// makes the first of those concrete: a from-scratch DPLL solver (unit
+// propagation + pure-literal elimination + branching) and a
+// cube-and-conquer master/slave scheme — the master fixes the first k
+// variables into 2^k cubes, broadcasts them as work rumors, slaves solve
+// their cube under assumptions and gossip back SAT (with a model) or
+// UNSAT; the master answers SAT on the first model, UNSAT once every cube
+// failed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/ip_core.hpp"
+
+namespace snoc::apps {
+
+/// A literal: positive var v is +v, negated is -v (DIMACS style, v >= 1).
+using Literal = std::int32_t;
+using Clause = std::vector<Literal>;
+
+struct Cnf {
+    std::uint32_t variables{0};
+    std::vector<Clause> clauses;
+};
+
+/// tri-state assignment: 0 unassigned, +1 true, -1 false (index = var).
+using Assignment = std::vector<std::int8_t>;
+
+/// Does `assignment` (total or partial) satisfy every clause?
+bool satisfies(const Cnf& cnf, const Assignment& assignment);
+
+struct SatResult {
+    bool satisfiable{false};
+    Assignment model; ///< valid iff satisfiable.
+    std::size_t decisions{0};
+    std::size_t propagations{0};
+};
+
+/// Complete DPLL search; `assumptions` pre-assigns literals (the cube).
+SatResult dpll(const Cnf& cnf, const std::vector<Literal>& assumptions = {});
+
+/// Brute-force oracle for tests (variables <= 24).
+bool brute_force_satisfiable(const Cnf& cnf);
+
+/// Deterministic random k-SAT instance.
+Cnf random_ksat(std::uint32_t variables, std::size_t clauses, std::size_t k,
+                std::uint64_t seed);
+
+/// Pigeonhole principle PHP(n+1, n): always UNSAT, classically hard.
+Cnf pigeonhole(std::uint32_t holes);
+
+/// DIMACS CNF interchange ("p cnf <vars> <clauses>", 0-terminated
+/// clauses, 'c' comment lines) — parse throws ContractViolation on
+/// malformed input; the pair round-trips.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs(const std::string& text);
+std::string to_dimacs(const Cnf& cnf);
+
+/// --- NoC deployment -----------------------------------------------------
+
+inline constexpr std::uint32_t kSatWorkTag = 0x53415457;   // 'SATW'
+inline constexpr std::uint32_t kSatResultTag = 0x53415452; // 'SATR'
+
+class SatMasterIp final : public IpCore {
+public:
+    /// 2^split_vars cubes are distributed; slave `i` owns cube `i`.
+    SatMasterIp(Cnf cnf, std::uint32_t split_vars);
+
+    void on_start(TileContext& ctx) override;
+    void on_message(const Message& message, TileContext& ctx) override;
+
+    bool done() const { return done_; }
+    bool satisfiable() const;
+    const Assignment& model() const;
+    std::optional<Round> completion_round() const { return completion_round_; }
+
+private:
+    Cnf cnf_;
+    std::uint32_t split_vars_;
+    std::size_t cubes_;
+    std::vector<bool> answered_;
+    std::size_t unsat_count_{0};
+    bool done_{false};
+    bool satisfiable_{false};
+    Assignment model_;
+    std::optional<Round> completion_round_;
+};
+
+class SatSlaveIp final : public IpCore {
+public:
+    /// The slave owns `cube` and solves the shared formula under it.
+    SatSlaveIp(Cnf cnf, std::uint32_t cube, TileId master_tile);
+
+    void on_message(const Message& message, TileContext& ctx) override;
+
+private:
+    Cnf cnf_;
+    std::uint32_t cube_;
+    TileId master_;
+    bool answered_{false};
+};
+
+struct SatDeployment {
+    TileId master_tile{12};
+    std::uint32_t split_vars{3}; ///< 8 cubes on the 8-slave ring.
+};
+
+/// Attach master + 2^split_vars slaves onto a 5x5 mesh network.
+SatMasterIp& deploy_sat(GossipNetwork& net, Cnf cnf,
+                        const SatDeployment& deployment = {});
+
+} // namespace snoc::apps

@@ -1,0 +1,92 @@
+// Periodic data acquisition from non-critical sensors — the third
+// application class the thesis names for stochastic communication
+// (Sec. 4 opening): sensors publish fresh readings every few rounds, the
+// collector keeps last-known values, and occasional losses are harmless
+// because the next period refreshes them.
+//
+// The sensed quantity is a deterministic synthetic temperature field over
+// the die (a spatial gradient plus a slow drift plus sensor noise), so
+// the collector's reconstruction can be checked against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/ip_core.hpp"
+
+namespace snoc::apps {
+
+inline constexpr std::uint32_t kSensorReadingTag = 0x53454E53; // 'SENS'
+
+/// Ground-truth die temperature at (x, y) in round `round` (deg C).
+double field_temperature(std::size_t x, std::size_t y, Round round);
+
+struct SensorConfig {
+    Round period{4};        ///< rounds between samples.
+    double noise_c{0.05};   ///< sensor noise std-dev (deg C).
+    std::uint16_t ttl{0};   ///< per-reading TTL override (0 = default).
+};
+
+class SensorIp final : public IpCore {
+public:
+    SensorIp(TileId collector, SensorConfig config);
+
+    void on_round(TileContext& ctx) override;
+    void on_message(const Message&, TileContext&) override {}
+
+    std::size_t samples_published() const { return samples_; }
+
+private:
+    TileId collector_;
+    SensorConfig config_;
+    std::size_t samples_{0};
+};
+
+/// One sensor's last-known state at the collector.
+struct SensorState {
+    double value{0.0};
+    Round sampled_round{0};   ///< when the sensor measured it.
+    Round received_round{0};  ///< when the collector got it.
+    std::size_t updates{0};
+};
+
+class CollectorIp final : public IpCore {
+public:
+    explicit CollectorIp(std::size_t tile_count);
+
+    void on_message(const Message& message, TileContext& ctx) override;
+
+    const std::optional<SensorState>& state_of(TileId sensor) const;
+    std::size_t sensors_heard() const;
+    std::size_t total_updates() const { return total_updates_; }
+
+    /// Fraction of `sensors` whose last reading was sampled within
+    /// `staleness_bound` rounds of `now`.
+    double coverage(const std::vector<TileId>& sensors, Round now,
+                    Round staleness_bound) const;
+    /// Mean age (rounds since sampling) of the freshest data, over sensors
+    /// that have reported at least once.
+    double mean_staleness(const std::vector<TileId>& sensors, Round now) const;
+
+private:
+    std::vector<std::optional<SensorState>> states_;
+    std::size_t total_updates_{0};
+};
+
+struct SensorDeployment {
+    TileId collector_tile{12};
+    SensorConfig sensor{};
+};
+
+struct SensorNetwork {
+    CollectorIp* collector{nullptr};
+    std::vector<TileId> sensor_tiles;
+};
+
+/// Put a sensor on every tile except the collector's.
+SensorNetwork deploy_sensors(GossipNetwork& net,
+                             const SensorDeployment& deployment = {});
+
+} // namespace snoc::apps

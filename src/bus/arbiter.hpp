@@ -1,0 +1,43 @@
+// Round-robin bus arbitration.  "Because a bus is a shared communication
+// channel, it requires arbitration in order to ensure the mutual exclusion
+// between the components accessing the channel" (Ch. 1).  The rotating
+// priority guarantees starvation freedom: a requester waits at most
+// (n - 1) grants.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+class RoundRobinArbiter {
+public:
+    explicit RoundRobinArbiter(std::size_t modules) : modules_(modules) {
+        SNOC_EXPECT(modules > 0);
+    }
+
+    /// Grant the bus to the requesting module closest (cyclically) after
+    /// the previous grant.  Returns nullopt when nobody requests.
+    std::optional<std::size_t> grant(const std::vector<bool>& requests) {
+        SNOC_EXPECT(requests.size() == modules_);
+        for (std::size_t i = 0; i < modules_; ++i) {
+            const std::size_t candidate = (last_ + 1 + i) % modules_;
+            if (requests[candidate]) {
+                last_ = candidate;
+                return candidate;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::size_t module_count() const { return modules_; }
+
+private:
+    std::size_t modules_;
+    std::size_t last_{0};
+};
+
+} // namespace snoc

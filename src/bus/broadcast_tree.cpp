@@ -1,0 +1,58 @@
+#include "bus/broadcast_tree.hpp"
+
+#include <queue>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+std::vector<TileId> spanning_tree(const Topology& topo, TileId root) {
+    SNOC_EXPECT(root < topo.node_count());
+    std::vector<TileId> parent(topo.node_count(), kNoTile);
+    std::queue<TileId> frontier;
+    parent[root] = root;
+    frontier.push(root);
+    while (!frontier.empty()) {
+        const TileId cur = frontier.front();
+        frontier.pop();
+        for (TileId next : topo.neighbours(cur)) {
+            if (parent[next] != kNoTile) continue;
+            parent[next] = cur;
+            frontier.push(next);
+        }
+    }
+    return parent;
+}
+
+TreeBroadcastResult tree_broadcast(const Topology& topo, TileId root,
+                                   const CrashState& crashes) {
+    SNOC_EXPECT(crashes.dead_tiles.size() == topo.node_count());
+    const auto parent = spanning_tree(topo, root);
+    TreeBroadcastResult result;
+    if (crashes.dead_tiles[root]) return result;
+
+    // BFS down the tree, pruning at dead tiles.
+    std::vector<std::size_t> depth(topo.node_count(), 0);
+    std::vector<bool> reached(topo.node_count(), false);
+    reached[root] = true;
+    result.reached = 1;
+    std::queue<TileId> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+        const TileId cur = frontier.front();
+        frontier.pop();
+        for (TileId next = 0; next < topo.node_count(); ++next) {
+            if (parent[next] != cur || next == cur) continue;
+            ++result.transmissions; // the parent transmits regardless
+            if (crashes.dead_tiles[next]) continue; // subtree lost
+            reached[next] = true;
+            ++result.reached;
+            depth[next] = depth[cur] + 1;
+            result.depth = std::max(result.depth, depth[next]);
+            frontier.push(next);
+        }
+    }
+    return result;
+}
+
+} // namespace snoc

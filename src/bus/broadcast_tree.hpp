@@ -1,0 +1,32 @@
+// Spanning-tree broadcast — the deterministic lower bound for "reach
+// every tile": exactly n-1 transmissions, latency = tree depth.  Its
+// weakness is the thesis' whole point: a single dead tile prunes the
+// entire subtree below it.  Used by the broadcast ablation to sandwich
+// gossip between the optimal-but-fragile tree and wasteful flooding.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "noc/topology.hpp"
+
+namespace snoc {
+
+/// BFS spanning tree rooted at `root`: parent[t] (root's parent = root).
+std::vector<TileId> spanning_tree(const Topology& topo, TileId root);
+
+struct TreeBroadcastResult {
+    std::size_t reached{0};        ///< tiles that received the broadcast.
+    std::size_t transmissions{0};  ///< link messages spent.
+    std::size_t depth{0};          ///< rounds (longest surviving path).
+};
+
+/// Broadcast from `root` along the tree under a crash pattern: a message
+/// crosses a tree edge only if both endpoints are alive, and subtrees
+/// under a dead tile are lost.
+TreeBroadcastResult tree_broadcast(const Topology& topo, TileId root,
+                                   const CrashState& crashes);
+
+} // namespace snoc

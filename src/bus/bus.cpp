@@ -1,0 +1,56 @@
+#include "bus/bus.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+SharedBus::SharedBus(std::size_t modules, Technology tech)
+    : modules_(modules), tech_(tech) {
+    SNOC_EXPECT(modules > 0);
+    SNOC_EXPECT(tech.bus_frequency_hz > 0.0);
+}
+
+BusRunResult SharedBus::run(const TrafficTrace& trace) {
+    BusRunResult result;
+    if (!alive_) return result; // completed == false
+
+    RoundRobinArbiter arbiter(modules_);
+    for (const auto& phase : trace.phases) {
+        // Per-module FIFO of pending transfers for this phase.
+        std::vector<std::deque<const LogicalMessage*>> pending(modules_);
+        std::size_t remaining = 0;
+        for (const auto& m : phase.messages) {
+            SNOC_EXPECT(m.src < modules_);
+            pending[m.src].push_back(&m);
+            ++remaining;
+        }
+        std::vector<std::size_t> waited(modules_, 0);
+        while (remaining > 0) {
+            std::vector<bool> requests(modules_, false);
+            for (std::size_t i = 0; i < modules_; ++i)
+                requests[i] = !pending[i].empty();
+            const auto winner = arbiter.grant(requests);
+            SNOC_EXPECT(winner.has_value());
+            const LogicalMessage* m = pending[*winner].front();
+            pending[*winner].pop_front();
+            --remaining;
+
+            result.seconds += static_cast<double>(m->bits) / tech_.bus_frequency_hz;
+            result.bits += m->bits;
+            ++result.transfers;
+            for (std::size_t i = 0; i < modules_; ++i)
+                if (i != *winner && requests[i]) ++waited[i];
+        }
+        result.max_wait_grants = std::max(
+            result.max_wait_grants,
+            static_cast<std::size_t>(*std::max_element(waited.begin(), waited.end())));
+    }
+    result.joules = static_cast<double>(result.bits) * tech_.bus_ebit_joules;
+    result.completed = true;
+    return result;
+}
+
+} // namespace snoc

@@ -1,0 +1,48 @@
+// The bus-based baseline of Sec. 4.1.4.
+//
+// All modules share one medium clocked at bus_frequency_hz (43 MHz for the
+// 0.25 um grid-sized bus); a word crosses per cycle, so a message of S
+// bits occupies the bus for S / (f * word_bits) * word_bits / f = S / f
+// seconds of wire time (one bit per Hz of effective bandwidth, matching
+// the thesis' use of Eq. 2 with the bus f).  Transfers inside a phase are
+// serialised by the round-robin arbiter; the bus is a single point of
+// failure — if it is dead, nothing is ever delivered.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bus/arbiter.hpp"
+#include "energy/energy.hpp"
+#include "noc/traffic.hpp"
+
+namespace snoc {
+
+struct BusRunResult {
+    bool completed{false};       ///< false iff the bus itself crashed.
+    double seconds{0.0};         ///< serialised transfer time.
+    double joules{0.0};
+    std::size_t transfers{0};
+    std::size_t bits{0};
+    std::size_t max_wait_grants{0}; ///< worst queuing (in grants) any module saw.
+};
+
+class SharedBus {
+public:
+    SharedBus(std::size_t modules, Technology tech);
+
+    /// A crashed bus delivers nothing (the single-point-of-failure of the
+    /// comparison in Sec. 4.1.4).
+    void crash() { alive_ = false; }
+    bool alive() const { return alive_; }
+
+    /// Execute a traffic trace; per-phase barrier, arbitrated serial order.
+    BusRunResult run(const TrafficTrace& trace);
+
+private:
+    std::size_t modules_;
+    Technology tech_;
+    bool alive_{true};
+};
+
+} // namespace snoc

@@ -1,0 +1,112 @@
+#include "bus/deflection.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.hpp"
+
+namespace snoc::deflection {
+
+Network::Network(std::size_t width, std::size_t height, Config config,
+                 std::uint64_t seed)
+    : topo_(Topology::mesh(width, height)),
+      config_(config),
+      rng_(splitmix64(seed)),
+      dead_(topo_.node_count(), false) {
+    SNOC_EXPECT(config.max_hops >= 1);
+}
+
+void Network::apply_crashes(const CrashState& crashes) {
+    SNOC_EXPECT(crashes.dead_tiles.size() == topo_.node_count());
+    dead_ = crashes.dead_tiles;
+}
+
+std::uint32_t Network::inject(TileId source, TileId destination) {
+    SNOC_EXPECT(source < topo_.node_count());
+    SNOC_EXPECT(destination < topo_.node_count());
+    SNOC_EXPECT(source != destination);
+    SNOC_EXPECT(!dead_[source]);
+    const auto id = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(PacketRecord{id, source, destination, cycle_, std::nullopt,
+                                    0, false});
+    flying_.push_back({id, source});
+    return id;
+}
+
+std::size_t Network::in_flight() const { return flying_.size(); }
+
+void Network::step() {
+    // Per tile: collect resident packets, then assign output ports —
+    // productive first, deflections for the rest.  A link carries one
+    // packet per cycle per direction.
+    std::map<TileId, std::vector<std::size_t>> by_tile; // index into flying_
+    for (std::size_t i = 0; i < flying_.size(); ++i)
+        by_tile[flying_[i].at].push_back(i);
+
+    std::vector<Moving> next;
+    next.reserve(flying_.size());
+    for (auto& [tile, residents] : by_tile) {
+        const auto& nbrs = topo_.neighbours(tile);
+        std::vector<bool> port_used(nbrs.size(), false);
+        // Shuffle residents so deflection victims rotate fairly.
+        for (std::size_t i = residents.size(); i > 1; --i)
+            std::swap(residents[i - 1],
+                      residents[static_cast<std::size_t>(rng_.below(i))]);
+        for (std::size_t idx : residents) {
+            auto& rec = records_[flying_[idx].id];
+            // Preferred (productive) ports: reduce Manhattan distance.
+            std::optional<std::size_t> chosen;
+            for (std::size_t p = 0; p < nbrs.size(); ++p) {
+                if (port_used[p] || dead_[nbrs[p]]) continue;
+                if (topo_.manhattan(nbrs[p], rec.destination) <
+                    topo_.manhattan(tile, rec.destination)) {
+                    chosen = p;
+                    break;
+                }
+            }
+            if (!chosen) {
+                // Deflect: any free live port.
+                std::vector<std::size_t> free;
+                for (std::size_t p = 0; p < nbrs.size(); ++p)
+                    if (!port_used[p] && !dead_[nbrs[p]]) free.push_back(p);
+                if (!free.empty())
+                    chosen = free[static_cast<std::size_t>(rng_.below(free.size()))];
+            }
+            if (!chosen) {
+                // Completely walled in this cycle: hold in place, but the
+                // stall still burns hop budget so a packet with no live
+                // ports at all is eventually declared lost.
+                ++rec.hops;
+                if (rec.hops >= config_.max_hops) {
+                    rec.dropped = true;
+                    ++dropped_;
+                } else {
+                    next.push_back({flying_[idx].id, tile});
+                }
+                continue;
+            }
+            port_used[*chosen] = true;
+            const TileId to = nbrs[*chosen];
+            ++rec.hops;
+            if (to == rec.destination) {
+                rec.delivered_cycle = cycle_;
+                latencies_.add(static_cast<double>(cycle_ - rec.injected_cycle + 1));
+                hops_.add(static_cast<double>(rec.hops));
+                ++delivered_;
+            } else if (rec.hops >= config_.max_hops) {
+                rec.dropped = true; // livelock guard
+                ++dropped_;
+            } else {
+                next.push_back({flying_[idx].id, to});
+            }
+        }
+    }
+    flying_ = std::move(next);
+    ++cycle_;
+}
+
+void Network::run(std::size_t cycles) {
+    for (std::size_t i = 0; i < cycles && !flying_.empty(); ++i) step();
+}
+
+} // namespace snoc::deflection

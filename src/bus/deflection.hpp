@@ -1,0 +1,78 @@
+// Deflection (hot-potato) routing — the bufferless middle ground between
+// deterministic XY and stochastic gossip.  Every packet in a router must
+// leave on *some* output every cycle: productive ports are preferred, and
+// when contention or a dead neighbour blocks them the packet is deflected
+// onto any free port.  No buffers, no retransmissions — misrouting plays
+// the role buffering plays elsewhere.
+//
+// Included as a third routing baseline for the ablations: deflection
+// tolerates crashes better than XY (it can walk around a corpse by
+// accident) but offers no delivery guarantee and can livelock; gossip
+// turns both problems into probability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "noc/topology.hpp"
+
+namespace snoc::deflection {
+
+struct PacketRecord {
+    std::uint32_t id{0};
+    TileId source{0};
+    TileId destination{0};
+    std::size_t injected_cycle{0};
+    std::optional<std::size_t> delivered_cycle;
+    std::size_t hops{0};        ///< total link traversals (incl. deflections).
+    bool dropped{false};        ///< exceeded the hop budget (livelock guard).
+};
+
+struct Config {
+    std::size_t max_hops{256};  ///< hop budget before a packet is dropped.
+};
+
+class Network {
+public:
+    Network(std::size_t width, std::size_t height, Config config, std::uint64_t seed);
+
+    /// Apply a crash pattern: packets never enter dead tiles.
+    void apply_crashes(const CrashState& crashes);
+
+    std::uint32_t inject(TileId source, TileId destination);
+    void step();
+    void run(std::size_t cycles);
+
+    std::size_t cycle() const { return cycle_; }
+    std::size_t delivered() const { return delivered_; }
+    std::size_t dropped() const { return dropped_; }
+    std::size_t in_flight() const;
+    const std::vector<PacketRecord>& records() const { return records_; }
+    const SampleSet& latencies() const { return latencies_; }
+    const SampleSet& hop_counts() const { return hops_; }
+
+private:
+    struct Moving {
+        std::uint32_t id{0};
+        TileId at{0};
+    };
+
+    Topology topo_;
+    Config config_;
+    RngStream rng_;
+    std::vector<bool> dead_;
+    std::vector<Moving> flying_;
+    std::vector<PacketRecord> records_;
+    std::size_t cycle_{0};
+    std::size_t delivered_{0};
+    std::size_t dropped_{0};
+    SampleSet latencies_;
+    SampleSet hops_;
+};
+
+} // namespace snoc::deflection

@@ -1,0 +1,76 @@
+#include "bus/xy_router.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+std::vector<TileId> xy_route(const Topology& mesh, TileId src, TileId dst) {
+    SNOC_EXPECT(mesh.is_grid());
+    SNOC_EXPECT(src < mesh.node_count() && dst < mesh.node_count());
+    std::vector<TileId> path{src};
+    std::size_t x = mesh.x_of(src);
+    std::size_t y = mesh.y_of(src);
+    const std::size_t tx = mesh.x_of(dst);
+    const std::size_t ty = mesh.y_of(dst);
+    while (x != tx) {
+        x += (x < tx) ? 1 : static_cast<std::size_t>(-1);
+        path.push_back(mesh.at(x, y));
+    }
+    while (y != ty) {
+        y += (y < ty) ? 1 : static_cast<std::size_t>(-1);
+        path.push_back(mesh.at(x, y));
+    }
+    return path;
+}
+
+namespace {
+
+/// Find the directed link id for hop a->b (must exist in a mesh).
+LinkId link_between(const Topology& mesh, TileId a, TileId b) {
+    const auto& nbrs = mesh.neighbours(a);
+    const auto& links = mesh.out_links(a);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == b) return links[i];
+    SNOC_ENSURE(false && "hop endpoints are not neighbours");
+    return 0;
+}
+
+bool path_alive(const Topology& mesh, const std::vector<TileId>& path,
+                const CrashState& crashes) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (crashes.dead_tiles[path[i]]) return false;
+        if (i + 1 < path.size() &&
+            crashes.dead_links[link_between(mesh, path[i], path[i + 1])])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+XyRunResult run_xy_trace(const Topology& mesh, const TrafficTrace& trace,
+                         const CrashState& crashes) {
+    SNOC_EXPECT(crashes.dead_tiles.size() == mesh.node_count());
+    SNOC_EXPECT(crashes.dead_links.size() == mesh.link_count());
+    XyRunResult result;
+    for (const auto& phase : trace.phases) {
+        std::size_t longest = 0;
+        for (const auto& m : phase.messages) {
+            const auto path = xy_route(mesh, m.src, m.dst);
+            if (!path_alive(mesh, path, crashes)) {
+                ++result.lost;
+                continue;
+            }
+            ++result.delivered;
+            const std::size_t hops = path.size() - 1;
+            longest = std::max(longest, hops);
+            result.bits += m.bits * hops;
+        }
+        result.rounds += longest;
+    }
+    return result;
+}
+
+} // namespace snoc

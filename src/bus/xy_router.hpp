@@ -1,0 +1,32 @@
+// Deterministic XY (dimension-ordered) mesh routing — the "static routing"
+// strawman of Ch. 1: "transmission of messages along a fixed path from
+// source to destination would fail if even a single tile or a link on the
+// path is faulty".  We implement it so the claim is measurable (ablation
+// bench): same traffic, same crash patterns, delivery ratio vs. gossip.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "noc/topology.hpp"
+#include "noc/traffic.hpp"
+
+namespace snoc {
+
+/// The XY path from src to dst (inclusive of both): first walk X, then Y.
+std::vector<TileId> xy_route(const Topology& mesh, TileId src, TileId dst);
+
+struct XyRunResult {
+    std::size_t delivered{0};
+    std::size_t lost{0};       ///< path crossed a dead tile or link.
+    std::size_t rounds{0};     ///< sum over phases of the longest path (hops).
+    std::size_t bits{0};       ///< link-level bits (one traversal per hop).
+};
+
+/// Realise a trace on an XY-routed mesh with a fixed crash pattern.
+/// Messages are independent; a phase costs its longest surviving path.
+XyRunResult run_xy_trace(const Topology& mesh, const TrafficTrace& trace,
+                         const CrashState& crashes);
+
+} // namespace snoc

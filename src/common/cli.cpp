@@ -1,0 +1,75 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+CliArgs::CliArgs(int argc, char** argv) {
+    SNOC_EXPECT(argc >= 1);
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--key value` when the next token is not itself an option.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options_[body] = std::string(argv[i + 1]);
+            ++i;
+        } else {
+            options_[body] = std::nullopt;
+        }
+    }
+}
+
+bool CliArgs::has(const std::string& name) const { return options_.contains(name); }
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const auto parsed = std::strtoull(v->c_str(), &end, 10);
+    SNOC_EXPECT(end != nullptr && *end == '\0' && !v->empty());
+    return parsed;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    SNOC_EXPECT(end != nullptr && *end == '\0' && !v->empty());
+    return parsed;
+}
+
+std::string CliArgs::get_string(const std::string& name, std::string fallback) const {
+    const auto v = value(name);
+    return v ? *v : std::move(fallback);
+}
+
+std::vector<std::string> CliArgs::unknown_options(
+    const std::vector<std::string>& known) const {
+    std::vector<std::string> unknown;
+    for (const auto& [name, _] : options_)
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            unknown.push_back(name);
+    return unknown;
+}
+
+} // namespace snoc

@@ -1,0 +1,45 @@
+// Minimal command-line option parsing for the bench and example binaries.
+//
+// Supports `--flag`, `--key=value` and `--key value`; anything else is a
+// positional argument.  Unknown flags are collected so callers can reject
+// them with a usage string (benches accept a uniform set: --csv,
+// --repeats=N, --seed=N).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+class CliArgs {
+public:
+    CliArgs(int argc, char** argv);
+
+    /// True if `--name` appeared (with or without a value).
+    bool has(const std::string& name) const;
+
+    /// Value of `--name=value` / `--name value`; nullopt if absent or bare.
+    std::optional<std::string> value(const std::string& name) const;
+
+    /// Typed accessors with defaults.
+    std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+    double get_double(const std::string& name, double fallback) const;
+    std::string get_string(const std::string& name, std::string fallback) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::string& program() const { return program_; }
+
+    /// Option names seen that are not in `known` (for usage errors).
+    std::vector<std::string> unknown_options(
+        const std::vector<std::string>& known) const;
+
+private:
+    std::string program_;
+    std::map<std::string, std::optional<std::string>> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace snoc

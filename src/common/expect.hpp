@@ -1,0 +1,40 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations throw so
+// tests can assert on them and simulations fail loudly instead of
+// propagating garbage.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace snoc {
+
+/// Thrown when a precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                            file + ":" + std::to_string(line));
+}
+} // namespace detail
+
+} // namespace snoc
+
+// Preconditions on function arguments / object state on entry.
+#define SNOC_EXPECT(cond)                                                         \
+    do {                                                                          \
+        if (!(cond)) ::snoc::detail::contract_fail("precondition", #cond,         \
+                                                   __FILE__, __LINE__);           \
+    } while (false)
+
+// Postconditions / invariants on exit.
+#define SNOC_ENSURE(cond)                                                         \
+    do {                                                                          \
+        if (!(cond)) ::snoc::detail::contract_fail("postcondition", #cond,        \
+                                                   __FILE__, __LINE__);           \
+    } while (false)

@@ -1,0 +1,96 @@
+// Deterministic, splittable random number streams.
+//
+// Every stochastic decision in the simulator (per-link Bernoulli forwarding,
+// fault injection, clock jitter, workload generation) draws from a stream
+// derived from a root seed plus a purpose key, so that
+//   * two runs with the same seed are bit-identical, and
+//   * changing one consumer's draw count does not perturb the others.
+//
+// The thesis realises the Bernoulli(p) gate with an amplified-thermal-noise
+// circuit (Sec. 3.2.3); this is its deterministic functional equivalent.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace snoc {
+
+/// splitmix64: tiny, high-quality 64-bit mixer used for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Combine a seed with a sequence of 64-bit keys into a derived seed.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t key) {
+    return splitmix64(root ^ splitmix64(key));
+}
+
+/// Hash a short string key (stream purpose name) to 64 bits (FNV-1a).
+constexpr std::uint64_t key_of(std::string_view name) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// A single random stream.  Thin wrapper over mt19937_64 with the
+/// distributions the simulator needs.
+class RngStream {
+public:
+    explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+    /// Bernoulli trial: true with probability p (p clamped to [0,1]).
+    bool bernoulli(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /// Uniform integer in [0, bound) — bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) {
+        return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /// Normal draw.
+    double normal(double mean, double stddev) {
+        if (stddev <= 0.0) return mean;
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Raw 64 random bits.
+    std::uint64_t bits() { return engine_(); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+/// Factory for named sub-streams of a root seed.
+class RngPool {
+public:
+    explicit RngPool(std::uint64_t root_seed) : root_(root_seed) {}
+
+    std::uint64_t root_seed() const { return root_; }
+
+    /// Stream for a (purpose, index) pair, e.g. ("forward", tile id).
+    RngStream stream(std::string_view purpose, std::uint64_t index = 0) const {
+        return RngStream(derive_seed(derive_seed(root_, key_of(purpose)), index));
+    }
+
+private:
+    std::uint64_t root_;
+};
+
+} // namespace snoc

@@ -1,0 +1,39 @@
+// Small result-table builder: the bench binaries print the same rows /
+// series the paper's figures plot, both as an aligned ASCII table for the
+// terminal and as CSV for replotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Add a row of already-formatted cells; must match the header width.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t row_count() const { return rows_.size(); }
+    const std::vector<std::string>& headers() const { return headers_; }
+    const std::vector<std::string>& row(std::size_t i) const;
+
+    /// Aligned, boxed ASCII rendering.
+    void print(std::ostream& os) const;
+    /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision, trimming trailing zeros.
+std::string format_number(double value, int precision = 4);
+
+/// Format a double in scientific notation (for J/bit style values).
+std::string format_sci(double value, int precision = 3);
+
+} // namespace snoc

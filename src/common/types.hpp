@@ -1,0 +1,62 @@
+// Strong-ish aliases shared across the whole simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snoc {
+
+/// Index of a tile (node) in a topology.  Tiles are numbered row-major
+/// starting from 0; the thesis' figures number them from 1, so tile k in a
+/// figure is TileId{k - 1} here.
+using TileId = std::uint32_t;
+
+/// Index of a directed link in a topology.
+using LinkId = std::uint32_t;
+
+/// Gossip round counter (one round = every live tile drains its send buffer).
+using Round = std::uint32_t;
+
+/// Unique message identity: (origin tile, per-origin sequence number).
+struct MessageId {
+    TileId origin{0};
+    std::uint32_t sequence{0};
+
+    friend bool operator==(const MessageId&, const MessageId&) = default;
+    friend auto operator<=>(const MessageId&, const MessageId&) = default;
+};
+
+/// Sentinel meaning "no tile".
+inline constexpr TileId kNoTile = static_cast<TileId>(-1);
+
+/// The four mesh ports of a tile, in the order used by Fig. 3-4.
+enum class Port : std::uint8_t { North = 0, East = 1, South = 2, West = 3 };
+
+inline constexpr std::size_t kPortCount = 4;
+
+/// Human-readable name of a port (for traces and test failure messages).
+constexpr const char* to_string(Port p) {
+    switch (p) {
+    case Port::North: return "North";
+    case Port::East: return "East";
+    case Port::South: return "South";
+    case Port::West: return "West";
+    }
+    return "?";
+}
+
+} // namespace snoc
+
+template <>
+struct std::hash<snoc::MessageId> {
+    std::size_t operator()(const snoc::MessageId& id) const noexcept {
+        // 64-bit mix of the two 32-bit fields (splitmix64 finaliser).
+        std::uint64_t x = (static_cast<std::uint64_t>(id.origin) << 32) | id.sequence;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};

@@ -1,0 +1,74 @@
+#include "core/analytic.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace snoc::analytic {
+
+std::vector<double> informed_curve(std::size_t n, std::size_t rounds) {
+    SNOC_EXPECT(n >= 1);
+    std::vector<double> curve;
+    curve.reserve(rounds + 1);
+    const double nd = static_cast<double>(n);
+    double informed = 1.0;
+    curve.push_back(informed);
+    for (std::size_t t = 0; t < rounds; ++t) {
+        informed = nd - (nd - informed) * std::exp(-informed / nd);
+        curve.push_back(informed);
+    }
+    return curve;
+}
+
+std::size_t rounds_to_reach(std::size_t n, double fraction) {
+    SNOC_EXPECT(fraction > 0.0 && fraction <= 1.0);
+    const double target = fraction * static_cast<double>(n);
+    const double nd = static_cast<double>(n);
+    double informed = 1.0;
+    std::size_t t = 0;
+    // The logistic recurrence converges to n but only asymptotically;
+    // treat "within half a node" as everyone for fraction == 1.
+    const double goal = (fraction == 1.0) ? nd - 0.5 : target;
+    while (informed < goal) {
+        informed = nd - (nd - informed) * std::exp(-informed / nd);
+        ++t;
+        SNOC_ENSURE(t < 10000);
+    }
+    return t;
+}
+
+double pittel_rounds(std::size_t n) {
+    SNOC_EXPECT(n >= 2);
+    const double nd = static_cast<double>(n);
+    return std::log2(nd) + std::log(nd);
+}
+
+std::vector<std::size_t> simulate_push_gossip(std::size_t n, RngStream& rng,
+                                              std::size_t max_rounds) {
+    SNOC_EXPECT(n >= 2);
+    std::vector<bool> informed(n, false);
+    informed[0] = true;
+    std::size_t count = 1;
+    std::vector<std::size_t> curve{count};
+    for (std::size_t round = 0; round < max_rounds && count < n; ++round) {
+        std::vector<std::size_t> targets;
+        targets.reserve(count);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!informed[i]) continue;
+            // Choose a confidant uniformly among the other n-1 nodes.
+            auto pick = static_cast<std::size_t>(rng.below(n - 1));
+            if (pick >= i) ++pick;
+            targets.push_back(pick);
+        }
+        for (std::size_t t : targets) {
+            if (!informed[t]) {
+                informed[t] = true;
+                ++count;
+            }
+        }
+        curve.push_back(count);
+    }
+    return curve;
+}
+
+} // namespace snoc::analytic

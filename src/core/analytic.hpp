@@ -1,0 +1,35 @@
+// Sec. 3.1 — the mathematics of rumor spreading.
+//
+//  * The deterministic approximation of the number of informed nodes:
+//        I(t+1) = n - (n - I(t)) * exp(-I(t)/n),   I(0) = 1        (Eq. 1a)
+//  * Pittel's bound on the rounds to inform everyone:
+//        S_n = log2(n) + ln(n) + O(1)   as n -> infinity           (Eq. 1b)
+//  * A Monte-Carlo of the classic push-gossip on a fully connected
+//    network: every informed node passes the rumor to one uniformly random
+//    other node per round (Fig. 3-1 reaches 1000 nodes in < 20 rounds).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace snoc::analytic {
+
+/// I(t) for t = 0..rounds (inclusive), from the logistic difference
+/// equation above.  I(0) = 1.
+std::vector<double> informed_curve(std::size_t n, std::size_t rounds);
+
+/// Smallest t with I(t) >= fraction*n under the deterministic model.
+std::size_t rounds_to_reach(std::size_t n, double fraction);
+
+/// Pittel: log2(n) + ln(n) — the O(1) term is dropped.
+double pittel_rounds(std::size_t n);
+
+/// One Monte-Carlo run of push gossip on the fully connected graph:
+/// returns the number of informed nodes after each round, ending when all
+/// n are informed (or max_rounds elapse).
+std::vector<std::size_t> simulate_push_gossip(std::size_t n, RngStream& rng,
+                                              std::size_t max_rounds = 1000);
+
+} // namespace snoc::analytic

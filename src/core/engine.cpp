@@ -1,0 +1,432 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/expect.hpp"
+#include "noc/fec.hpp"
+
+namespace snoc {
+
+// ---------------------------------------------------------------------------
+// TileContext implementation handed to IP cores.
+class GossipNetwork::Context final : public TileContext {
+public:
+    Context(GossipNetwork& net, TileId tile) : net_(net), tile_(tile) {}
+
+    TileId tile() const override { return tile_; }
+    Round round() const override { return net_.round_; }
+
+    void send(TileId destination, std::uint32_t tag, std::vector<std::byte> payload,
+              std::uint16_t ttl_override) override {
+        auto& t = net_.tiles_[tile_];
+        Message m;
+        m.id = MessageId{tile_, t.next_sequence++};
+        m.source = tile_;
+        m.destination = destination;
+        m.tag = tag;
+        m.ttl = ttl_override != 0 ? ttl_override : net_.config_.default_ttl;
+        m.payload = std::move(payload);
+        const MessageId id = m.id;
+        if (t.send_buffer.insert(std::move(m))) {
+            ++net_.metrics_.messages_created;
+            net_.trace(TraceEventKind::MessageCreated, tile_, kNoTile, id);
+        }
+    }
+
+    void send_with_id(MessageId id, TileId destination, std::uint32_t tag,
+                      std::vector<std::byte> payload,
+                      std::uint16_t ttl_override) override {
+        auto& t = net_.tiles_[tile_];
+        Message m;
+        m.id = id;
+        m.source = tile_;
+        m.destination = destination;
+        m.tag = tag;
+        m.ttl = ttl_override != 0 ? ttl_override : net_.config_.default_ttl;
+        m.payload = std::move(payload);
+        if (t.send_buffer.insert(std::move(m))) {
+            ++net_.metrics_.messages_created;
+            net_.trace(TraceEventKind::MessageCreated, tile_, kNoTile, id);
+        }
+    }
+
+    RngStream& rng() override { return net_.app_rng_[tile_]; }
+
+    std::uint16_t default_ttl() const override { return net_.config_.default_ttl; }
+
+private:
+    GossipNetwork& net_;
+    TileId tile_;
+};
+
+// ---------------------------------------------------------------------------
+
+GossipNetwork::GossipNetwork(Topology topology, GossipConfig config,
+                             FaultScenario scenario, std::uint64_t seed)
+    : topology_(std::move(topology)),
+      config_(config),
+      pool_(seed),
+      injector_(scenario, pool_),
+      clocks_(topology_.node_count(), config.timing.round_seconds()) {
+    config_.validate();
+    const std::size_t n = topology_.node_count();
+    tiles_.reserve(n);
+    forward_rng_.reserve(n);
+    app_rng_.reserve(n);
+    for (TileId t = 0; t < n; ++t) {
+        tiles_.emplace_back(config_.send_buffer_capacity);
+        forward_rng_.push_back(pool_.stream("gossip/forward", t));
+        app_rng_.push_back(pool_.stream("app", t));
+    }
+    forward_capacity_.assign(n, static_cast<std::size_t>(-1));
+    route_filter_.resize(n);
+    clock_scale_.assign(n, 1.0);
+    next_action_round_.assign(n, 0.0);
+    metrics_.bits_sent_by_tile.assign(n, 0);
+    metrics_.packets_by_link.assign(topology_.link_count(), 0);
+    crash_state_.dead_tiles.assign(n, false);
+    crash_state_.dead_links.assign(topology_.link_count(), false);
+}
+
+void GossipNetwork::set_forward_capacity(TileId tile, std::size_t packets_per_round) {
+    SNOC_EXPECT(tile < tiles_.size());
+    SNOC_EXPECT(packets_per_round > 0);
+    forward_capacity_[tile] = packets_per_round;
+}
+
+void GossipNetwork::set_route_filter(TileId tile, RouteFilter filter) {
+    SNOC_EXPECT(tile < tiles_.size());
+    route_filter_[tile] = std::move(filter);
+}
+
+void GossipNetwork::set_clock_scale(TileId tile, double scale) {
+    SNOC_EXPECT(!started_);
+    SNOC_EXPECT(tile < tiles_.size());
+    SNOC_EXPECT(scale > 0.0);
+    clock_scale_[tile] = std::max(scale, 1.0);
+}
+
+
+void GossipNetwork::trace(TraceEventKind kind, TileId tile, TileId peer,
+                          MessageId message) {
+    if (!trace_) return;
+    TraceEvent event;
+    event.round = round_;
+    event.kind = kind;
+    event.tile = tile;
+    event.peer = peer;
+    event.message = message;
+    trace_->record(event);
+}
+
+bool GossipNetwork::tile_active_this_round(TileId t) const {
+    // A scale-s tile acts once every s engine rounds (s need not be an
+    // integer: scale 1.5 acts in 2 of every 3 rounds).  Clock jitter
+    // (sigma_synchr) is orthogonal and never gates activity.
+    if (clock_scale_[t] <= 1.0) return true;
+    return static_cast<double>(round_) + 1e-9 >= next_action_round_[t];
+}
+
+void GossipNetwork::attach(TileId tile, std::unique_ptr<IpCore> core) {
+    SNOC_EXPECT(!started_);
+    SNOC_EXPECT(tile < tiles_.size());
+    SNOC_EXPECT(core != nullptr);
+    tiles_[tile].core = std::move(core);
+}
+
+void GossipNetwork::protect(TileId tile) {
+    SNOC_EXPECT(!started_);
+    SNOC_EXPECT(tile < tiles_.size());
+    protected_tiles_.push_back(tile);
+}
+
+void GossipNetwork::force_exact_tile_crashes(std::size_t k) {
+    SNOC_EXPECT(!started_);
+    forced_exact_crashes_ = k;
+}
+
+void GossipNetwork::ensure_started() {
+    if (started_) return;
+    started_ = true;
+    crash_state_ = forced_exact_crashes_
+                       ? injector_.roll_exact_tile_crashes(topology_, *forced_exact_crashes_,
+                                                           protected_tiles_)
+                       : injector_.roll_crashes(topology_, protected_tiles_);
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        if (crash_state_.dead_tiles[t] || !tiles_[t].core) continue;
+        Context ctx(*this, t);
+        tiles_[t].core->on_start(ctx);
+    }
+}
+
+GossipNetwork::RunResult GossipNetwork::run_until(const std::function<bool()>& done,
+                                                  Round max_rounds) {
+    ensure_started();
+    RunResult result;
+    if (done()) { // already satisfied (e.g. empty workload)
+        result.completed = true;
+        result.rounds = round_;
+        result.elapsed_seconds = clocks_.elapsed();
+        return result;
+    }
+    while (round_ < max_rounds) {
+        step();
+        if (done()) {
+            result.completed = true;
+            break;
+        }
+    }
+    result.rounds = round_;
+    result.elapsed_seconds = clocks_.elapsed();
+    return result;
+}
+
+void GossipNetwork::step() {
+    ensure_started();
+    packets_this_round_ = 0;
+    // Fig. 3-4 phase order: receive (CRC filter + dedup) -> TTL decrement
+    // and garbage collection -> forward.  The IP's turn (compute) sits
+    // after ageing so freshly created messages are not aged in their own
+    // creation round.  A copy therefore carries a strictly smaller TTL at
+    // every hop and every rumor dies out deterministically.
+    receive_phase();
+    age_phase();
+    compute_phase();
+    forward_phase();
+    advance_clocks();
+    metrics_.packets_per_round.push_back(packets_this_round_);
+    ++round_;
+    metrics_.rounds = round_;
+}
+
+void GossipNetwork::receive_phase() {
+    const auto bucket = in_flight_.find(round_);
+    if (bucket == in_flight_.end()) return;
+    // Detach the bucket before processing: deferred arrivals re-enter the
+    // map (next round's bucket), which may rehash it.
+    auto arrivals = std::move(bucket->second);
+    in_flight_.erase(bucket);
+    for (auto& [dest, arrival] : arrivals) {
+        if (crash_state_.dead_tiles[dest]) continue; // delivered into silence
+        if (!tile_active_this_round(dest)) {
+            // The destination's slower clock domain has not reached this
+            // round yet; the packet waits in the port buffer.
+            in_flight_[round_ + 1].emplace_back(dest, std::move(arrival));
+            continue;
+        }
+        auto& tile = tiles_[dest];
+        // Forced overflow (p_overflow of Ch. 2) strikes before the CRC check:
+        // the packet never makes it out of the port buffer.
+        if (injector_.overflow_drop()) {
+            ++metrics_.overflow_drops;
+            trace(TraceEventKind::OverflowDrop, dest);
+            continue;
+        }
+        // Finite input buffering: a tile can accept at most
+        // in_buffer_capacity packets per round across its ports.
+        if (tile.inbox_backlog >= config_.in_buffer_capacity) {
+            ++metrics_.overflow_drops;
+            trace(TraceEventKind::OverflowDrop, dest);
+            continue;
+        }
+        ++tile.inbox_backlog;
+
+        std::optional<Message> decoded;
+        bool corrected_this_packet = false;
+        if (config_.link_protection == LinkProtection::SecdedCorrect) {
+            // Strip the SECDED layer first; single-bit upsets per word are
+            // repaired here, before the CRC ever sees them.
+            auto recovered = fec::recover(arrival.packet.wire());
+            if (!recovered.ok) {
+                ++metrics_.fec_uncorrectable;
+                trace(TraceEventKind::FecUncorrectable, dest);
+                continue;
+            }
+            metrics_.fec_corrected += recovered.corrected_words;
+            corrected_this_packet = recovered.corrected_words > 0;
+            decoded = Packet::from_wire(std::move(recovered.payload)).decode();
+        } else {
+            decoded = arrival.packet.decode();
+        }
+        if (!decoded) {
+            ++metrics_.crc_drops; // scrambled packet, CRC caught it
+            trace(TraceEventKind::CrcDrop, dest);
+            continue;
+        }
+        if (arrival.corrupted && !corrected_this_packet)
+            ++metrics_.upsets_undetected;
+        deliver_and_insert(dest, std::move(*decoded));
+    }
+    for (auto& tile : tiles_) tile.inbox_backlog = 0;
+}
+
+void GossipNetwork::deliver_and_insert(TileId tile_id, Message message) {
+    auto& tile = tiles_[tile_id];
+    if (tile.send_buffer.knows(message.id)) {
+        ++metrics_.duplicates_ignored;
+        trace(TraceEventKind::DuplicateIgnored, tile_id, kNoTile, message.id);
+        return;
+    }
+    const bool for_me =
+        message.destination == tile_id || message.destination == kBroadcast;
+    if (for_me && tile.core) {
+        Context ctx(*this, tile_id);
+        tile.core->on_message(message, ctx);
+        ++metrics_.deliveries;
+        trace(TraceEventKind::Delivered, tile_id, kNoTile, message.id);
+    }
+    if (config_.stop_spread_on_delivery && message.destination == tile_id)
+        delivered_unicasts_.insert(message.id);
+    // The tile keeps relaying even when it is the destination: the rumor
+    // lives until its TTL expires, which is what gives later tiles their
+    // copies (Fig. 3-3: tiles 13-16 hear the message after the consumer).
+    if (message.ttl > 0) tile.send_buffer.insert(std::move(message));
+}
+
+void GossipNetwork::compute_phase() {
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        if (crash_state_.dead_tiles[t] || !tiles_[t].core) continue;
+        if (!tile_active_this_round(t)) continue;
+        Context ctx(*this, t);
+        tiles_[t].core->on_round(ctx);
+    }
+}
+
+void GossipNetwork::forward_phase() {
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        if (crash_state_.dead_tiles[t]) continue;
+        if (!tile_active_this_round(t)) continue;
+        auto& tile = tiles_[t];
+        if (tile.send_buffer.empty()) continue;
+        const auto& nbrs = topology_.neighbours(t);
+        const auto& links = topology_.out_links(t);
+        std::size_t budget = forward_capacity_[t];
+        const auto& msgs = tile.send_buffer.messages();
+        // A capacity-limited tile (bus bridge) serves its buffer with a
+        // rotating start so a long-lived rumor cannot starve newer ones of
+        // the serialised medium.
+        const std::size_t offset =
+            (budget >= msgs.size()) ? 0 : static_cast<std::size_t>(round_) % msgs.size();
+        for (std::size_t mi = 0; mi < msgs.size(); ++mi) {
+            const Message& m = msgs[(mi + offset) % msgs.size()];
+            if (budget == 0) break; // serialised medium saturated this round
+            if (config_.stop_spread_on_delivery && delivered_unicasts_.contains(m.id))
+                continue; // spread terminated early (Sec. 3.2.2)
+            for (std::size_t i = 0; i < nbrs.size() && budget > 0; ++i) {
+                // Fig. 3-4: the message is presented on every output port
+                // and a random decision (probability p) gates each port.
+                if (!forward_rng_[t].bernoulli(config_.forward_p)) continue;
+                if (crash_state_.dead_links[links[i]]) continue;
+                if (route_filter_[t] && !route_filter_[t](m, nbrs[i])) continue;
+                enqueue_transmission(t, nbrs[i], links[i], m);
+                --budget;
+            }
+        }
+    }
+}
+
+void GossipNetwork::enqueue_transmission(TileId from, TileId to, LinkId link,
+                                         const Message& m) {
+    Packet wire = Packet::encode(m);
+    if (config_.link_protection == LinkProtection::SecdedCorrect)
+        wire = Packet::from_wire(fec::protect(wire.wire()).bytes);
+    Arrival arrival{std::move(wire), false};
+    arrival.corrupted = injector_.maybe_upset(arrival.packet);
+    ++metrics_.packets_sent;
+    ++packets_this_round_;
+    metrics_.bits_sent += arrival.packet.bit_size();
+    metrics_.bits_sent_by_tile[from] += arrival.packet.bit_size();
+    ++metrics_.packets_by_link[link];
+    trace(TraceEventKind::Transmitted, from, to, m.id);
+
+    // A transmission into a crashed tile still burns bandwidth/energy but
+    // is never received; model it by enqueuing (receive_phase drops it).
+    Round arrival_round = round_ + 1;
+    // Synchronisation errors: if the sender's clock domain runs ahead of
+    // the receiver's by more than half a round, the packet misses the
+    // receiver's next receive window and slips one round further.
+    if (clocks_.skew(from, to) > clocks_.t_r() / 2.0) {
+        ++arrival_round;
+        ++metrics_.skew_deferrals;
+        trace(TraceEventKind::SkewDeferral, from, to, m.id);
+    }
+    in_flight_[arrival_round].emplace_back(to, std::move(arrival));
+}
+
+void GossipNetwork::age_phase() {
+    std::size_t sendbuf_overflows = 0;
+    std::vector<MessageId> expired;
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        if (!crash_state_.dead_tiles[t] && tile_active_this_round(t)) {
+            expired.clear();
+            metrics_.ttl_expired += tiles_[t].send_buffer.age_and_collect(
+                trace_ ? &expired : nullptr);
+            for (const MessageId& id : expired)
+                trace(TraceEventKind::TtlExpired, t, kNoTile, id);
+        }
+        sendbuf_overflows += tiles_[t].send_buffer.overflow_drops();
+    }
+    // SendBuffer counters are cumulative; fold in only this round's delta.
+    metrics_.overflow_drops += sendbuf_overflows - sendbuf_overflow_snapshot_;
+    sendbuf_overflow_snapshot_ = sendbuf_overflows;
+}
+
+void GossipNetwork::advance_clocks() {
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        if (!tile_active_this_round(t)) continue;
+        const double scale = clock_scale_[t];
+        clocks_.advance(t, injector_.round_duration(clocks_.t_r() * scale, t));
+        if (scale > 1.0) next_action_round_[t] += scale;
+    }
+}
+
+bool GossipNetwork::quiescent() const {
+    if (!in_flight_.empty()) return false;
+    for (const auto& tile : tiles_)
+        if (!tile.send_buffer.empty()) return false;
+    return true;
+}
+
+void GossipNetwork::drain(Round max_extra_rounds) {
+    ensure_started(); // on_start may inject the very rumors we must drain
+    for (Round i = 0; i < max_extra_rounds && !quiescent(); ++i) step();
+}
+
+const CrashState& GossipNetwork::crashes() {
+    ensure_started();
+    return crash_state_;
+}
+
+bool GossipNetwork::tile_alive(TileId t) {
+    ensure_started();
+    SNOC_EXPECT(t < tiles_.size());
+    return !crash_state_.dead_tiles[t];
+}
+
+std::size_t GossipNetwork::live_link_count() {
+    ensure_started();
+    std::size_t live = 0;
+    for (LinkId l = 0; l < topology_.link_count(); ++l) {
+        const auto& ends = topology_.link(l);
+        if (!crash_state_.dead_links[l] && !crash_state_.dead_tiles[ends.from] &&
+            !crash_state_.dead_tiles[ends.to])
+            ++live;
+    }
+    return live;
+}
+
+std::size_t GossipNetwork::tiles_knowing(const MessageId& id) {
+    ensure_started();
+    std::size_t count = 0;
+    for (TileId t = 0; t < tiles_.size(); ++t)
+        if (!crash_state_.dead_tiles[t] && tiles_[t].send_buffer.knows(id)) ++count;
+    return count;
+}
+
+const SendBuffer& GossipNetwork::send_buffer(TileId t) const {
+    SNOC_EXPECT(t < tiles_.size());
+    return tiles_[t].send_buffer;
+}
+
+} // namespace snoc

@@ -1,0 +1,178 @@
+// The stochastic communication engine — the paper's primary contribution
+// (Sec. 3.2, Fig. 3-4).  One GossipNetwork owns a topology, per-tile
+// network logic (send buffer, input buffers, CRC filter, Bernoulli(p)
+// output gates), the fault injector and the GALS clock model, and executes
+// gossip rounds:
+//
+//   receive:  send_buffer U= { m received | CRC_OK(m) }   (dedup by id)
+//   deliver:  m.destination == tile  ->  IP core
+//   compute:  IP may inject new messages
+//   forward:  every held m goes out on each live port w.p. p
+//   age:      for all m: TTL -= 1;  drop TTL == 0
+//
+// Crashed tiles/links, data upsets, forced overflows and clock-skew
+// deferrals are applied exactly where they would strike on silicon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/gossip_config.hpp"
+#include "core/ip_core.hpp"
+#include "core/metrics.hpp"
+#include "core/send_buffer.hpp"
+#include "fault/injector.hpp"
+#include "noc/topology.hpp"
+#include "sim/round_clock.hpp"
+#include "sim/trace.hpp"
+
+namespace snoc {
+
+class GossipNetwork {
+public:
+    GossipNetwork(Topology topology, GossipConfig config, FaultScenario scenario,
+                  std::uint64_t seed);
+
+    /// Map an IP core onto a tile.  Must be called before the first round.
+    void attach(TileId tile, std::unique_ptr<IpCore> core);
+
+    /// Tiles that must survive the initial crash roll (e.g. the unique
+    /// master); call before the first round.
+    void protect(TileId tile);
+
+    /// Crash exactly `k` unprotected tiles instead of rolling p_tiles
+    /// (the Fig. 4-4 x-axis is a defect count).  Call before round 0.
+    void force_exact_tile_crashes(std::size_t k);
+
+    /// Limit how many packet transmissions a tile may perform per round.
+    /// Models serialised media in the Ch. 5 hybrid architectures: a
+    /// bus-bridge tile that can push one packet per round behaves like a
+    /// shared bus between sub-networks.  Default: unlimited.
+    void set_forward_capacity(TileId tile, std::size_t packets_per_round);
+
+    /// Gate which messages a tile may forward to which neighbour.  This is
+    /// how the Ch. 5 central router / bus bridge confines gossip to the
+    /// destination's cluster: plain mesh tiles have no filter, gateway and
+    /// hub tiles forward a rumor off-cluster only when its destination
+    /// lives there.  Returning false suppresses that port for that message.
+    using RouteFilter = std::function<bool(const Message&, TileId next_hop)>;
+    void set_route_filter(TileId tile, RouteFilter filter);
+
+    /// Voltage/frequency islands (Ch. 5): a tile with clock scale s >= 1
+    /// runs its rounds s times slower than the base T_R — it participates
+    /// only in the engine rounds its local clock has caught up with, so a
+    /// scale-2 tile acts every other round, holds its rumors twice as long
+    /// in wall-clock, and receives arrivals with a deferral.  Scales below
+    /// 1 clamp to 1 (the engine round is the fastest quantum).  Call
+    /// before round 0.
+    void set_clock_scale(TileId tile, double scale);
+
+    /// Attach a flight recorder (see sim/trace.hpp).  The sink must
+    /// outlive the network; nullptr detaches.  Tracing never changes
+    /// behaviour — sinks are write-only observers.
+    void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+    struct RunResult {
+        bool completed{false};    ///< predicate became true before the cap.
+        Round rounds{0};          ///< rounds executed.
+        double elapsed_seconds{0.0};
+    };
+
+    /// Run until `done()` (checked after every round) or `max_rounds`.
+    RunResult run_until(const std::function<bool()>& done, Round max_rounds);
+
+    /// Execute a single gossip round.
+    void step();
+
+    /// --- Observers --------------------------------------------------------
+    const Topology& topology() const { return topology_; }
+    const GossipConfig& config() const { return config_; }
+    const NetworkMetrics& metrics() const { return metrics_; }
+    const CrashState& crashes();
+    Round round() const { return round_; }
+    double elapsed_seconds() const { return clocks_.elapsed(); }
+
+    bool tile_alive(TileId t);
+    std::size_t live_link_count();
+
+    /// True when no rumor is alive anywhere: all send buffers are empty
+    /// and nothing is in flight.  Energy measurements should run to
+    /// quiescence — transmissions keep burning energy until every TTL
+    /// expires, even after the application has finished.
+    bool quiescent() const;
+
+    /// Step until quiescent (or the safety cap); used by the energy
+    /// benches to account for the full broadcast lifetime.
+    void drain(Round max_extra_rounds = 1000);
+    /// How many live tiles currently know (hold or held) message `id` —
+    /// the spread curve of Fig. 3-1.
+    std::size_t tiles_knowing(const MessageId& id);
+    const SendBuffer& send_buffer(TileId t) const;
+
+private:
+    struct Arrival {
+        Packet packet;
+        bool corrupted{false};
+    };
+
+    struct Tile {
+        SendBuffer send_buffer;
+        std::uint32_t next_sequence{0};
+        std::size_t inbox_backlog{0}; ///< arrivals queued, for capacity drops.
+        std::unique_ptr<IpCore> core;
+        explicit Tile(std::size_t cap) : send_buffer(cap) {}
+    };
+
+    class Context; // TileContext implementation.
+
+    void ensure_started();
+    bool tile_active_this_round(TileId t) const;
+    void receive_phase();
+    void compute_phase();
+    void forward_phase();
+    void age_phase();
+    void advance_clocks();
+    void deliver_and_insert(TileId tile, Message message);
+    void enqueue_transmission(TileId from, TileId to, LinkId link,
+                              const Message& m);
+    void trace(TraceEventKind kind, TileId tile, TileId peer = kNoTile,
+               MessageId message = MessageId{kNoTile, 0});
+
+    Topology topology_;
+    GossipConfig config_;
+    RngPool pool_;
+    FaultInjector injector_;
+    GalsClocks clocks_;
+
+    std::vector<Tile> tiles_;
+    std::vector<RngStream> forward_rng_;
+    std::vector<RngStream> app_rng_;
+    std::vector<std::size_t> forward_capacity_;
+    std::vector<RouteFilter> route_filter_;
+    std::vector<double> clock_scale_;
+    std::vector<double> next_action_round_;
+    std::vector<TileId> protected_tiles_;
+    CrashState crash_state_;
+    bool started_{false};
+    std::optional<std::size_t> forced_exact_crashes_;
+
+    Round round_{0};
+    // Rumors whose destination already has them (only tracked when
+    // config_.stop_spread_on_delivery is set).
+    std::unordered_set<MessageId> delivered_unicasts_;
+    // arrivals bucketed by arrival round, per destination tile.
+    std::unordered_map<Round, std::vector<std::pair<TileId, Arrival>>> in_flight_;
+    NetworkMetrics metrics_;
+    std::size_t packets_this_round_{0};
+    std::size_t sendbuf_overflow_snapshot_{0};
+    TraceSink* trace_{nullptr};
+};
+
+} // namespace snoc

@@ -1,0 +1,71 @@
+// The Fig. 3-4 tile algorithm expressed as a Harel statechart — the same
+// modelling style as the thesis' Stateflow implementation (Fig. 4-1).
+//
+// Chart shape (one tile):
+//
+//   Tile (parallel)
+//   ├── RoundLoop (exclusive):  Receive -> GarbageCollect -> Send -> Receive
+//   └── PortGates (parallel):   North | East | South | West, each an
+//       exclusive {Closed, Open} pair toggled by the Bernoulli(p) draw.
+//
+// Events drive the phases; the context owns the send buffer and a
+// transmit callback.  tests/test_statechart.cpp checks that driving this
+// chart produces exactly the same buffer evolution and transmissions as
+// the native engine's phase functions.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "core/send_buffer.hpp"
+#include "sim/statechart.hpp"
+
+namespace snoc::sc {
+
+// Events of the tile chart.
+inline constexpr EventId kEvRoundStart = 1;  ///< begin a round (receive phase).
+inline constexpr EventId kEvMessage = 2;     ///< one received message (arg = slot).
+inline constexpr EventId kEvEndReceive = 3;  ///< receive phase over -> GC.
+inline constexpr EventId kEvSendMessage = 4; ///< forward one buffered message.
+inline constexpr EventId kEvEndRound = 5;    ///< round over -> back to Receive.
+
+class GossipTileChart {
+public:
+    using TransmitFn = std::function<void(const Message&, Port port)>;
+
+    GossipTileChart(double forward_p, std::size_t buffer_capacity,
+                    std::uint64_t seed, TransmitFn transmit);
+
+    /// Run one full gossip round: feed the received messages, age the
+    /// buffer, then emit each held message on every open port gate.
+    void run_round(const std::vector<Message>& received);
+
+    const SendBuffer& buffer() const { return buffer_; }
+    const Statechart& chart() const { return chart_; }
+    std::size_t rounds_run() const { return rounds_; }
+    std::size_t ttl_expired() const { return ttl_expired_; }
+
+    /// Inject a locally created message (the IP core's output).
+    void create(Message message);
+
+private:
+    void build();
+
+    double forward_p_;
+    SendBuffer buffer_;
+    RngStream rng_;
+    TransmitFn transmit_;
+    Statechart chart_;
+
+    // Chart handles.
+    StateId receive_{kNoState}, collect_{kNoState}, send_{kNoState};
+    std::array<StateId, kPortCount> gate_open_{};
+    std::array<StateId, kPortCount> gate_closed_{};
+
+    // Scratch used while processing events.
+    const std::vector<Message>* inbox_{nullptr};
+    std::size_t rounds_{0};
+    std::size_t ttl_expired_{0};
+};
+
+} // namespace snoc::sc

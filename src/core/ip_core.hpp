@@ -1,0 +1,74 @@
+// The boundary between computation and communication.
+//
+// The thesis' central design goal (after ITRS 2001) is separating the two:
+// an IpCore implements *computation only* and talks to the world through a
+// TileContext; everything below (gossip, CRC, buffers, faults) is network
+// logic and is transparent to the IP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+
+namespace snoc {
+
+/// What an IP core may do during its tile's turn in a round.
+class TileContext {
+public:
+    virtual ~TileContext() = default;
+
+    virtual TileId tile() const = 0;
+    virtual Round round() const = 0;
+
+    /// Inject a new message into the tile's send buffer.  The network
+    /// assigns the (origin, sequence) identity and the configured TTL
+    /// unless `ttl_override` is non-zero.
+    virtual void send(TileId destination, std::uint32_t tag,
+                      std::vector<std::byte> payload,
+                      std::uint16_t ttl_override = 0) = 0;
+
+    /// Inject a message with an explicit, caller-chosen identity.
+    /// Replicated IPs use this with a shared task-level id so their copies
+    /// are *the same rumor*: "the redundant IPs generate the same
+    /// messages, so the number of unique messages in the network will not
+    /// increase" (Sec. 4.1.3).  Callers must guarantee identical payloads
+    /// for identical ids.
+    virtual void send_with_id(MessageId id, TileId destination, std::uint32_t tag,
+                              std::vector<std::byte> payload,
+                              std::uint16_t ttl_override = 0) = 0;
+
+    /// Origin namespace for replica-shared ids, disjoint from tile ids.
+    static constexpr TileId replica_origin(std::uint32_t task_id) {
+        return 0x80000000u | task_id;
+    }
+
+    /// Per-tile application RNG stream (deterministic per run).
+    virtual RngStream& rng() = 0;
+
+    /// The network's configured default TTL (what a ttl_override of 0
+    /// resolves to) — protocols built on top use it as their base lifetime.
+    virtual std::uint16_t default_ttl() const = 0;
+};
+
+/// An IP core mapped onto a tile.  Tiles without an IP core still gossip:
+/// the network logic lives in the tile, not in the IP (Fig. 3-5).
+class IpCore {
+public:
+    virtual ~IpCore() = default;
+
+    /// Called once before round 0.
+    virtual void on_start(TileContext& /*ctx*/) {}
+
+    /// Called when a CRC-clean message addressed to this tile (or to
+    /// kBroadcast) is first received.  Duplicates are filtered by the
+    /// network layer.
+    virtual void on_message(const Message& message, TileContext& ctx) = 0;
+
+    /// Called once per round after message delivery.
+    virtual void on_round(TileContext& /*ctx*/) {}
+};
+
+} // namespace snoc

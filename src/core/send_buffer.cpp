@@ -1,0 +1,46 @@
+#include "core/send_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+SendBuffer::SendBuffer(std::size_t capacity) : capacity_(capacity) {
+    SNOC_EXPECT(capacity > 0);
+}
+
+bool SendBuffer::insert(Message message) {
+    if (known_.contains(message.id)) return false;
+    if (messages_.size() == capacity_) {
+        messages_.erase(messages_.begin());
+        ++overflow_drops_;
+    }
+    known_.insert(message.id);
+    messages_.push_back(std::move(message));
+    return true;
+}
+
+std::size_t SendBuffer::age_and_collect(std::vector<MessageId>* expired_ids) {
+    for (auto& m : messages_) {
+        SNOC_EXPECT(m.ttl > 0);
+        --m.ttl;
+    }
+    const auto first_dead = std::stable_partition(
+        messages_.begin(), messages_.end(),
+        [](const Message& m) { return m.ttl > 0; });
+    const auto expired = static_cast<std::size_t>(messages_.end() - first_dead);
+    if (expired_ids)
+        for (auto it = first_dead; it != messages_.end(); ++it)
+            expired_ids->push_back(it->id);
+    messages_.erase(first_dead, messages_.end());
+    return expired;
+}
+
+void SendBuffer::clear() {
+    messages_.clear();
+    known_.clear();
+    overflow_drops_ = 0;
+}
+
+} // namespace snoc

@@ -1,0 +1,137 @@
+#include "core/transport.hpp"
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+namespace {
+
+std::uint32_t data_tag(std::uint16_t channel) { return kReliableDataTagBase | channel; }
+std::uint32_t ack_tag(std::uint16_t channel) { return kReliableAckTagBase | channel; }
+
+std::vector<std::byte> frame_segment(std::uint32_t seq,
+                                     const std::vector<std::byte>& payload) {
+    std::vector<std::byte> out;
+    out.reserve(4 + payload.size());
+    for (std::size_t i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::byte>((seq >> (8 * i)) & 0xFF));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::uint32_t read_u32(const std::vector<std::byte>& bytes) {
+    SNOC_EXPECT(bytes.size() >= 4);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+ReliableSender::ReliableSender(TileId peer, std::uint16_t channel,
+                               ReliablePolicy policy)
+    : peer_(peer), channel_(channel), policy_(policy) {
+    SNOC_EXPECT(policy.retransmit_after >= 1);
+    SNOC_EXPECT(policy.window >= 1);
+}
+
+std::uint32_t ReliableSender::send(TileContext& ctx, std::vector<std::byte> payload) {
+    const std::uint32_t seq = next_seq_++;
+    if (in_flight_.size() < policy_.window) {
+        Segment segment{std::move(payload), 0, 0};
+        transmit(ctx, seq, segment);
+        in_flight_.emplace(seq, std::move(segment));
+    } else {
+        queue_.emplace_back(seq, std::move(payload));
+    }
+    return seq;
+}
+
+void ReliableSender::transmit(TileContext& ctx, std::uint32_t seq, Segment& segment) {
+    if (segment.attempts > 0) ++retransmissions_;
+    // TTL escalation: double the rumor lifetime per retransmission so
+    // even a badly undersized base TTL eventually crosses the chip.
+    const std::uint32_t base = policy_.ttl != 0 ? policy_.ttl : ctx.default_ttl();
+    const std::uint32_t shift = std::min<std::uint32_t>(segment.attempts, 7);
+    const auto ttl = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(base << shift, policy_.ttl_cap));
+    // Plain ctx.send assigns a fresh gossip identity, so the network
+    // treats the retransmission as a new rumor and spreads it anew.
+    ctx.send(peer_, data_tag(channel_), frame_segment(seq, segment.payload), ttl);
+    // Back off until the current attempt's rumor has died: retransmitting
+    // while copies are still spreading only burns bandwidth.
+    segment.next_retry =
+        ctx.round() + std::max<Round>(policy_.retransmit_after, ttl);
+    ++segment.attempts;
+}
+
+void ReliableSender::on_message(const Message& message, TileContext&) {
+    if (message.tag != ack_tag(channel_) || message.source != peer_) return;
+    // Cumulative ACK: everything below `upto` has been delivered in order.
+    const std::uint32_t upto = read_u32(message.payload);
+    in_flight_.erase(in_flight_.begin(), in_flight_.lower_bound(upto));
+}
+
+void ReliableSender::on_round(TileContext& ctx) {
+    // Promote queued segments into freed window slots.
+    while (!queue_.empty() && in_flight_.size() < policy_.window) {
+        auto [seq, payload] = std::move(queue_.front());
+        queue_.erase(queue_.begin());
+        Segment segment{std::move(payload), 0, 0};
+        transmit(ctx, seq, segment);
+        in_flight_.emplace(seq, std::move(segment));
+    }
+    // Retransmit stale segments.
+    for (auto& [seq, segment] : in_flight_) {
+        if (ctx.round() >= segment.next_retry) transmit(ctx, seq, segment);
+    }
+}
+
+// --------------------------------------------------------------------------
+ReliableReceiver::ReliableReceiver(TileId peer, std::uint16_t channel,
+                                   DeliverFn deliver)
+    : peer_(peer), channel_(channel), deliver_(std::move(deliver)) {
+    SNOC_EXPECT(deliver_ != nullptr);
+}
+
+void ReliableReceiver::on_message(const Message& message, TileContext& ctx) {
+    if (message.tag != data_tag(channel_) || message.source != peer_) return;
+    const std::uint32_t seq = read_u32(message.payload);
+    std::vector<std::byte> payload(message.payload.begin() + 4,
+                                   message.payload.end());
+    if (seq < expected_) {
+        // Stale retransmission of something already delivered: our ACK
+        // evidently died on the way back — re-ACK with a longer lifetime.
+        ++stale_acks_;
+        ack(ctx);
+        return;
+    }
+    out_of_order_.emplace(seq, std::move(payload)); // no-op if duplicate
+    // Drain the in-order prefix.
+    auto it = out_of_order_.find(expected_);
+    bool progressed = false;
+    while (it != out_of_order_.end()) {
+        deliver_(expected_, std::move(it->second));
+        out_of_order_.erase(it);
+        ++expected_;
+        progressed = true;
+        it = out_of_order_.find(expected_);
+    }
+    if (progressed) stale_acks_ = 0;
+    ack(ctx);
+}
+
+void ReliableReceiver::ack(TileContext& ctx) {
+    std::vector<std::byte> payload;
+    for (std::size_t i = 0; i < 4; ++i)
+        payload.push_back(static_cast<std::byte>((expected_ >> (8 * i)) & 0xFF));
+    const std::uint32_t base = ctx.default_ttl();
+    const std::uint32_t shift = std::min<std::uint32_t>(stale_acks_, 5);
+    const auto ttl =
+        static_cast<std::uint16_t>(std::min<std::uint32_t>(base << shift, 255));
+    ctx.send(peer_, ack_tag(channel_), std::move(payload), ttl);
+}
+
+} // namespace snoc

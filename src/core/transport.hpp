@@ -1,0 +1,112 @@
+// Reliable transport over stochastic communication.
+//
+// Sec. 4.2.3: "If ... the application requires strong reliability
+// guarantees, these can be implemented by a higher level protocol built
+// on top of the stochastic communication."  This module is that protocol:
+// an exactly-once, in-order byte-message channel between two tiles.
+//
+//   * The sender assigns sequence numbers and keeps a window of unacked
+//     segments; a segment unacknowledged for `retransmit_after` rounds is
+//     re-injected as a *fresh rumor* (new gossip identity, so the network
+//     spreads it again rather than dedup-ing it away).
+//   * The receiver delivers in order through a callback, buffers
+//     out-of-order segments, and gossips back cumulative ACKs.  ACKs ride
+//     the same unreliable gossip — loss only costs a retransmission.
+//
+// The protocol objects are embedded into IP cores: forward `on_message` /
+// `on_round` to them and use `send()`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/ip_core.hpp"
+
+namespace snoc {
+
+inline constexpr std::uint32_t kReliableDataTagBase = 0x524C0000; // 'RL'
+inline constexpr std::uint32_t kReliableAckTagBase = 0x524B0000;  // 'RK'
+
+struct ReliablePolicy {
+    Round retransmit_after{8}; ///< rounds without ACK before re-injection.
+    std::size_t window{32};    ///< max unacked segments in flight.
+    std::uint16_t ttl{0};      ///< base per-segment TTL (0 = network default).
+    /// Each retransmission doubles the TTL up to this cap: if the base
+    /// lifetime cannot carry a rumor across the chip under the current
+    /// fault levels, escalation eventually can (no retransmission count
+    /// fixes an undersized TTL).
+    std::uint16_t ttl_cap{128};
+};
+
+class ReliableSender {
+public:
+    /// `channel` distinguishes independent streams (0..0xFFFF).
+    ReliableSender(TileId peer, std::uint16_t channel, ReliablePolicy policy = {});
+
+    /// Queue a payload; it is transmitted as soon as the window allows.
+    /// Returns the assigned sequence number.
+    std::uint32_t send(TileContext& ctx, std::vector<std::byte> payload);
+
+    /// Feed every message the owning IP receives; consumes matching ACKs.
+    void on_message(const Message& message, TileContext& ctx);
+
+    /// Call once per round: transmits window slots and retransmits stale
+    /// segments.
+    void on_round(TileContext& ctx);
+
+    std::size_t unacked() const { return in_flight_.size(); }
+    std::size_t queued() const { return queue_.size(); }
+    bool idle() const { return in_flight_.empty() && queue_.empty(); }
+    std::size_t retransmissions() const { return retransmissions_; }
+    std::uint32_t next_sequence() const { return next_seq_; }
+
+private:
+    struct Segment {
+        std::vector<std::byte> payload;
+        Round next_retry{0};
+        std::uint32_t attempts{0};
+    };
+
+    void transmit(TileContext& ctx, std::uint32_t seq, Segment& segment);
+
+    TileId peer_;
+    std::uint16_t channel_;
+    ReliablePolicy policy_;
+    std::uint32_t next_seq_{0};
+    std::map<std::uint32_t, Segment> in_flight_; ///< sent, not yet acked.
+    std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> queue_;
+    std::size_t retransmissions_{0};
+};
+
+class ReliableReceiver {
+public:
+    using DeliverFn = std::function<void(std::uint32_t seq, std::vector<std::byte>)>;
+
+    ReliableReceiver(TileId peer, std::uint16_t channel, DeliverFn deliver);
+
+    /// Feed every message the owning IP receives; consumes matching data
+    /// segments and answers with a cumulative ACK rumor.
+    void on_message(const Message& message, TileContext& ctx);
+
+    /// Next in-order sequence the receiver is waiting for.
+    std::uint32_t expected() const { return expected_; }
+    std::size_t reorder_buffered() const { return out_of_order_.size(); }
+
+private:
+    void ack(TileContext& ctx);
+
+    TileId peer_;
+    std::uint16_t channel_;
+    DeliverFn deliver_;
+    std::uint32_t expected_{0};
+    /// Re-ACKs issued without forward progress; escalates the ACK TTL the
+    /// same way the sender escalates data TTLs (a stale retransmission
+    /// means our previous ACK died on the way back).
+    std::uint32_t stale_acks_{0};
+    std::map<std::uint32_t, std::vector<std::byte>> out_of_order_;
+};
+
+} // namespace snoc

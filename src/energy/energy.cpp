@@ -1,0 +1,32 @@
+#include "energy/energy.hpp"
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+EnergyReport noc_energy(const NetworkMetrics& metrics, const Technology& tech,
+                        double elapsed_seconds, std::size_t useful_bits) {
+    SNOC_EXPECT(elapsed_seconds >= 0.0);
+    EnergyReport report;
+    report.joules = static_cast<double>(metrics.bits_sent) * tech.link_ebit_joules;
+    report.seconds = elapsed_seconds;
+    if (useful_bits > 0) {
+        report.joules_per_useful_bit = report.joules / static_cast<double>(useful_bits);
+        report.energy_delay_product = report.joules_per_useful_bit * report.seconds;
+    }
+    return report;
+}
+
+EnergyReport bus_energy(std::size_t total_bits, const Technology& tech,
+                        std::size_t useful_bits) {
+    EnergyReport report;
+    report.joules = static_cast<double>(total_bits) * tech.bus_ebit_joules;
+    report.seconds = static_cast<double>(total_bits) / tech.bus_frequency_hz;
+    if (useful_bits > 0) {
+        report.joules_per_useful_bit = report.joules / static_cast<double>(useful_bits);
+        report.energy_delay_product = report.joules_per_useful_bit * report.seconds;
+    }
+    return report;
+}
+
+} // namespace snoc

@@ -1,0 +1,42 @@
+// Energy accounting (Sec. 3.3.2, Eq. 3):
+//     E_comm = N_packets * S * E_bit
+// plus the 0.25 um technology constants of the Fig. 4-6 comparison:
+// a NoC link runs at 381 MHz and burns 2.4e-10 J/bit; the shared bus runs
+// at 43 MHz and burns 21.6e-10 J/bit (computation energy is out of scope,
+// exactly as in the thesis).
+#pragma once
+
+#include <cstddef>
+
+#include "core/metrics.hpp"
+
+namespace snoc {
+
+struct Technology {
+    double link_frequency_hz{381e6};
+    double link_ebit_joules{2.4e-10};
+    double bus_frequency_hz{43e6};
+    double bus_ebit_joules{21.6e-10};
+
+    /// The 0.25 um process of Sec. 4.1.4 (M320C50 DSP tiles).
+    static Technology cmos_025um() { return {}; }
+};
+
+struct EnergyReport {
+    double joules{0.0};               ///< total communication energy.
+    double joules_per_useful_bit{0.0};///< energy per *application* bit.
+    double seconds{0.0};              ///< communication latency.
+    double energy_delay_product{0.0}; ///< J*s per useful bit (Sec. 4.1.4).
+};
+
+/// Eq. 3 for a gossip run.  `useful_bits` is the number of distinct
+/// application payload bits (redundant retransmissions are the overhead
+/// stochastic communication deliberately spends).
+EnergyReport noc_energy(const NetworkMetrics& metrics, const Technology& tech,
+                        double elapsed_seconds, std::size_t useful_bits);
+
+/// Energy/latency for `bits` crossing the shared bus back-to-back.
+EnergyReport bus_energy(std::size_t total_bits, const Technology& tech,
+                        std::size_t useful_bits);
+
+} // namespace snoc

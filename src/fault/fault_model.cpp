@@ -1,0 +1,29 @@
+#include "fault/fault_model.hpp"
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+namespace {
+bool in_unit(double p) { return p >= 0.0 && p <= 1.0; }
+} // namespace
+
+void FaultScenario::validate() const {
+    SNOC_EXPECT(in_unit(p_tiles));
+    SNOC_EXPECT(in_unit(p_links));
+    SNOC_EXPECT(in_unit(p_upset));
+    SNOC_EXPECT(in_unit(p_overflow));
+    SNOC_EXPECT(sigma_synchr >= 0.0);
+}
+
+std::string FaultScenario::describe() const {
+    std::ostringstream os;
+    os << "tiles=" << p_tiles << " links=" << p_links << " upset=" << p_upset
+       << "(" << to_string(upset_model) << ")"
+       << " ovf=" << p_overflow << " sync=" << sigma_synchr;
+    return os.str();
+}
+
+} // namespace snoc

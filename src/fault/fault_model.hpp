@@ -1,0 +1,49 @@
+// Chapter 2: a failure model for NoCs.
+//
+// The model is parameterised by
+//   * p_tiles, p_links   — probability that a tile / link is crashed,
+//   * p_upset            — probability that a packet is scrambled in flight,
+//   * p_overflow         — probability that a packet is dropped by overflow,
+//   * sigma_synchr       — std-dev of the round duration (fraction of T_R),
+// and by the *shape* of upsets: the random-bit-error model (independent
+// bit flips) or the random-error-vector model (any non-null error vector
+// equally likely).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snoc {
+
+enum class UpsetModel : std::uint8_t {
+    RandomBitError,    ///< e_1..e_n independent; few bits flip.
+    RandomErrorVector, ///< all 2^n - 1 non-null vectors equally likely.
+};
+
+constexpr const char* to_string(UpsetModel m) {
+    switch (m) {
+    case UpsetModel::RandomBitError: return "random-bit-error";
+    case UpsetModel::RandomErrorVector: return "random-error-vector";
+    }
+    return "?";
+}
+
+struct FaultScenario {
+    double p_tiles{0.0};    ///< tile crash probability (at start of run).
+    double p_links{0.0};    ///< link crash probability (at start of run).
+    double p_upset{0.0};    ///< per-transmission packet scramble probability.
+    double p_overflow{0.0}; ///< per-reception forced-overflow drop probability.
+    double sigma_synchr{0.0}; ///< round-duration std-dev as a fraction of T_R.
+    UpsetModel upset_model{UpsetModel::RandomBitError};
+
+    /// A scenario with every failure mode off.
+    static FaultScenario none() { return {}; }
+
+    /// Throws ContractViolation unless every probability is in range.
+    void validate() const;
+
+    /// e.g. "tiles=0.1 links=0 upset=0.3(random-bit-error) ovf=0 sync=0.05"
+    std::string describe() const;
+};
+
+} // namespace snoc

@@ -1,0 +1,73 @@
+// Applies a FaultScenario to a running network: rolls the initial crash
+// pattern, scrambles packets on links, forces buffer-overflow drops and
+// jitters round durations.  All draws come from dedicated RNG streams so
+// fault injection never perturbs the protocol's own randomness.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/packet.hpp"
+#include "noc/topology.hpp"
+
+namespace snoc {
+
+/// The crash pattern rolled for one run.
+struct CrashState {
+    std::vector<bool> dead_tiles;
+    std::vector<bool> dead_links;
+
+    std::size_t dead_tile_count() const;
+    std::size_t dead_link_count() const;
+};
+
+class FaultInjector {
+public:
+    FaultInjector(FaultScenario scenario, const RngPool& pool);
+
+    const FaultScenario& scenario() const { return scenario_; }
+
+    /// Roll the initial crash pattern.  Tiles listed in `protected_tiles`
+    /// never crash (the thesis replicates *slaves*, but a run where the
+    /// unique master or the consumer die has no defined latency; sweep
+    /// harnesses may protect those tiles and report completion rates for
+    /// the unprotected case separately).
+    CrashState roll_crashes(const Topology& topo,
+                            const std::vector<TileId>& protected_tiles = {});
+
+    /// Roll a crash pattern with *exactly* k dead tiles chosen uniformly
+    /// among unprotected tiles (x-axis of Fig. 4-4 is a defect count).
+    CrashState roll_exact_tile_crashes(const Topology& topo, std::size_t k,
+                                       const std::vector<TileId>& protected_tiles = {});
+
+    /// Possibly scramble a packet in flight (probability p_upset).
+    /// Returns true iff the packet was corrupted.
+    bool maybe_upset(Packet& packet);
+
+    /// True iff this reception should be dropped as a forced buffer
+    /// overflow (probability p_overflow).
+    bool overflow_drop();
+
+    /// Duration of one round for a given tile: N(t_r, sigma_synchr * t_r),
+    /// clamped to be positive.
+    double round_duration(double t_r, TileId tile);
+
+    /// Counters for reporting.
+    std::size_t upsets_injected() const { return upsets_; }
+    std::size_t overflows_forced() const { return overflows_; }
+
+private:
+    void corrupt(Packet& packet);
+
+    FaultScenario scenario_;
+    RngStream crash_rng_;
+    RngStream upset_rng_;
+    RngStream overflow_rng_;
+    RngStream synchr_rng_;
+    std::size_t upsets_{0};
+    std::size_t overflows_{0};
+};
+
+} // namespace snoc

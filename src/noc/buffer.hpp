@@ -1,0 +1,65 @@
+// Bounded message buffers (Fig. 3-5: "On the four edges of the tile, there
+// exist buffers to hold the messages").  Finite capacity is what produces
+// the buffer-overflow failure mode of Chapter 2: "if such an overflow
+// happens, the respective tile will lose some of the messages (the oldest
+// ones are dropped first)".
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+template <typename T>
+class BoundedBuffer {
+public:
+    explicit BoundedBuffer(std::size_t capacity) : capacity_(capacity) {
+        SNOC_EXPECT(capacity > 0);
+    }
+
+    /// Append; if full, the *oldest* entry is dropped first (thesis policy)
+    /// and the overflow counter is bumped.  Returns true iff nothing was lost.
+    bool push(T value) {
+        bool lossless = true;
+        if (items_.size() == capacity_) {
+            items_.pop_front();
+            ++overflow_drops_;
+            lossless = false;
+        }
+        items_.push_back(std::move(value));
+        return lossless;
+    }
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /// Number of entries lost to overflow since construction/clear.
+    std::size_t overflow_drops() const { return overflow_drops_; }
+
+    const T& front() const {
+        SNOC_EXPECT(!items_.empty());
+        return items_.front();
+    }
+
+    T pop() {
+        SNOC_EXPECT(!items_.empty());
+        T v = std::move(items_.front());
+        items_.pop_front();
+        return v;
+    }
+
+    void clear() { items_.clear(); }
+
+    auto begin() const { return items_.begin(); }
+    auto end() const { return items_.end(); }
+
+private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::size_t overflow_drops_{0};
+};
+
+} // namespace snoc

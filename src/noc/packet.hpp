@@ -1,0 +1,73 @@
+// On-chip packets and their wire representation.
+//
+// Messages are the unit the gossip algorithm manipulates (Fig. 3-4);
+// Packets are the serialised bits that traverse a link and that data
+// upsets corrupt.  Corruption is applied to real bytes and detected by the
+// real CRC, so the (tiny) undetected-error path exists in code exactly as
+// it would on silicon.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snoc {
+
+/// Destination value meaning "broadcast: every tile is interested".
+inline constexpr TileId kBroadcast = kNoTile;
+
+/// Framing cost of one packet: header (origin, seq, src, dst, tag, ttl,
+/// payload length) plus the trailing CRC-32.  Any medium carrying a
+/// message pays this overhead on top of the payload.
+inline constexpr std::size_t kWireOverheadBytes = 26 + 4;
+
+/// An application-level message travelling through the NoC.
+struct Message {
+    MessageId id{};           ///< (origin, sequence) — unique network-wide.
+    TileId source{0};         ///< tile that created the message.
+    TileId destination{0};    ///< tile whose IP should consume it (or kBroadcast).
+    std::uint32_t tag{0};     ///< application-defined type discriminator.
+    std::uint16_t ttl{0};     ///< remaining hops before garbage collection.
+    std::vector<std::byte> payload;
+
+    /// Two messages are "the same rumor" iff their ids match; the
+    /// send-buffer dedups on this (Sec. 3.2.3).
+    friend bool operator==(const Message& a, const Message& b) {
+        return a.id == b.id && a.source == b.source &&
+               a.destination == b.destination && a.tag == b.tag &&
+               a.payload == b.payload;
+    }
+};
+
+/// Serialised form: header + payload + trailing CRC-32.
+class Packet {
+public:
+    /// Serialise a message (computes and appends the CRC).
+    static Packet encode(const Message& m);
+
+    /// Construct from raw wire bytes (e.g. after corruption).
+    static Packet from_wire(std::vector<std::byte> wire);
+
+    /// CRC check: true iff the trailing CRC matches the content.
+    bool crc_ok() const;
+
+    /// Deserialise; nullopt if the CRC fails or the framing is invalid.
+    /// (Fig. 3-4: send_buffer <- {m received | CRC_OK(m)}.)
+    std::optional<Message> decode() const;
+
+    /// Size on the wire, in bits — the S of Eq. 2/3.
+    std::size_t bit_size() const { return wire_.size() * 8; }
+    std::size_t byte_size() const { return wire_.size(); }
+
+    const std::vector<std::byte>& wire() const { return wire_; }
+    std::vector<std::byte>& mutable_wire() { return wire_; }
+
+private:
+    explicit Packet(std::vector<std::byte> wire) : wire_(std::move(wire)) {}
+    std::vector<std::byte> wire_;
+};
+
+} // namespace snoc

@@ -1,0 +1,46 @@
+// Backend-independent application traffic description.
+//
+// An application's communication is a sequence of *phases*; all messages
+// inside a phase are independent, and a phase only starts after the
+// previous one completed (master -> slaves, then slaves -> master, ...).
+// The same trace can be realised on the stochastic NoC, on the shared-bus
+// baseline (Fig. 4-6) or on a deterministically routed mesh (ablation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snoc {
+
+struct LogicalMessage {
+    TileId src{0};
+    TileId dst{0};
+    std::size_t bits{0};
+};
+
+struct TrafficPhase {
+    std::vector<LogicalMessage> messages;
+};
+
+struct TrafficTrace {
+    std::vector<TrafficPhase> phases;
+
+    std::size_t message_count() const {
+        std::size_t n = 0;
+        for (const auto& p : phases) n += p.messages.size();
+        return n;
+    }
+
+    /// Total application-payload bits — the "useful bits" denominator of
+    /// the J/bit comparisons.
+    std::size_t useful_bits() const {
+        std::size_t n = 0;
+        for (const auto& p : phases)
+            for (const auto& m : p.messages) n += m.bits;
+        return n;
+    }
+};
+
+} // namespace snoc

@@ -1,0 +1,74 @@
+// Round timing (Sec. 3.3.1, Eq. 2) and the GALS clock-domain model.
+//
+// A *broadcast round* is the interval in which a tile finishes sending all
+// its messages to the next hops.  Its optimal duration is
+//     T_R = N_packets_per_round * S / f                      (Eq. 2)
+// where f is the link frequency, S the average packet size (bits) and
+// N_packets_per_round the average number of packets a link sends per round.
+//
+// Every tile owns its clock domain (Ch. 2): the realised duration of each
+// round is normally distributed around T_R with std-dev sigma_synchr*T_R.
+// Accumulated drift between two tiles can make a message miss the receive
+// window of the next round and slip one round further — that is the
+// synchronisation-error failure mode.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace snoc {
+
+/// Parameters of Eq. 2.
+struct RoundTiming {
+    double link_frequency_hz{381e6}; ///< 0.25um NoC link (Sec. 4.1.4).
+    double packets_per_round{1.0};   ///< application-dependent average.
+    double packet_bits{256.0};       ///< average packet size S.
+
+    /// T_R in seconds (Eq. 2).
+    double round_seconds() const {
+        SNOC_EXPECT(link_frequency_hz > 0.0);
+        return packets_per_round * packet_bits / link_frequency_hz;
+    }
+};
+
+/// Tracks per-tile local time under jittered round durations.
+class GalsClocks {
+public:
+    GalsClocks(std::size_t tiles, double t_r)
+        : t_r_(t_r), local_time_(tiles, 0.0) {
+        SNOC_EXPECT(t_r > 0.0);
+    }
+
+    double t_r() const { return t_r_; }
+
+    /// Advance one tile by a realised round duration.
+    void advance(TileId tile, double duration) {
+        SNOC_EXPECT(tile < local_time_.size());
+        SNOC_EXPECT(duration > 0.0);
+        local_time_[tile] += duration;
+    }
+
+    double local_time(TileId tile) const {
+        SNOC_EXPECT(tile < local_time_.size());
+        return local_time_[tile];
+    }
+
+    /// Positive when `a` runs ahead of `b`.
+    double skew(TileId a, TileId b) const { return local_time(a) - local_time(b); }
+
+    /// Wall-clock so far: the slowest domain bounds completion.
+    double elapsed() const {
+        double m = 0.0;
+        for (double t : local_time_) m = (t > m) ? t : m;
+        return m;
+    }
+
+private:
+    double t_r_;
+    std::vector<double> local_time_;
+};
+
+} // namespace snoc

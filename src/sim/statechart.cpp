@@ -1,0 +1,195 @@
+#include "sim/statechart.hpp"
+
+#include <algorithm>
+
+namespace snoc::sc {
+
+StateId Statechart::add_state(std::string name, Composition composition,
+                              StateId parent) {
+    SNOC_EXPECT(!started_);
+    const StateId id = states_.size();
+    State s;
+    s.name = std::move(name);
+    s.composition = composition;
+    s.parent = parent;
+    if (parent == kNoState) {
+        SNOC_EXPECT(root_ == kNoState); // single root
+        root_ = id;
+    } else {
+        SNOC_EXPECT(parent < states_.size());
+        SNOC_EXPECT(states_[parent].composition != Composition::Leaf);
+        states_[parent].children.push_back(id);
+    }
+    states_.push_back(std::move(s));
+    active_.push_back(false);
+    return id;
+}
+
+void Statechart::set_initial(StateId composite, StateId child) {
+    SNOC_EXPECT(!started_);
+    SNOC_EXPECT(composite < states_.size());
+    SNOC_EXPECT(child < states_.size());
+    SNOC_EXPECT(states_[child].parent == composite);
+    SNOC_EXPECT(states_[composite].composition == Composition::Exclusive);
+    states_[composite].initial = child;
+}
+
+void Statechart::on_entry(StateId state, std::function<void()> hook) {
+    SNOC_EXPECT(state < states_.size());
+    states_[state].entry = std::move(hook);
+}
+
+void Statechart::on_exit(StateId state, std::function<void()> hook) {
+    SNOC_EXPECT(state < states_.size());
+    states_[state].exit = std::move(hook);
+}
+
+void Statechart::add_transition(Transition transition) {
+    SNOC_EXPECT(!started_);
+    SNOC_EXPECT(transition.from < states_.size());
+    SNOC_EXPECT(transition.to < states_.size());
+    transitions_.push_back(std::move(transition));
+}
+
+void Statechart::enter(StateId id) {
+    SNOC_EXPECT(!active_[id]);
+    active_[id] = true;
+    const State& s = states_[id];
+    if (s.entry) s.entry();
+    switch (s.composition) {
+    case Composition::Leaf:
+        break;
+    case Composition::Exclusive: {
+        SNOC_EXPECT(s.initial != kNoState); // configured via set_initial
+        enter(s.initial);
+        break;
+    }
+    case Composition::Parallel:
+        for (StateId child : s.children) enter(child);
+        break;
+    }
+}
+
+void Statechart::exit(StateId id) {
+    if (!active_[id]) return;
+    // Children exit first (inner-to-outer).
+    for (StateId child : states_[id].children) exit(child);
+    active_[id] = false;
+    if (!exited_mark_.empty()) exited_mark_[id] = true;
+    if (states_[id].exit) states_[id].exit();
+}
+
+void Statechart::start() {
+    SNOC_EXPECT(!started_);
+    SNOC_EXPECT(root_ != kNoState);
+    // Validate before committing: every exclusive composite needs an
+    // initial child, so a failed start leaves the chart untouched.
+    for (const State& s : states_) {
+        if (s.composition == Composition::Exclusive)
+            SNOC_EXPECT(s.initial != kNoState && !s.children.empty());
+        if (s.composition != Composition::Leaf) SNOC_EXPECT(!s.children.empty());
+    }
+    started_ = true;
+    enter(root_);
+}
+
+void Statechart::post(Event event) { queue_.push(event); }
+
+bool Statechart::is_ancestor(StateId maybe_ancestor, StateId state) const {
+    for (StateId cur = state; cur != kNoState; cur = states_[cur].parent)
+        if (cur == maybe_ancestor) return true;
+    return false;
+}
+
+StateId Statechart::lca(StateId a, StateId b) const {
+    for (StateId cur = states_[a].parent; cur != kNoState; cur = states_[cur].parent)
+        if (is_ancestor(cur, b)) return cur;
+    return root_;
+}
+
+bool Statechart::fire_first_matching(const Event& event, std::vector<bool>& fired,
+                                     const std::vector<bool>& snapshot) {
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+        const auto& t = transitions_[i];
+        if (fired[i]) continue; // at most one firing per event (no livelock)
+        if (t.trigger != event.id) continue;
+        // Eligibility is judged against the configuration at event receipt
+        // (states entered *during* this event don't react to it), against
+        // the live configuration, and each region fires at most once.
+        if (!snapshot[t.from] || !active_[t.from] || exited_mark_[t.from]) continue;
+        if (t.guard && !t.guard(event)) {
+            // Guards are evaluated at most once per event (they may have
+            // side effects, e.g. the Bernoulli RND draw of Fig. 3-5).
+            fired[i] = true;
+            continue;
+        }
+        fired[i] = true;
+        // Exit up to (excluding) the LCA, run the action, enter the target.
+        const StateId pivot = lca(t.from, t.to);
+        // Exit the child-of-pivot subtree containing `from`.
+        StateId exit_top = t.from;
+        while (states_[exit_top].parent != pivot) exit_top = states_[exit_top].parent;
+        exit(exit_top);
+        if (t.action) t.action(event);
+        // Enter the chain from below the pivot down to `to`.
+        std::vector<StateId> chain;
+        for (StateId cur = t.to; cur != pivot; cur = states_[cur].parent)
+            chain.push_back(cur);
+        std::reverse(chain.begin(), chain.end());
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            // Enter intermediate composites without their default initial
+            // cascade when the chain pins the next child explicitly.
+            StateId id = chain[i];
+            SNOC_EXPECT(!active_[id]);
+            active_[id] = true;
+            if (states_[id].entry) states_[id].entry();
+            if (states_[id].composition == Composition::Parallel) {
+                for (StateId child : states_[id].children)
+                    if (child != chain[i + 1]) enter(child);
+            }
+        }
+        enter(chain.back());
+        return true;
+    }
+    return false;
+}
+
+void Statechart::process() {
+    SNOC_EXPECT(started_);
+    if (processing_) return; // re-entrant dispatch from an action
+    processing_ = true;
+    while (!queue_.empty()) {
+        const Event event = queue_.front();
+        queue_.pop();
+        // Run-to-completion: fire every enabled transition for this event,
+        // each at most once (covers orthogonal regions without cascades or
+        // livelock on self-loops).
+        std::vector<bool> fired(transitions_.size(), false);
+        const std::vector<bool> snapshot = active_;
+        exited_mark_.assign(states_.size(), false);
+        while (fire_first_matching(event, fired, snapshot)) {
+        }
+        exited_mark_.clear();
+    }
+    processing_ = false;
+}
+
+bool Statechart::in(StateId state) const {
+    SNOC_EXPECT(state < states_.size());
+    return active_[state];
+}
+
+const std::string& Statechart::name(StateId state) const {
+    SNOC_EXPECT(state < states_.size());
+    return states_[state].name;
+}
+
+std::vector<StateId> Statechart::active_leaves() const {
+    std::vector<StateId> leaves;
+    for (StateId id = 0; id < states_.size(); ++id)
+        if (active_[id] && states_[id].composition == Composition::Leaf)
+            leaves.push_back(id);
+    return leaves;
+}
+
+} // namespace snoc::sc

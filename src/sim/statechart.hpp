@@ -1,0 +1,122 @@
+// A small hierarchical statechart engine (Harel, "Statecharts: a visual
+// formalism for complex systems" — reference [20] of the thesis).
+//
+// The thesis implemented its case studies in Stateflow, "a formalism
+// defined in [20], where a system is described by a hierarchical state
+// machine with both parallel and exclusive states" (Fig. 4-1).  This
+// module provides the same modelling substrate: composite states are
+// either *exclusive* (XOR: exactly one child active) or *parallel* (AND:
+// all children active), transitions carry event triggers, guards and
+// actions, and events are processed run-to-completion.
+//
+// src/sim/gossip_statechart.* expresses the Fig. 3-4 tile algorithm in
+// this formalism and the tests check it agrees with the native engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace snoc::sc {
+
+using StateId = std::size_t;
+using EventId = std::uint32_t;
+
+inline constexpr StateId kNoState = static_cast<StateId>(-1);
+
+enum class Composition : std::uint8_t {
+    Leaf,      ///< no children.
+    Exclusive, ///< XOR: exactly one child active.
+    Parallel,  ///< AND: all children active.
+};
+
+/// Payload-free event with an integer argument (enough for round numbers,
+/// port indices and the like; richer data lives in the chart's context).
+struct Event {
+    EventId id{0};
+    std::int64_t arg{0};
+};
+
+class Statechart;
+
+/// A transition between sibling (or cross-hierarchy) states.
+struct Transition {
+    StateId from{kNoState};
+    StateId to{kNoState};
+    EventId trigger{0};
+    std::function<bool(const Event&)> guard;   ///< optional.
+    std::function<void(const Event&)> action;  ///< optional.
+};
+
+class Statechart {
+public:
+    /// Create a state; `parent == kNoState` makes it the root (only one).
+    StateId add_state(std::string name, Composition composition,
+                      StateId parent = kNoState);
+
+    /// Designate the initial child of an exclusive composite.
+    void set_initial(StateId composite, StateId child);
+
+    /// Entry / exit hooks.
+    void on_entry(StateId state, std::function<void()> hook);
+    void on_exit(StateId state, std::function<void()> hook);
+
+    void add_transition(Transition transition);
+
+    /// Enter the initial configuration (runs entry hooks root-down).
+    void start();
+
+    /// Queue an event; `process()` drains run-to-completion.
+    void post(Event event);
+    void process();
+    /// Convenience: post + process.
+    void dispatch(Event event) {
+        post(event);
+        process();
+    }
+
+    bool started() const { return started_; }
+    bool in(StateId state) const;
+    /// Name of a state (for diagnostics).
+    const std::string& name(StateId state) const;
+    /// Currently active leaf states (sorted by id).
+    std::vector<StateId> active_leaves() const;
+
+private:
+    struct State {
+        std::string name;
+        Composition composition{Composition::Leaf};
+        StateId parent{kNoState};
+        std::vector<StateId> children;
+        StateId initial{kNoState};
+        std::function<void()> entry;
+        std::function<void()> exit;
+    };
+
+    void enter(StateId state);
+    void exit(StateId state);
+    bool fire_first_matching(const Event& event, std::vector<bool>& fired,
+                             const std::vector<bool>& snapshot);
+    bool is_ancestor(StateId maybe_ancestor, StateId state) const;
+    /// Least common ancestor of two states.
+    StateId lca(StateId a, StateId b) const;
+
+    std::vector<State> states_;
+    std::vector<Transition> transitions_;
+    std::vector<bool> active_;
+    StateId root_{kNoState};
+    bool started_{false};
+    std::queue<Event> queue_;
+    bool processing_{false};
+    // States exited while processing the current event: transitions out of
+    // them are no longer eligible (a region fires at most once per event).
+    std::vector<bool> exited_mark_;
+};
+
+} // namespace snoc::sc

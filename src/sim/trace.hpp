@@ -1,0 +1,114 @@
+// Structured event tracing — the simulator's flight recorder.
+//
+// The engine emits one TraceEvent per interesting happening (creation,
+// transmission, delivery, each drop cause, TTL expiry, skew deferral);
+// sinks decide what to do with them: count, keep the last N for post-
+// mortems, or stream human-readable lines.  Tracing is off unless a sink
+// is attached, and sinks are engine-agnostic (pure data in, no calls
+// back), so they cannot perturb a simulation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace snoc {
+
+enum class TraceEventKind : std::uint8_t {
+    MessageCreated,
+    Transmitted,
+    Delivered,
+    CrcDrop,
+    FecUncorrectable,
+    OverflowDrop,
+    DuplicateIgnored,
+    TtlExpired,
+    SkewDeferral,
+};
+
+inline constexpr std::size_t kTraceEventKinds = 9;
+
+constexpr const char* to_string(TraceEventKind k) {
+    switch (k) {
+    case TraceEventKind::MessageCreated: return "created";
+    case TraceEventKind::Transmitted: return "transmitted";
+    case TraceEventKind::Delivered: return "delivered";
+    case TraceEventKind::CrcDrop: return "crc-drop";
+    case TraceEventKind::FecUncorrectable: return "fec-drop";
+    case TraceEventKind::OverflowDrop: return "overflow-drop";
+    case TraceEventKind::DuplicateIgnored: return "duplicate";
+    case TraceEventKind::TtlExpired: return "ttl-expired";
+    case TraceEventKind::SkewDeferral: return "skew-deferral";
+    }
+    return "?";
+}
+
+struct TraceEvent {
+    Round round{0};
+    TraceEventKind kind{TraceEventKind::MessageCreated};
+    TileId tile{0};          ///< where it happened.
+    TileId peer{kNoTile};    ///< other endpoint (transmissions), if any.
+    /// Rumor identity when known; origin == kNoTile means "no message"
+    /// (e.g. a CRC drop, where the id was unreadable by definition).
+    MessageId message{kNoTile, 0};
+};
+
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Per-kind counters.
+class CountingSink final : public TraceSink {
+public:
+    void record(const TraceEvent& event) override;
+    std::size_t count(TraceEventKind kind) const;
+    std::size_t total() const;
+
+private:
+    std::size_t counts_[kTraceEventKinds] = {};
+};
+
+/// Keeps the newest `capacity` events (post-mortem flight recorder).
+class RingBufferSink final : public TraceSink {
+public:
+    explicit RingBufferSink(std::size_t capacity);
+    void record(const TraceEvent& event) override;
+    const std::deque<TraceEvent>& events() const { return events_; }
+    std::size_t dropped() const { return dropped_; }
+
+private:
+    std::size_t capacity_;
+    std::deque<TraceEvent> events_;
+    std::size_t dropped_{0};
+};
+
+/// Streams one formatted line per event.
+class StreamSink final : public TraceSink {
+public:
+    explicit StreamSink(std::ostream& os) : os_(os) {}
+    void record(const TraceEvent& event) override;
+
+private:
+    std::ostream& os_;
+};
+
+/// "r12 transmitted tile 5 -> 6 msg (5,0)" style formatting.
+std::string format_event(const TraceEvent& event);
+
+/// Fan-out to several sinks.
+class TeeSink final : public TraceSink {
+public:
+    void add(TraceSink* sink);
+    void record(const TraceEvent& event) override;
+
+private:
+    std::vector<TraceSink*> sinks_;
+};
+
+} // namespace snoc

@@ -1,0 +1,320 @@
+#include "wormhole/router.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/expect.hpp"
+
+namespace snoc::wormhole {
+
+void Config::validate() const {
+    SNOC_EXPECT(vcs_per_port >= 1);
+    SNOC_EXPECT(vc_buffer_flits >= 2);
+    SNOC_EXPECT(flits_per_packet >= 2); // head + tail at minimum
+}
+
+Network::Network(std::size_t width, std::size_t height, Config config)
+    : topo_(Topology::mesh(width, height)),
+      config_(config),
+      injection_queues_(topo_.node_count()),
+      inject_state_(topo_.node_count()),
+      rng_(splitmix64(0x776F726DULL)) {
+    config_.validate();
+    routers_.resize(topo_.node_count());
+    arbiter_last_.resize(topo_.node_count());
+    for (TileId t = 0; t < topo_.node_count(); ++t) {
+        routers_[t].in_vcs.assign(port_count(t),
+                                  std::vector<VirtualChannel>(config_.vcs_per_port));
+        arbiter_last_[t].assign(port_count(t) + 1, 0); // +1: eject output
+    }
+}
+
+std::uint32_t Network::inject(TileId source, TileId destination) {
+    SNOC_EXPECT(source < topo_.node_count());
+    SNOC_EXPECT(destination < topo_.node_count());
+    SNOC_EXPECT(source != destination);
+    const std::uint32_t id = next_packet_++;
+    records_.push_back(PacketRecord{id, source, destination, cycle_, std::nullopt});
+    injection_queues_[source].push_back(id);
+    return id;
+}
+
+void Network::crash_router(TileId tile) {
+    SNOC_EXPECT(tile < routers_.size());
+    routers_[tile].alive = false;
+}
+
+std::optional<std::size_t> Network::xy_out_port(TileId t, TileId dst) const {
+    if (t == dst) return std::nullopt;
+    const std::size_t x = topo_.x_of(t), y = topo_.y_of(t);
+    const std::size_t dx = topo_.x_of(dst), dy = topo_.y_of(dst);
+    TileId next;
+    if (x != dx)
+        next = topo_.at(x < dx ? x + 1 : x - 1, y);
+    else
+        next = topo_.at(x, y < dy ? y + 1 : y - 1);
+    const auto& nbrs = topo_.neighbours(t);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == next) return i;
+    SNOC_ENSURE(false && "XY next hop is not a neighbour");
+    return std::nullopt;
+}
+
+std::vector<std::size_t> Network::route_candidates(TileId t, TileId dst) const {
+    std::vector<std::size_t> out;
+    if (t == dst) return out;
+    if (config_.routing == Routing::Xy) {
+        if (const auto p = xy_out_port(t, dst)) out.push_back(*p);
+        return out;
+    }
+    // West-first: if any westward progress remains, it must happen now
+    // (turning into west later is prohibited); otherwise every minimal
+    // non-west direction is a legal adaptive choice.
+    const std::size_t x = topo_.x_of(t), y = topo_.y_of(t);
+    const std::size_t dx = topo_.x_of(dst), dy = topo_.y_of(dst);
+    auto port_to = [&](TileId next) -> std::optional<std::size_t> {
+        const auto& nbrs = topo_.neighbours(t);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            if (nbrs[i] == next) return i;
+        return std::nullopt;
+    };
+    if (dx < x) {
+        if (const auto p = port_to(topo_.at(x - 1, y))) out.push_back(*p);
+        return out;
+    }
+    if (dx > x)
+        if (const auto p = port_to(topo_.at(x + 1, y))) out.push_back(*p);
+    if (dy > y)
+        if (const auto p = port_to(topo_.at(x, y + 1))) out.push_back(*p);
+    if (dy < y)
+        if (const auto p = port_to(topo_.at(x, y - 1))) out.push_back(*p);
+    return out;
+}
+
+TileId Network::port_neighbour(TileId t, std::size_t port) const {
+    const auto& nbrs = topo_.neighbours(t);
+    SNOC_EXPECT(port < nbrs.size());
+    return nbrs[port];
+}
+
+namespace {
+/// Input port index at `to` whose upstream neighbour is `from`.
+std::size_t input_port_from(const Topology& topo, TileId to, TileId from) {
+    const auto& nbrs = topo.neighbours(to);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == from) return i;
+    SNOC_ENSURE(false && "no input port from neighbour");
+    return 0;
+}
+} // namespace
+
+std::size_t Network::downstream_space(TileId t, std::size_t out_port,
+                                      std::size_t vc) const {
+    const TileId next = port_neighbour(t, out_port);
+    if (!routers_[next].alive) return 0; // a dead router accepts nothing
+    const std::size_t in_port = input_port_from(topo_, next, t);
+    const auto& buffer = routers_[next].in_vcs[in_port][vc].buffer;
+    return config_.vc_buffer_flits - std::min(config_.vc_buffer_flits, buffer.size());
+}
+
+void Network::step() {
+    // ---- Injection: one flit per tile per cycle into a local-port VC.
+    for (TileId t = 0; t < topo_.node_count(); ++t) {
+        if (!routers_[t].alive) continue;
+        auto& st = inject_state_[t];
+        auto& local_vcs = routers_[t].in_vcs[local_port(t)];
+        if (st.packet) {
+            // A worm is under construction: append its next flit when the
+            // VC has space.
+            auto& vc = local_vcs[st.vc];
+            if (vc.buffer.size() < config_.vc_buffer_flits) {
+                const bool is_tail = st.generated + 1 == config_.flits_per_packet;
+                vc.buffer.push_back(
+                    Flit{is_tail ? Flit::Kind::Tail : Flit::Kind::Body, *st.packet,
+                         records_[*st.packet].destination});
+                ++st.generated;
+                if (is_tail) st.packet.reset();
+            }
+        } else if (!injection_queues_[t].empty()) {
+            // Start a new worm on a free local VC (unreserved).
+            for (std::size_t v = 0; v < local_vcs.size(); ++v) {
+                auto& vc = local_vcs[v];
+                if (vc.reserved_for) continue;
+                const std::uint32_t id = injection_queues_[t].front();
+                injection_queues_[t].pop_front();
+                vc.buffer.push_back(
+                    Flit{Flit::Kind::Head, id, records_[id].destination});
+                vc.reserved_for = id;
+                st.packet = id;
+                st.generated = 1;
+                st.vc = v;
+                if (config_.flits_per_packet == 1) st.packet.reset();
+                break;
+            }
+        }
+    }
+
+    // ---- Switch + VC allocation (decide phase).
+    struct Move {
+        TileId tile;
+        std::size_t in_port, in_vc;
+        bool eject{false};
+        std::size_t out_port{0}, out_vc{0};
+    };
+    std::vector<Move> moves;
+    // Reserve downstream space committed this cycle: key (tile, port, vc).
+    auto space_key = [this](TileId t, std::size_t port, std::size_t vc) {
+        return (static_cast<std::size_t>(t) * 8 + port) * config_.vcs_per_port + vc;
+    };
+    std::unordered_map<std::size_t, std::size_t> committed;
+    for (TileId t = 0; t < topo_.node_count(); ++t) {
+        auto& router = routers_[t];
+        if (!router.alive) continue;
+        const std::size_t ports = port_count(t);
+        std::vector<bool> input_port_used(ports, false);
+        const std::size_t outputs = topo_.neighbours(t).size() + 1; // + eject
+        for (std::size_t out = 0; out < outputs; ++out) {
+            const bool is_eject = out == outputs - 1;
+            auto& last = arbiter_last_[t][out];
+            const std::size_t slots = ports * config_.vcs_per_port;
+            bool granted = false;
+            for (std::size_t scan = 0; scan < slots && !granted; ++scan) {
+                const std::size_t slot = (last + 1 + scan) % slots;
+                const std::size_t in_port = slot / config_.vcs_per_port;
+                const std::size_t in_vc = slot % config_.vcs_per_port;
+                if (input_port_used[in_port]) continue;
+                auto& vc = router.in_vcs[in_port][in_vc];
+                if (vc.buffer.empty()) continue;
+                const Flit& flit = vc.buffer.front();
+
+                // Route + VC allocation for head flits: claim an
+                // *unreserved* downstream VC exclusively for this worm,
+                // trying each routing candidate in preference order (XY
+                // has one; west-first may offer adaptive alternatives).
+                if (flit.kind == Flit::Kind::Head && !vc.out_port) {
+                    const auto candidates = route_candidates(t, flit.destination);
+                    if (candidates.empty()) {
+                        vc.out_port = outputs - 1; // eject
+                        vc.out_vc = 0;
+                    } else {
+                        for (const std::size_t route : candidates) {
+                            const TileId next = port_neighbour(t, route);
+                            if (!routers_[next].alive) continue; // dead end
+                            const std::size_t in_at_next =
+                                input_port_from(topo_, next, t);
+                            std::optional<std::size_t> chosen;
+                            for (std::size_t v = 0; v < config_.vcs_per_port; ++v) {
+                                if (!routers_[next]
+                                         .in_vcs[in_at_next][v]
+                                         .reserved_for) {
+                                    chosen = v;
+                                    break;
+                                }
+                            }
+                            if (!chosen) continue; // all downstream VCs owned
+                            routers_[next].in_vcs[in_at_next][*chosen].reserved_for =
+                                flit.packet;
+                            vc.out_port = route;
+                            vc.out_vc = *chosen;
+                            break;
+                        }
+                        if (!vc.out_port) continue; // nothing allocatable yet
+                    }
+                }
+                if (!vc.out_port || *vc.out_port != out) continue;
+
+                if (is_eject) {
+                    moves.push_back({t, in_port, in_vc, true, 0, 0});
+                    granted = true;
+                } else {
+                    const TileId next = port_neighbour(t, out);
+                    const std::size_t in_at_next = input_port_from(topo_, next, t);
+                    const std::size_t key = space_key(next, in_at_next, *vc.out_vc);
+                    const std::size_t space = downstream_space(t, out, *vc.out_vc);
+                    if (space <= committed[key]) continue; // no credit
+                    ++committed[key];
+                    moves.push_back({t, in_port, in_vc, false, out, *vc.out_vc});
+                    granted = true;
+                }
+                if (granted) {
+                    input_port_used[in_port] = true;
+                    last = slot;
+                }
+            }
+        }
+    }
+
+    // ---- Apply phase.
+    for (const auto& m : moves) {
+        auto& vc = routers_[m.tile].in_vcs[m.in_port][m.in_vc];
+        SNOC_ENSURE(!vc.buffer.empty());
+        Flit flit = vc.buffer.front();
+        vc.buffer.pop_front();
+        const bool was_tail = flit.kind == Flit::Kind::Tail;
+        if (m.eject) {
+            if (was_tail) {
+                auto& rec = records_[flit.packet];
+                rec.delivered_cycle = cycle_;
+                latencies_.add(static_cast<double>(cycle_ - rec.injected_cycle));
+                ++delivered_;
+            }
+        } else {
+            const TileId next = port_neighbour(m.tile, m.out_port);
+            const std::size_t in_at_next = input_port_from(topo_, next, m.tile);
+            routers_[next].in_vcs[in_at_next][m.out_vc].buffer.push_back(flit);
+        }
+        if (was_tail) {
+            // The worm has fully left this VC: release the route lock and
+            // the VC's exclusive reservation.
+            vc.out_port.reset();
+            vc.out_vc.reset();
+            vc.reserved_for.reset();
+        }
+    }
+
+    ++cycle_;
+}
+
+void Network::run(std::size_t cycles) {
+    for (std::size_t i = 0; i < cycles; ++i) step();
+}
+
+LoadPoint run_uniform_load(std::size_t side, const Config& config, double offered_load,
+                           std::size_t warmup_cycles, std::size_t measure_cycles,
+                           std::uint64_t seed) {
+    SNOC_EXPECT(offered_load >= 0.0 && offered_load <= 1.0);
+    Network net(side, side, config);
+    RngStream rng(splitmix64(seed));
+    const std::size_t tiles = side * side;
+    const std::size_t total = warmup_cycles + measure_cycles;
+    std::size_t injected_measured = 0;
+    const double flit_load = offered_load / static_cast<double>(config.flits_per_packet);
+    for (std::size_t c = 0; c < total; ++c) {
+        for (TileId t = 0; t < tiles; ++t) {
+            if (!rng.bernoulli(flit_load)) continue;
+            auto dst = static_cast<TileId>(rng.below(tiles - 1));
+            if (dst >= t) ++dst;
+            net.inject(t, dst);
+            if (c >= warmup_cycles) ++injected_measured;
+        }
+        net.step();
+    }
+    // Drain for a bounded horizon so late packets count.
+    const std::size_t before_drain = net.delivered();
+    (void)before_drain;
+    net.run(4 * side * config.flits_per_packet + 200);
+
+    LoadPoint point;
+    point.offered_load = offered_load;
+    if (!net.latencies().empty()) point.avg_latency = net.latencies().mean();
+    point.throughput = static_cast<double>(net.delivered()) *
+                       static_cast<double>(config.flits_per_packet) /
+                       static_cast<double>(tiles) / static_cast<double>(total);
+    point.delivered_fraction =
+        net.injected() == 0
+            ? 1.0
+            : static_cast<double>(net.delivered()) / static_cast<double>(net.injected());
+    return point;
+}
+
+} // namespace snoc::wormhole

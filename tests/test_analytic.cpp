@@ -1,0 +1,116 @@
+#include "core/analytic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/stats.hpp"
+
+namespace snoc {
+namespace {
+
+TEST(InformedCurve, StartsAtOneAndIsMonotone) {
+    const auto curve = analytic::informed_curve(1000, 30);
+    ASSERT_EQ(curve.size(), 31u);
+    EXPECT_DOUBLE_EQ(curve[0], 1.0);
+    for (std::size_t t = 1; t < curve.size(); ++t) {
+        EXPECT_GT(curve[t], curve[t - 1]);
+        EXPECT_LE(curve[t], 1000.0);
+    }
+}
+
+TEST(InformedCurve, ConvergesToN) {
+    const auto curve = analytic::informed_curve(1000, 40);
+    EXPECT_NEAR(curve.back(), 1000.0, 1.0);
+}
+
+TEST(InformedCurve, EarlyGrowthIsExponential) {
+    // While I << n the recurrence behaves like I(t+1) ~= 2 I(t).
+    const auto curve = analytic::informed_curve(100000, 10);
+    for (std::size_t t = 1; t <= 8; ++t) {
+        const double ratio = curve[t] / curve[t - 1];
+        EXPECT_GT(ratio, 1.8);
+        EXPECT_LT(ratio, 2.0 + 1e-9);
+    }
+}
+
+TEST(RoundsToReach, Fig31ThousandNodesUnderTwentyRounds) {
+    // Fig. 3-1: "in less than 20 rounds, as many as 1000 nodes can be
+    // reached".
+    EXPECT_LT(analytic::rounds_to_reach(1000, 1.0), 20u);
+    EXPECT_GE(analytic::rounds_to_reach(1000, 1.0), 10u);
+}
+
+TEST(RoundsToReach, HalfIsFasterThanAll) {
+    EXPECT_LT(analytic::rounds_to_reach(1000, 0.5),
+              analytic::rounds_to_reach(1000, 1.0));
+}
+
+TEST(RoundsToReach, RejectsBadFraction) {
+    EXPECT_THROW(analytic::rounds_to_reach(10, 0.0), ContractViolation);
+    EXPECT_THROW(analytic::rounds_to_reach(10, 1.5), ContractViolation);
+}
+
+TEST(Pittel, MatchesLogFormula) {
+    EXPECT_NEAR(analytic::pittel_rounds(1000),
+                std::log2(1000.0) + std::log(1000.0), 1e-12);
+}
+
+TEST(Pittel, TracksDeterministicModel) {
+    // S_n = log2 n + ln n + O(1): the deterministic curve should finish
+    // within a small constant of the formula.
+    for (std::size_t n : {100u, 1000u, 10000u}) {
+        const double predicted = analytic::pittel_rounds(n);
+        const double simulated = static_cast<double>(analytic::rounds_to_reach(n, 1.0));
+        EXPECT_NEAR(simulated, predicted, 4.0) << "n=" << n;
+    }
+}
+
+TEST(PushGossip, InformsEveryoneQuickly) {
+    RngStream rng(1);
+    const auto curve = analytic::simulate_push_gossip(1000, rng);
+    EXPECT_EQ(curve.front(), 1u);
+    EXPECT_EQ(curve.back(), 1000u);
+    EXPECT_LT(curve.size(), 25u); // < 25 rounds for n=1000
+    for (std::size_t t = 1; t < curve.size(); ++t) EXPECT_GE(curve[t], curve[t - 1]);
+}
+
+TEST(PushGossip, MonteCarloMatchesDeterministicModel) {
+    const std::size_t n = 1000;
+    const auto model = analytic::informed_curve(n, 25);
+    Accumulator err_at_10;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        RngStream rng(seed);
+        auto curve = analytic::simulate_push_gossip(n, rng);
+        curve.resize(26, n);
+        err_at_10.add(static_cast<double>(curve[10]) - model[10]);
+    }
+    // Pittel: I(t) is close to its deterministic approximation w.h.p.
+    EXPECT_LT(std::abs(err_at_10.mean()), 0.15 * model[10]);
+}
+
+TEST(PushGossip, TinyNetworkTerminates) {
+    RngStream rng(3);
+    const auto curve = analytic::simulate_push_gossip(2, rng);
+    EXPECT_EQ(curve.back(), 2u);
+    EXPECT_LE(curve.size(), 3u);
+}
+
+class GossipScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GossipScaleSweep, SpreadIsLogarithmic) {
+    // The defining scalability property: rounds grow ~ log n, so doubling
+    // n adds only ~2 rounds under the deterministic model.
+    const std::size_t n = GetParam();
+    const auto r1 = analytic::rounds_to_reach(n, 1.0);
+    const auto r2 = analytic::rounds_to_reach(2 * n, 1.0);
+    EXPECT_GE(r2, r1);
+    EXPECT_LE(r2 - r1, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GossipScaleSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384));
+
+} // namespace
+} // namespace snoc

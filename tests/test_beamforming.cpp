@@ -1,0 +1,109 @@
+#include "apps/beamforming.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+namespace {
+
+BeamformingMapping small_mapping() {
+    BeamformingMapping m;
+    m.sensors = {1, 2, 4, 8, 17, 18, 20, 24};
+    m.aggregators = {5, 21};
+    m.combiner = 10;
+    return m;
+}
+
+TEST(BeamformingTrace, TwoPhasesPerFrame) {
+    const auto trace = beamforming_trace(small_mapping(), 3);
+    EXPECT_EQ(trace.phases.size(), 6u);
+    EXPECT_EQ(trace.phases[0].messages.size(), 8u); // sensors -> aggregators
+    EXPECT_EQ(trace.phases[1].messages.size(), 2u); // aggregators -> combiner
+}
+
+TEST(BeamformingTrace, SensorsFeedTheirClusterAggregator) {
+    const auto m = small_mapping();
+    const auto trace = beamforming_trace(m, 1);
+    for (std::size_t s = 0; s < 8; ++s) {
+        const auto& msg = trace.phases[0].messages[s];
+        EXPECT_EQ(msg.src, m.sensors[s]);
+        EXPECT_EQ(msg.dst, m.aggregators[s / 4]);
+    }
+    for (const auto& msg : trace.phases[1].messages) EXPECT_EQ(msg.dst, m.combiner);
+}
+
+TEST(BeamformingTrace, BitSizesPropagate) {
+    const auto trace = beamforming_trace(small_mapping(), 1, 1000, 200);
+    EXPECT_EQ(trace.phases[0].messages[0].bits, 1000u);
+    EXPECT_EQ(trace.phases[1].messages[0].bits, 200u);
+    EXPECT_EQ(trace.useful_bits(), 8u * 1000 + 2u * 200);
+}
+
+TEST(BeamformingTrace, RejectsUnevenClustering) {
+    BeamformingMapping m = small_mapping();
+    m.sensors.pop_back(); // 7 sensors, 2 aggregators
+    EXPECT_THROW(beamforming_trace(m, 1), snoc::ContractViolation);
+}
+
+TEST(DelayAndSum, AlignedTonesReinforce) {
+    // Identical blocks with zero delay: the beam equals each block.
+    const std::size_t n = 64;
+    std::vector<double> block(n);
+    for (std::size_t i = 0; i < n; ++i)
+        block[i] = std::sin(2.0 * std::numbers::pi * 4.0 * i / n);
+    const auto beam = delay_and_sum({block, block, block}, {0, 0, 0});
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(beam[i], block[i], 1e-12);
+}
+
+TEST(DelayAndSum, DelaysCompensatePropagation) {
+    // Each sensor hears the source shifted by its distance; delay-and-sum
+    // with matching delays re-aligns them.
+    const std::size_t n = 64;
+    std::vector<double> source(n + 8);
+    for (std::size_t i = 0; i < source.size(); ++i)
+        source[i] = std::sin(0.37 * static_cast<double>(i));
+    std::vector<std::vector<double>> blocks;
+    const std::vector<std::size_t> delays{0, 3, 7};
+    for (std::size_t d : delays) {
+        std::vector<double> heard(n);
+        // Sensor with delay d hears source[i - d]: build so that
+        // heard[i + d] == source-aligned sample.
+        for (std::size_t i = 0; i < n; ++i) heard[i] = source[(i + 8) - d];
+        blocks.push_back(std::move(heard));
+    }
+    const auto beam = delay_and_sum(blocks, delays);
+    // In the valid interior the beam should match the aligned source.
+    for (std::size_t i = 0; i < n - 8; ++i)
+        EXPECT_NEAR(beam[i], source[i + 8], 1e-9);
+}
+
+TEST(DelayAndSum, MisalignedNoiseAveragesDown) {
+    // Uncorrelated +1/-1 "noise" across sensors attenuates ~1/sqrt(k).
+    const std::size_t n = 128;
+    std::vector<std::vector<double>> blocks;
+    for (std::size_t s = 0; s < 16; ++s) {
+        std::vector<double> b(n);
+        for (std::size_t i = 0; i < n; ++i)
+            b[i] = ((i * 2654435761u + s * 40503u) >> 13) % 2 ? 1.0 : -1.0;
+        blocks.push_back(std::move(b));
+    }
+    const auto beam = delay_and_sum(blocks, std::vector<std::size_t>(16, 0));
+    double rms = 0.0;
+    for (double v : beam) rms += v * v;
+    rms = std::sqrt(rms / n);
+    EXPECT_LT(rms, 0.5); // well below the per-sensor RMS of 1.0
+}
+
+TEST(DelayAndSum, ValidatesInput) {
+    EXPECT_THROW(delay_and_sum({}, {}), snoc::ContractViolation);
+    EXPECT_THROW(delay_and_sum({{1.0, 2.0}}, {0, 1}), snoc::ContractViolation);
+    EXPECT_THROW(delay_and_sum({{1.0, 2.0}, {1.0}}, {0, 0}), snoc::ContractViolation);
+    EXPECT_THROW(delay_and_sum({{1.0, 2.0}}, {5}), snoc::ContractViolation);
+}
+
+} // namespace
+} // namespace snoc::apps

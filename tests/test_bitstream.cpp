@@ -1,0 +1,141 @@
+#include "apps/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/quantizer.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace snoc::apps {
+namespace {
+
+TEST(BitWriter, SingleBits) {
+    BitWriter w;
+    w.put_bit(true);
+    w.put_bit(false);
+    w.put_bit(true);
+    EXPECT_EQ(w.bit_count(), 3u);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], std::byte{0b10100000});
+}
+
+TEST(BitWriter, MsbFirstMultiBit) {
+    BitWriter w;
+    w.put_bits(0b1011, 4);
+    w.put_bits(0xFF, 8);
+    EXPECT_EQ(w.bit_count(), 12u);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], std::byte{0b10111111});
+    EXPECT_EQ(bytes[1], std::byte{0b11110000});
+}
+
+TEST(BitReader, ReadsBackWhatWasWritten) {
+    BitWriter w;
+    w.put_bits(0x3A5, 10);
+    w.put_bit(true);
+    const auto bits = w.bit_count();
+    BitReader r(w.take(), bits);
+    EXPECT_EQ(r.get_bits(10), 0x3A5u);
+    EXPECT_TRUE(r.get_bit());
+    EXPECT_EQ(r.bits_left(), 0u);
+}
+
+TEST(BitReader, OverreadThrows) {
+    BitWriter w;
+    w.put_bit(true);
+    BitReader r(w.take(), 1);
+    r.get_bit();
+    EXPECT_THROW(r.get_bit(), snoc::ContractViolation);
+}
+
+TEST(BitReader, BitCountBeyondBufferThrows) {
+    EXPECT_THROW(BitReader({}, 5), snoc::ContractViolation);
+}
+
+TEST(LineCode, KnownEncodings) {
+    {
+        BitWriter w;
+        w.put_line(0);
+        EXPECT_EQ(w.bit_count(), 1u);
+        EXPECT_EQ(w.take()[0], std::byte{0b00000000});
+    }
+    {
+        BitWriter w;
+        w.put_line(1); // '1' '0' sign(0) -> 100
+        EXPECT_EQ(w.bit_count(), 3u);
+        EXPECT_EQ(w.take()[0], std::byte{0b10000000});
+    }
+    {
+        BitWriter w;
+        w.put_line(-1); // 101
+        EXPECT_EQ(w.take()[0], std::byte{0b10100000});
+    }
+}
+
+TEST(LineCode, CostMatchesModel) {
+    // The wire cost must be exactly coded_bits_of for every value.
+    for (std::int32_t v = -300; v <= 300; ++v) {
+        BitWriter w;
+        w.put_line(v);
+        EXPECT_EQ(w.bit_count(), coded_bits_of(v)) << "v=" << v;
+    }
+}
+
+TEST(LineCode, RoundtripExhaustiveSmall) {
+    for (std::int32_t v = -1000; v <= 1000; ++v) {
+        BitWriter w;
+        w.put_line(v);
+        const auto bits = w.bit_count();
+        BitReader r(w.take(), bits);
+        EXPECT_EQ(r.get_line(), v);
+    }
+}
+
+TEST(LineCode, RoundtripLargeMagnitudes) {
+    for (std::int32_t v : {1 << 20, -(1 << 20), 0x7FFFFFF, -0x7FFFFFF}) {
+        BitWriter w;
+        w.put_line(v);
+        const auto bits = w.bit_count();
+        EXPECT_EQ(bits, coded_bits_of(v));
+        BitReader r(w.take(), bits);
+        EXPECT_EQ(r.get_line(), v);
+    }
+}
+
+TEST(PackLines, VectorRoundtrip) {
+    const std::vector<std::int32_t> lines{0, 5, -3, 0, 0, 127, -128, 1, 0};
+    auto [bytes, bits] = pack_lines(lines);
+    EXPECT_EQ(bits, coded_bits_of(lines));
+    const auto decoded = unpack_lines(bytes, bits, lines.size());
+    EXPECT_EQ(decoded, lines);
+}
+
+TEST(PackLines, EmptyVector) {
+    auto [bytes, bits] = pack_lines({});
+    EXPECT_EQ(bits, 0u);
+    EXPECT_TRUE(unpack_lines(bytes, bits, 0).empty());
+}
+
+class PackSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackSweep, RandomVectorsRoundtrip) {
+    snoc::RngStream rng(GetParam() * 7 + 1);
+    std::vector<std::int32_t> lines(GetParam());
+    for (auto& v : lines) {
+        if (rng.bernoulli(0.4)) {
+            v = 0; // realistic spectra are mostly zeros
+        } else {
+            v = static_cast<std::int32_t>(rng.below(5000)) - 2500;
+        }
+    }
+    auto [bytes, bits] = pack_lines(lines);
+    EXPECT_EQ(bits, coded_bits_of(lines));
+    EXPECT_EQ(unpack_lines(bytes, bits, lines.size()), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PackSweep, ::testing::Values(1, 2, 16, 64, 576, 4096));
+
+} // namespace
+} // namespace snoc::apps

@@ -1,0 +1,108 @@
+#include "noc/buffer.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+namespace {
+
+TEST(BoundedBuffer, StartsEmpty) {
+    BoundedBuffer<int> b(4);
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.capacity(), 4u);
+    EXPECT_EQ(b.overflow_drops(), 0u);
+}
+
+TEST(BoundedBuffer, RejectsZeroCapacity) {
+    EXPECT_THROW(BoundedBuffer<int>(0), ContractViolation);
+}
+
+TEST(BoundedBuffer, FifoOrder) {
+    BoundedBuffer<int> b(8);
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.push(i));
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(b.pop(), i);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(BoundedBuffer, OverflowDropsOldestFirst) {
+    // Ch. 2: "the respective tile will lose some of the messages (the
+    // oldest ones are dropped first)".
+    BoundedBuffer<int> b(3);
+    EXPECT_TRUE(b.push(1));
+    EXPECT_TRUE(b.push(2));
+    EXPECT_TRUE(b.push(3));
+    EXPECT_FALSE(b.push(4)); // 1 is dropped
+    EXPECT_EQ(b.overflow_drops(), 1u);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(b.pop(), 2);
+    EXPECT_EQ(b.pop(), 3);
+    EXPECT_EQ(b.pop(), 4);
+}
+
+TEST(BoundedBuffer, OverflowCounterAccumulates) {
+    BoundedBuffer<int> b(1);
+    b.push(0);
+    for (int i = 1; i <= 10; ++i) b.push(i);
+    EXPECT_EQ(b.overflow_drops(), 10u);
+    EXPECT_EQ(b.front(), 10);
+}
+
+TEST(BoundedBuffer, PopOnEmptyThrows) {
+    BoundedBuffer<int> b(2);
+    EXPECT_THROW(b.pop(), ContractViolation);
+    EXPECT_THROW(b.front(), ContractViolation);
+}
+
+TEST(BoundedBuffer, ClearKeepsCapacityAndCounter) {
+    BoundedBuffer<int> b(2);
+    b.push(1);
+    b.push(2);
+    b.push(3);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.capacity(), 2u);
+    EXPECT_EQ(b.overflow_drops(), 1u); // drops are a lifetime statistic
+}
+
+TEST(BoundedBuffer, IterationSeesFifoOrder) {
+    BoundedBuffer<std::string> b(4);
+    b.push("a");
+    b.push("b");
+    b.push("c");
+    std::string joined;
+    for (const auto& s : b) joined += s;
+    EXPECT_EQ(joined, "abc");
+}
+
+TEST(BoundedBuffer, MoveOnlyValuesSupported) {
+    BoundedBuffer<std::unique_ptr<int>> b(2);
+    b.push(std::make_unique<int>(5));
+    b.push(std::make_unique<int>(6));
+    auto p = b.pop();
+    EXPECT_EQ(*p, 5);
+}
+
+class BufferCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BufferCapacitySweep, NeverExceedsCapacity) {
+    const std::size_t cap = GetParam();
+    BoundedBuffer<std::size_t> b(cap);
+    for (std::size_t i = 0; i < 3 * cap + 5; ++i) {
+        b.push(i);
+        EXPECT_LE(b.size(), cap);
+    }
+    EXPECT_EQ(b.size(), cap);
+    EXPECT_EQ(b.overflow_drops(), 2 * cap + 5);
+    // Survivors are exactly the newest `cap` items.
+    EXPECT_EQ(b.front(), 2 * cap + 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferCapacitySweep,
+                         ::testing::Values(1, 2, 3, 16, 100));
+
+} // namespace
+} // namespace snoc

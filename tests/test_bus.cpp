@@ -1,0 +1,116 @@
+#include "bus/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bus/arbiter.hpp"
+#include "common/expect.hpp"
+
+namespace snoc {
+namespace {
+
+TEST(Arbiter, GrantsNothingWithoutRequests) {
+    RoundRobinArbiter arb(4);
+    EXPECT_FALSE(arb.grant({false, false, false, false}).has_value());
+}
+
+TEST(Arbiter, SingleRequesterAlwaysWins) {
+    RoundRobinArbiter arb(4);
+    for (int i = 0; i < 5; ++i) {
+        const auto g = arb.grant({false, false, true, false});
+        ASSERT_TRUE(g.has_value());
+        EXPECT_EQ(*g, 2u);
+    }
+}
+
+TEST(Arbiter, RotatesAmongContenders) {
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> all{true, true, true};
+    EXPECT_EQ(*arb.grant(all), 1u); // last_ starts at 0 -> next is 1
+    EXPECT_EQ(*arb.grant(all), 2u);
+    EXPECT_EQ(*arb.grant(all), 0u);
+    EXPECT_EQ(*arb.grant(all), 1u);
+}
+
+TEST(Arbiter, StarvationFreedom) {
+    // Under continuous contention every module is granted once per n grants.
+    RoundRobinArbiter arb(5);
+    const std::vector<bool> all(5, true);
+    std::vector<int> grants(5, 0);
+    for (int i = 0; i < 100; ++i) ++grants[*arb.grant(all)];
+    for (int g : grants) EXPECT_EQ(g, 20);
+}
+
+TEST(Arbiter, MismatchedRequestWidthThrows) {
+    RoundRobinArbiter arb(4);
+    EXPECT_THROW(arb.grant({true, true}), ContractViolation);
+}
+
+TrafficTrace two_phase_trace() {
+    TrafficTrace trace;
+    TrafficPhase a, b;
+    a.messages.push_back({0, 1, 4300});   // 4300 bits
+    a.messages.push_back({2, 3, 4300});
+    b.messages.push_back({3, 0, 8600});
+    trace.phases.push_back(a);
+    trace.phases.push_back(b);
+    return trace;
+}
+
+TEST(SharedBus, SerialisesAllTransfers) {
+    SharedBus bus(4, Technology::cmos_025um());
+    const auto result = bus.run(two_phase_trace());
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.transfers, 3u);
+    EXPECT_EQ(result.bits, 4300u + 4300u + 8600u);
+    // Time = total bits / 43 MHz regardless of phases (fully serialised).
+    EXPECT_NEAR(result.seconds, 17200.0 / 43e6, 1e-12);
+    EXPECT_DOUBLE_EQ(result.joules, 17200.0 * 21.6e-10);
+}
+
+TEST(SharedBus, CrashedBusDeliversNothing) {
+    SharedBus bus(4, Technology::cmos_025um());
+    bus.crash();
+    EXPECT_FALSE(bus.alive());
+    const auto result = bus.run(two_phase_trace());
+    EXPECT_FALSE(result.completed);
+    EXPECT_EQ(result.transfers, 0u);
+    EXPECT_DOUBLE_EQ(result.seconds, 0.0);
+}
+
+TEST(SharedBus, EmptyTraceCompletesInstantly) {
+    SharedBus bus(4, Technology::cmos_025um());
+    const auto result = bus.run({});
+    EXPECT_TRUE(result.completed);
+    EXPECT_DOUBLE_EQ(result.seconds, 0.0);
+}
+
+TEST(SharedBus, ContentionProducesWaiting) {
+    TrafficTrace trace;
+    TrafficPhase p;
+    for (TileId s = 0; s < 8; ++s) p.messages.push_back({s, 0, 100});
+    trace.phases.push_back(p);
+    SharedBus bus(8, Technology::cmos_025um());
+    const auto result = bus.run(trace);
+    EXPECT_TRUE(result.completed);
+    EXPECT_GE(result.max_wait_grants, 7u); // the last module waited for 7 others
+}
+
+TEST(SharedBus, SourceOutOfRangeThrows) {
+    TrafficTrace trace;
+    TrafficPhase p;
+    p.messages.push_back({9, 0, 100});
+    trace.phases.push_back(p);
+    SharedBus bus(4, Technology::cmos_025um());
+    EXPECT_THROW(bus.run(trace), ContractViolation);
+}
+
+TEST(TrafficTrace, UsefulBitsAndCount) {
+    const auto trace = two_phase_trace();
+    EXPECT_EQ(trace.message_count(), 3u);
+    EXPECT_EQ(trace.useful_bits(), 17200u);
+    EXPECT_EQ(TrafficTrace{}.message_count(), 0u);
+    EXPECT_EQ(TrafficTrace{}.useful_bits(), 0u);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,74 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+namespace {
+
+CliArgs make(std::vector<std::string> args) {
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    std::vector<char*> argv;
+    for (auto& s : storage) argv.push_back(s.data());
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, BareFlags) {
+    const auto args = make({"--csv", "--verbose"});
+    EXPECT_TRUE(args.has("csv"));
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.has("seed"));
+    EXPECT_FALSE(args.value("csv").has_value());
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, EqualsSyntax) {
+    const auto args = make({"--seed=42", "--p=0.75", "--name=fig4_4"});
+    EXPECT_EQ(args.get_u64("seed", 0), 42u);
+    EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.75);
+    EXPECT_EQ(args.get_string("name", ""), "fig4_4");
+}
+
+TEST(Cli, SpaceSyntax) {
+    const auto args = make({"--repeats", "12", "--csv"});
+    EXPECT_EQ(args.get_u64("repeats", 0), 12u);
+    EXPECT_TRUE(args.has("csv"));
+}
+
+TEST(Cli, PositionalArguments) {
+    const auto args = make({"input.cnf", "--seed=1", "out.csv"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "input.cnf");
+    EXPECT_EQ(args.positional()[1], "out.csv");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+    const auto args = make({});
+    EXPECT_EQ(args.get_u64("seed", 7), 7u);
+    EXPECT_DOUBLE_EQ(args.get_double("p", 0.5), 0.5);
+    EXPECT_EQ(args.get_string("name", "x"), "x");
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+    const auto args = make({"--seed=abc", "--p=1.2.3"});
+    EXPECT_THROW(args.get_u64("seed", 0), ContractViolation);
+    EXPECT_THROW(args.get_double("p", 0.0), ContractViolation);
+}
+
+TEST(Cli, UnknownOptionDetection) {
+    const auto args = make({"--csv", "--sedd=1"});
+    const auto unknown = args.unknown_options({"csv", "seed", "repeats"});
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "sedd");
+}
+
+TEST(Cli, LastValueWins) {
+    const auto args = make({"--seed=1", "--seed=2"});
+    EXPECT_EQ(args.get_u64("seed", 0), 2u);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,120 @@
+#include "diversity/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snoc::diversity {
+namespace {
+
+GossipConfig default_config() {
+    GossipConfig c;
+    c.forward_p = 0.75;
+    c.default_ttl = 40;
+    return c;
+}
+
+TEST(Architecture, FlatIsPlainMesh) {
+    const auto a = make_architecture(ArchitectureKind::FlatNoc);
+    EXPECT_EQ(a.topology.node_count(), 64u);
+    EXPECT_TRUE(a.topology.is_grid());
+    EXPECT_EQ(a.hub, kNoTile);
+    EXPECT_EQ(a.mapping.sensors.size(), 16u);
+    EXPECT_EQ(a.mapping.aggregators.size(), 4u);
+}
+
+TEST(Architecture, ClusteredShapesHaveHub) {
+    for (auto kind :
+         {ArchitectureKind::HierarchicalNoc, ArchitectureKind::BusConnectedNocs}) {
+        const auto a = make_architecture(kind);
+        EXPECT_EQ(a.topology.node_count(), 65u) << to_string(kind);
+        EXPECT_EQ(a.hub, 64u);
+        EXPECT_GE(a.hub_capacity, 1u);
+        // The hub links exactly the four gateways.
+        EXPECT_EQ(a.topology.neighbours(a.hub).size(), 4u);
+    }
+}
+
+TEST(Architecture, BusHubIsSerialised) {
+    const auto hier = make_architecture(ArchitectureKind::HierarchicalNoc);
+    const auto bus = make_architecture(ArchitectureKind::BusConnectedNocs);
+    EXPECT_EQ(bus.hub_capacity, 1u);
+    EXPECT_GT(hier.hub_capacity, bus.hub_capacity);
+}
+
+TEST(Architecture, TaskTilesAreDistinct) {
+    for (auto kind : {ArchitectureKind::FlatNoc, ArchitectureKind::HierarchicalNoc,
+                      ArchitectureKind::BusConnectedNocs}) {
+        const auto a = make_architecture(kind);
+        std::vector<TileId> all = a.mapping.sensors;
+        all.insert(all.end(), a.mapping.aggregators.begin(), a.mapping.aggregators.end());
+        all.push_back(a.mapping.combiner);
+        std::sort(all.begin(), all.end());
+        EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+            << to_string(kind);
+        for (TileId t : all) EXPECT_LT(t, a.topology.node_count());
+    }
+}
+
+TEST(Architecture, GatewayMeshHasNoHubButSecondLevelLinks) {
+    const auto a = make_architecture(ArchitectureKind::CentralRouterMesh);
+    EXPECT_EQ(a.topology.node_count(), 64u);
+    EXPECT_EQ(a.hub, kNoTile);
+    // Each gateway connects to its 2 intra-cluster neighbours + 3 peers.
+    std::size_t five_degree = 0;
+    for (TileId t = 0; t < 64; ++t)
+        if (a.topology.neighbours(t).size() == 5) ++five_degree;
+    EXPECT_EQ(five_degree, 4u);
+}
+
+TEST(RunBeamforming, AllArchitecturesComplete) {
+    for (auto kind : {ArchitectureKind::FlatNoc, ArchitectureKind::HierarchicalNoc,
+                      ArchitectureKind::CentralRouterMesh,
+                      ArchitectureKind::BusConnectedNocs}) {
+        const auto r = run_beamforming(kind, /*frames=*/2, default_config(),
+                                       FaultScenario::none(), 1);
+        EXPECT_TRUE(r.completed) << to_string(kind);
+        EXPECT_GT(r.transmissions, 0u);
+        EXPECT_GT(r.rounds, 0u);
+    }
+}
+
+TEST(RunBeamforming, Fig53TransmissionOrdering) {
+    // Fig. 5-3: the hierarchical NoC has the lowest number of message
+    // transmissions; the flat NoC the highest.
+    std::size_t flat = 0, hier = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        flat += run_beamforming(ArchitectureKind::FlatNoc, 2, default_config(),
+                                FaultScenario::none(), seed)
+                    .transmissions;
+        hier += run_beamforming(ArchitectureKind::HierarchicalNoc, 2, default_config(),
+                                FaultScenario::none(), seed)
+                    .transmissions;
+    }
+    EXPECT_LT(hier, flat);
+}
+
+TEST(RunBeamforming, Fig53LatencyOrdering) {
+    // Fig. 5-3: the flat NoC has (slightly) better latency; the serialised
+    // bus bridge is the slowest.
+    std::size_t flat = 0, bus = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        flat += run_beamforming(ArchitectureKind::FlatNoc, 2, default_config(),
+                                FaultScenario::none(), seed)
+                    .rounds;
+        bus += run_beamforming(ArchitectureKind::BusConnectedNocs, 2, default_config(),
+                               FaultScenario::none(), seed)
+                   .rounds;
+    }
+    EXPECT_LE(flat, bus);
+}
+
+TEST(RunBeamforming, DeterministicPerSeed) {
+    const auto a = run_beamforming(ArchitectureKind::HierarchicalNoc, 2,
+                                   default_config(), FaultScenario::none(), 9);
+    const auto b = run_beamforming(ArchitectureKind::HierarchicalNoc, 2,
+                                   default_config(), FaultScenario::none(), 9);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.transmissions, b.transmissions);
+}
+
+} // namespace
+} // namespace snoc::diversity

@@ -1,0 +1,271 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/stats.hpp"
+
+namespace snoc {
+namespace {
+
+Packet sample_packet(std::size_t payload_bytes = 64) {
+    Message m;
+    m.id = MessageId{1, 2};
+    m.source = 1;
+    m.destination = 3;
+    m.ttl = 10;
+    m.payload.assign(payload_bytes, std::byte{0x5A});
+    return Packet::encode(m);
+}
+
+TEST(FaultScenario, ValidateAcceptsDefaults) {
+    EXPECT_NO_THROW(FaultScenario::none().validate());
+}
+
+TEST(FaultScenario, ValidateRejectsOutOfRange) {
+    FaultScenario s;
+    s.p_upset = 1.5;
+    EXPECT_THROW(s.validate(), ContractViolation);
+    s = {};
+    s.p_tiles = -0.1;
+    EXPECT_THROW(s.validate(), ContractViolation);
+    s = {};
+    s.sigma_synchr = -1.0;
+    EXPECT_THROW(s.validate(), ContractViolation);
+}
+
+TEST(FaultScenario, DescribeMentionsEveryKnob) {
+    FaultScenario s;
+    s.p_tiles = 0.1;
+    s.p_upset = 0.3;
+    s.upset_model = UpsetModel::RandomErrorVector;
+    const auto text = s.describe();
+    EXPECT_NE(text.find("tiles=0.1"), std::string::npos);
+    EXPECT_NE(text.find("upset=0.3"), std::string::npos);
+    EXPECT_NE(text.find("random-error-vector"), std::string::npos);
+}
+
+TEST(FaultInjector, NoFaultsMeansNoEffects) {
+    RngPool pool(1);
+    FaultInjector inj(FaultScenario::none(), pool);
+    auto p = sample_packet();
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inj.maybe_upset(p));
+        EXPECT_FALSE(inj.overflow_drop());
+    }
+    EXPECT_TRUE(p.crc_ok());
+    EXPECT_EQ(inj.upsets_injected(), 0u);
+}
+
+TEST(FaultInjector, CrashRateMatchesProbability) {
+    const auto topo = Topology::mesh(16, 16); // 256 tiles
+    FaultScenario s;
+    s.p_tiles = 0.3;
+    Accumulator rate;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        RngPool pool(seed);
+        FaultInjector inj(s, pool);
+        const auto crashes = inj.roll_crashes(topo);
+        rate.add(static_cast<double>(crashes.dead_tile_count()) / 256.0);
+    }
+    EXPECT_NEAR(rate.mean(), 0.3, 0.03);
+}
+
+TEST(FaultInjector, ProtectedTilesNeverCrash) {
+    const auto topo = Topology::mesh(4, 4);
+    FaultScenario s;
+    s.p_tiles = 0.9;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        RngPool pool(seed);
+        FaultInjector inj(s, pool);
+        const auto crashes = inj.roll_crashes(topo, {5, 11});
+        EXPECT_FALSE(crashes.dead_tiles[5]);
+        EXPECT_FALSE(crashes.dead_tiles[11]);
+    }
+}
+
+TEST(FaultInjector, ExactCrashCountIsExact) {
+    const auto topo = Topology::mesh(5, 5);
+    RngPool pool(9);
+    FaultInjector inj(FaultScenario::none(), pool);
+    for (std::size_t k : {0u, 1u, 5u, 12u}) {
+        RngPool p2(k + 100);
+        FaultInjector fresh(FaultScenario::none(), p2);
+        const auto crashes = fresh.roll_exact_tile_crashes(topo, k, {12});
+        EXPECT_EQ(crashes.dead_tile_count(), k);
+        EXPECT_FALSE(crashes.dead_tiles[12]);
+    }
+}
+
+TEST(FaultInjector, ExactCrashRespectsCandidateLimit) {
+    const auto topo = Topology::mesh(2, 2);
+    RngPool pool(3);
+    FaultInjector inj(FaultScenario::none(), pool);
+    EXPECT_THROW(inj.roll_exact_tile_crashes(topo, 4, {0}), ContractViolation);
+}
+
+TEST(FaultInjector, LinkCrashesIndependentOfTiles) {
+    const auto topo = Topology::mesh(8, 8);
+    FaultScenario s;
+    s.p_links = 0.25;
+    Accumulator rate;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        RngPool pool(seed);
+        FaultInjector inj(s, pool);
+        const auto crashes = inj.roll_crashes(topo);
+        EXPECT_EQ(crashes.dead_tile_count(), 0u);
+        rate.add(static_cast<double>(crashes.dead_link_count()) /
+                 static_cast<double>(topo.link_count()));
+    }
+    EXPECT_NEAR(rate.mean(), 0.25, 0.03);
+}
+
+TEST(FaultInjector, UpsetRateMatchesPUpset) {
+    FaultScenario s;
+    s.p_upset = 0.4;
+    RngPool pool(5);
+    FaultInjector inj(s, pool);
+    int corrupted = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        auto p = sample_packet();
+        if (inj.maybe_upset(p)) ++corrupted;
+    }
+    EXPECT_NEAR(static_cast<double>(corrupted) / n, 0.4, 0.03);
+    EXPECT_EQ(inj.upsets_injected(), static_cast<std::size_t>(corrupted));
+}
+
+TEST(FaultInjector, BitErrorModelAlwaysChangesWire) {
+    FaultScenario s;
+    s.p_upset = 1.0;
+    s.upset_model = UpsetModel::RandomBitError;
+    RngPool pool(6);
+    FaultInjector inj(s, pool);
+    for (int i = 0; i < 200; ++i) {
+        auto p = sample_packet();
+        const auto original = p.wire();
+        EXPECT_TRUE(inj.maybe_upset(p));
+        EXPECT_NE(p.wire(), original);
+    }
+}
+
+TEST(FaultInjector, BitErrorModelFlipsFewBits) {
+    FaultScenario s;
+    s.p_upset = 1.0;
+    s.upset_model = UpsetModel::RandomBitError;
+    RngPool pool(7);
+    FaultInjector inj(s, pool);
+    Accumulator flips;
+    for (int i = 0; i < 500; ++i) {
+        auto p = sample_packet();
+        const auto original = p.wire();
+        inj.maybe_upset(p);
+        int diff = 0;
+        for (std::size_t b = 0; b < original.size(); ++b) {
+            auto x = static_cast<unsigned>(original[b] ^ p.wire()[b]);
+            while (x) {
+                diff += static_cast<int>(x & 1u);
+                x >>= 1;
+            }
+        }
+        EXPECT_GE(diff, 1);
+        flips.add(diff);
+    }
+    // Conditioned on an upset, expected flips ~ 2 (documented burst shape).
+    EXPECT_NEAR(flips.mean(), 2.0, 0.5);
+}
+
+TEST(FaultInjector, ErrorVectorModelScramblesManyBits) {
+    FaultScenario s;
+    s.p_upset = 1.0;
+    s.upset_model = UpsetModel::RandomErrorVector;
+    RngPool pool(8);
+    FaultInjector inj(s, pool);
+    Accumulator flips;
+    for (int i = 0; i < 200; ++i) {
+        auto p = sample_packet();
+        const auto original = p.wire();
+        inj.maybe_upset(p);
+        int diff = 0;
+        for (std::size_t b = 0; b < original.size(); ++b) {
+            auto x = static_cast<unsigned>(original[b] ^ p.wire()[b]);
+            while (x) {
+                diff += static_cast<int>(x & 1u);
+                x >>= 1;
+            }
+        }
+        EXPECT_GE(diff, 1);
+        flips.add(diff);
+    }
+    // Uniform error vector flips ~half the bits on average.
+    const double nbits = static_cast<double>(sample_packet().bit_size());
+    EXPECT_NEAR(flips.mean(), nbits / 2.0, nbits * 0.05);
+}
+
+TEST(FaultInjector, UpsetsAreCaughtByCrc) {
+    FaultScenario s;
+    s.p_upset = 1.0;
+    for (auto model : {UpsetModel::RandomBitError, UpsetModel::RandomErrorVector}) {
+        s.upset_model = model;
+        RngPool pool(9);
+        FaultInjector inj(s, pool);
+        int undetected = 0;
+        for (int i = 0; i < 500; ++i) {
+            auto p = sample_packet();
+            inj.maybe_upset(p);
+            if (p.crc_ok()) ++undetected;
+        }
+        // CRC-32 misses with probability ~2^-32; 500 trials should all catch.
+        EXPECT_EQ(undetected, 0) << to_string(model);
+    }
+}
+
+TEST(FaultInjector, OverflowRateMatchesProbability) {
+    FaultScenario s;
+    s.p_overflow = 0.2;
+    RngPool pool(10);
+    FaultInjector inj(s, pool);
+    int drops = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        if (inj.overflow_drop()) ++drops;
+    EXPECT_NEAR(static_cast<double>(drops) / n, 0.2, 0.02);
+    EXPECT_EQ(inj.overflows_forced(), static_cast<std::size_t>(drops));
+}
+
+TEST(FaultInjector, RoundDurationJitterMatchesSigma) {
+    FaultScenario s;
+    s.sigma_synchr = 0.1;
+    RngPool pool(11);
+    FaultInjector inj(s, pool);
+    Accumulator acc;
+    for (int i = 0; i < 5000; ++i) acc.add(inj.round_duration(1e-6, 0));
+    EXPECT_NEAR(acc.mean(), 1e-6, 1e-8);
+    EXPECT_NEAR(acc.stddev(), 0.1e-6, 0.01e-6);
+}
+
+TEST(FaultInjector, RoundDurationNeverNonPositive) {
+    FaultScenario s;
+    s.sigma_synchr = 3.0; // extreme jitter
+    RngPool pool(12);
+    FaultInjector inj(s, pool);
+    for (int i = 0; i < 2000; ++i) EXPECT_GT(inj.round_duration(1e-6, 0), 0.0);
+}
+
+TEST(FaultInjector, DeterministicAcrossRuns) {
+    FaultScenario s;
+    s.p_upset = 0.5;
+    s.p_overflow = 0.3;
+    RngPool pool_a(77), pool_b(77);
+    FaultInjector a(s, pool_a), b(s, pool_b);
+    for (int i = 0; i < 100; ++i) {
+        auto pa = sample_packet();
+        auto pb = sample_packet();
+        EXPECT_EQ(a.maybe_upset(pa), b.maybe_upset(pb));
+        EXPECT_EQ(pa.wire(), pb.wire());
+        EXPECT_EQ(a.overflow_drop(), b.overflow_drop());
+    }
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,123 @@
+#include "noc/fec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace snoc::fec {
+namespace {
+
+TEST(SecdedWord, CleanRoundtrip) {
+    for (std::uint64_t data : {0ULL, 1ULL, 0xFFFFFFFFFFFFFFFFULL,
+                               0xDEADBEEFCAFEBABEULL, 0x8000000000000001ULL}) {
+        const auto w = encode_word(data);
+        const auto d = decode_word(w);
+        EXPECT_EQ(d.status, WordStatus::Clean);
+        EXPECT_EQ(d.data, data);
+    }
+}
+
+TEST(SecdedWord, EverySingleBitErrorIsCorrected) {
+    const std::uint64_t data = 0xA5A5F00D12345678ULL;
+    for (std::size_t bit = 0; bit < 72; ++bit) {
+        auto w = encode_word(data);
+        flip_bit(w, bit);
+        const auto d = decode_word(w);
+        EXPECT_EQ(d.status, WordStatus::Corrected) << "bit " << bit;
+        EXPECT_EQ(d.data, data) << "bit " << bit;
+    }
+}
+
+TEST(SecdedWord, EveryDoubleBitErrorIsDetectedNotMiscorrected) {
+    const std::uint64_t data = 0x0123456789ABCDEFULL;
+    std::size_t uncorrectable = 0, total = 0;
+    for (std::size_t i = 0; i < 72; ++i) {
+        for (std::size_t j = i + 1; j < 72; ++j) {
+            auto w = encode_word(data);
+            flip_bit(w, i);
+            flip_bit(w, j);
+            const auto d = decode_word(w);
+            ++total;
+            if (d.status == WordStatus::Uncorrectable) ++uncorrectable;
+            // SECDED must never silently return wrong data for <=2 errors.
+            if (d.status != WordStatus::Uncorrectable) {
+                EXPECT_EQ(d.data, data) << i << "," << j;
+            }
+        }
+    }
+    EXPECT_EQ(uncorrectable, total); // all 2556 double errors detected
+}
+
+TEST(SecdedWord, DifferentDataDifferentCheck) {
+    EXPECT_NE(encode_word(1).check, encode_word(2).check);
+}
+
+TEST(SecdedStream, ProtectRecoverRoundtrip) {
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 100u}) {
+        std::vector<std::byte> payload(n);
+        for (std::size_t i = 0; i < n; ++i)
+            payload[i] = static_cast<std::byte>(i * 37 + 1);
+        const auto prot = protect(payload);
+        EXPECT_EQ(prot.bytes.size(), 4 + ((n + 7) / 8) * 9);
+        const auto rec = recover(prot.bytes);
+        EXPECT_TRUE(rec.ok);
+        EXPECT_EQ(rec.corrected_words, 0u);
+        EXPECT_EQ(rec.payload, payload);
+    }
+}
+
+TEST(SecdedStream, SingleBitFlipsInEveryWordAreRepaired) {
+    std::vector<std::byte> payload(64);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::byte>(i);
+    auto prot = protect(payload);
+    // Flip one bit in each of the 8 words (data region).
+    for (std::size_t w = 0; w < 8; ++w) {
+        const std::size_t byte = 4 + w * 9 + (w % 8);
+        prot.bytes[byte] ^= static_cast<std::byte>(1u << (w % 8));
+    }
+    const auto rec = recover(prot.bytes);
+    EXPECT_TRUE(rec.ok);
+    EXPECT_EQ(rec.corrected_words, 8u);
+    EXPECT_EQ(rec.payload, payload);
+}
+
+TEST(SecdedStream, DoubleFlipInOneWordIsFlagged) {
+    std::vector<std::byte> payload(16, std::byte{0x3C});
+    auto prot = protect(payload);
+    prot.bytes[5] ^= std::byte{0x01};
+    prot.bytes[6] ^= std::byte{0x01};
+    const auto rec = recover(prot.bytes);
+    EXPECT_FALSE(rec.ok);
+}
+
+TEST(SecdedStream, BrokenFramingIsRejected) {
+    EXPECT_FALSE(recover({}).ok);
+    EXPECT_FALSE(recover({std::byte{1}, std::byte{0}}).ok);
+    std::vector<std::byte> payload(8, std::byte{0x11});
+    auto prot = protect(payload);
+    prot.bytes.pop_back();
+    EXPECT_FALSE(recover(prot.bytes).ok);
+}
+
+TEST(SecdedStream, RandomFuzzNeverReturnsWrongBytesSilently) {
+    RngStream rng(99);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<std::byte> payload(1 + rng.below(64));
+        for (auto& b : payload) b = static_cast<std::byte>(rng.bits() & 0xFF);
+        auto prot = protect(payload);
+        // Flip 0, 1 or 2 random bits in the word region.
+        const auto flips = rng.below(3);
+        for (std::uint64_t f = 0; f < flips; ++f) {
+            const std::size_t bit = 32 + rng.below((prot.bytes.size() - 4) * 8);
+            prot.bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+        }
+        const auto rec = recover(prot.bytes);
+        if (rec.ok) {
+            EXPECT_EQ(rec.payload, payload);
+        }
+    }
+}
+
+} // namespace
+} // namespace snoc::fec

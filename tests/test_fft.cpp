@@ -1,0 +1,164 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace snoc::apps {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+    snoc::RngStream rng(seed);
+    std::vector<Complex> v(n);
+    for (auto& x : v) x = Complex(2.0 * rng.uniform() - 1.0, 2.0 * rng.uniform() - 1.0);
+    return v;
+}
+
+double max_err(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+    std::vector<Complex> v{Complex(3.0, -2.0)};
+    fft(v);
+    EXPECT_DOUBLE_EQ(v[0].real(), 3.0);
+    EXPECT_DOUBLE_EQ(v[0].imag(), -2.0);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+    std::vector<Complex> v(6);
+    EXPECT_THROW(fft(v), snoc::ContractViolation);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+    std::vector<Complex> v(16, Complex(0.0, 0.0));
+    v[0] = Complex(1.0, 0.0);
+    fft(v);
+    for (const auto& x : v) {
+        EXPECT_NEAR(x.real(), 1.0, 1e-12);
+        EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, SingleToneConcentrates) {
+    const std::size_t n = 64;
+    std::vector<Complex> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = Complex(std::cos(2.0 * std::numbers::pi * 5.0 * i / n), 0.0);
+    fft(v);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == 5 || k == n - 5) {
+            EXPECT_NEAR(std::abs(v[k]), n / 2.0, 1e-9);
+        } else {
+            EXPECT_NEAR(std::abs(v[k]), 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Fft, MatchesDirectDft) {
+    for (std::size_t n : {2u, 4u, 8u, 32u, 128u}) {
+        auto v = random_signal(n, n);
+        const auto expected = dft_direct(v);
+        fft(v);
+        EXPECT_LT(max_err(v, expected), 1e-9 * static_cast<double>(n)) << "n=" << n;
+    }
+}
+
+TEST(Fft, InverseRoundtrip) {
+    auto v = random_signal(256, 9);
+    const auto original = v;
+    fft(v);
+    ifft(v);
+    EXPECT_LT(max_err(v, original), 1e-10);
+}
+
+TEST(Fft, Linearity) {
+    auto a = random_signal(64, 1);
+    auto b = random_signal(64, 2);
+    std::vector<Complex> sum(64);
+    for (std::size_t i = 0; i < 64; ++i) sum[i] = a[i] + 2.0 * b[i];
+    fft(a);
+    fft(b);
+    fft(sum);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_LT(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 1e-9);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+    auto v = random_signal(128, 5);
+    double time_energy = 0.0;
+    for (const auto& x : v) time_energy += std::norm(x);
+    fft(v);
+    double freq_energy = 0.0;
+    for (const auto& x : v) freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-8);
+}
+
+TEST(Fft2d, MatchesDirect2dDft) {
+    ComplexImage img = ComplexImage::zeros(8, 8);
+    snoc::RngStream rng(3);
+    for (auto& c : img.data) c = Complex(rng.uniform(), rng.uniform());
+    const auto fast = fft2d(img);
+    const auto direct = dft2d_direct(img);
+    EXPECT_LT(max_abs_diff(fast, direct), 1e-9);
+}
+
+TEST(Fft2d, RectangularImages) {
+    ComplexImage img = ComplexImage::zeros(16, 4);
+    snoc::RngStream rng(4);
+    for (auto& c : img.data) c = Complex(rng.uniform() - 0.5, 0.0);
+    EXPECT_LT(max_abs_diff(fft2d(img), dft2d_direct(img)), 1e-9);
+}
+
+TEST(Decimate, SubimagesPickAlternatingPixels) {
+    ComplexImage img = ComplexImage::zeros(4, 4);
+    for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x)
+            img.at(x, y) = Complex(static_cast<double>(10 * y + x), 0.0);
+    const auto quads = decimate2d(img);
+    // quad index b*2+a holds x(2*m1+a, 2*m2+b).
+    EXPECT_DOUBLE_EQ(quads[0].at(0, 0).real(), 0.0);   // (0,0)
+    EXPECT_DOUBLE_EQ(quads[1].at(0, 0).real(), 1.0);   // (1,0)
+    EXPECT_DOUBLE_EQ(quads[2].at(0, 0).real(), 10.0);  // (0,1)
+    EXPECT_DOUBLE_EQ(quads[3].at(0, 0).real(), 11.0);  // (1,1)
+    EXPECT_DOUBLE_EQ(quads[0].at(1, 1).real(), 22.0);  // (2,2)
+}
+
+TEST(DecimateCombine, EqualsFullTransform) {
+    // The butterfly the Fig. 4-3 tree distributes: FFT2 of quadrants +
+    // combine == FFT2 of the whole image.
+    for (std::size_t n : {4u, 8u, 16u}) {
+        ComplexImage img = ComplexImage::zeros(n, n);
+        snoc::RngStream rng(n);
+        for (auto& c : img.data) c = Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+        auto quads = decimate2d(img);
+        std::array<ComplexImage, 4> transformed;
+        for (std::size_t q = 0; q < 4; ++q) transformed[q] = fft2d(quads[q]);
+        const auto combined = combine2d(transformed);
+        EXPECT_LT(max_abs_diff(combined, fft2d(img)), 1e-8) << "n=" << n;
+    }
+}
+
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeSweep, RoundtripAndOracle) {
+    const std::size_t n = GetParam();
+    auto v = random_signal(n, n * 13 + 1);
+    const auto original = v;
+    const auto oracle = dft_direct(v);
+    fft(v);
+    EXPECT_LT(max_err(v, oracle), 1e-8);
+    ifft(v);
+    EXPECT_LT(max_err(v, original), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep, ::testing::Values(2, 4, 16, 64, 256, 512));
+
+} // namespace
+} // namespace snoc::apps

@@ -1,0 +1,105 @@
+#include "apps/fft2d_app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snoc::apps {
+namespace {
+
+GossipConfig default_config() {
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 30;
+    return c;
+}
+
+TEST(ImagePayload, Roundtrip) {
+    const auto img = make_test_image(8, 1);
+    const auto payload = encode_image_payload(3, img);
+    auto [task, decoded] = decode_image_payload(payload);
+    EXPECT_EQ(task, 3u);
+    ASSERT_EQ(decoded.width, img.width);
+    ASSERT_EQ(decoded.height, img.height);
+    // float32 quantisation: within 1e-6 relative.
+    EXPECT_LT(max_abs_diff(decoded, img), 1e-5);
+}
+
+TEST(TestImage, DeterministicAndSeedSensitive) {
+    const auto a = make_test_image(16, 1);
+    const auto b = make_test_image(16, 1);
+    const auto c = make_test_image(16, 2);
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+    EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Fft2dNoc, FaultFreeRunComputesSpectrum) {
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 1);
+    FftDeployment d;
+    auto& root = deploy_fft2d(net, d, /*image_seed=*/5);
+    const auto result = net.run_until([&root] { return root.done(); }, 300);
+    ASSERT_TRUE(result.completed);
+    // The distributed answer must equal the sequential oracle up to the
+    // float32 payload quantisation.
+    const auto oracle = fft2d(make_test_image(d.image_size, 5));
+    EXPECT_LT(max_abs_diff(root.spectrum(), oracle), 1e-3);
+    // Fig. 4-4: FFT2 completes in 5-8 rounds at p = 0.5.
+    EXPECT_LE(*root.completion_round(), 14u);
+}
+
+TEST(Fft2dNoc, FloodingIsFaster) {
+    GossipConfig flood = default_config();
+    flood.forward_p = 1.0;
+    GossipNetwork fast(Topology::mesh(4, 4), flood, FaultScenario::none(), 2);
+    auto& root_fast = deploy_fft2d(fast, FftDeployment{}, 5);
+    fast.run_until([&root_fast] { return root_fast.done(); }, 300);
+
+    GossipConfig slow = default_config();
+    slow.forward_p = 0.25;
+    slow.default_ttl = 60;
+    GossipNetwork lazy(Topology::mesh(4, 4), slow, FaultScenario::none(), 2);
+    auto& root_lazy = deploy_fft2d(lazy, FftDeployment{}, 5);
+    lazy.run_until([&root_lazy] { return root_lazy.done(); }, 1000);
+
+    ASSERT_TRUE(root_fast.done());
+    ASSERT_TRUE(root_lazy.done());
+    EXPECT_LE(*root_fast.completion_round(), *root_lazy.completion_round());
+}
+
+TEST(Fft2dNoc, SurvivesUpsets) {
+    FaultScenario s;
+    s.p_upset = 0.4;
+    GossipConfig c = default_config();
+    c.default_ttl = 60;
+    GossipNetwork net(Topology::mesh(4, 4), c, s, 3);
+    FftDeployment d;
+    auto& root = deploy_fft2d(net, d, 7);
+    const auto result = net.run_until([&root] { return root.done(); }, 2000);
+    ASSERT_TRUE(result.completed);
+    const auto oracle = fft2d(make_test_image(d.image_size, 7));
+    EXPECT_LT(max_abs_diff(root.spectrum(), oracle), 1e-3);
+}
+
+TEST(Fft2dNoc, DuplicatedWorkersSurviveWorkerCrash) {
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 4);
+    FftDeployment d;
+    d.duplicate_workers = true;
+    auto& root = deploy_fft2d(net, d, 9);
+    for (TileId t = 0; t < 16; ++t)
+        if (t != d.worker_tiles[0]) net.protect(t);
+    net.force_exact_tile_crashes(1);
+    const auto result = net.run_until([&root] { return root.done(); }, 500);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(net.tile_alive(d.worker_tiles[0]));
+}
+
+TEST(Fft2dTrace, ShapeMatchesDeployment) {
+    FftDeployment d;
+    const auto trace = fft2d_trace(d);
+    ASSERT_EQ(trace.phases.size(), 2u);
+    EXPECT_EQ(trace.phases[0].messages.size(), 4u);
+    EXPECT_EQ(trace.phases[1].messages.size(), 4u);
+    // 8x8 quadrants of float32 pairs + 12-byte header.
+    EXPECT_EQ(trace.phases[0].messages[0].bits, (12 + 64 * 8) * 8);
+}
+
+} // namespace
+} // namespace snoc::apps

@@ -1,0 +1,138 @@
+// Voltage/frequency islands (Ch. 5): per-tile clock scaling in the engine.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace snoc {
+namespace {
+
+class Chatter final : public IpCore {
+public:
+    explicit Chatter(std::uint16_t ttl = 1) : ttl_(ttl) {}
+    void on_round(TileContext& ctx) override {
+        ctx.send(kBroadcast, 0xC0, {std::byte{1}}, ttl_);
+    }
+    void on_message(const Message&, TileContext&) override {}
+
+private:
+    std::uint16_t ttl_;
+};
+
+class Echo final : public IpCore {
+public:
+    void on_message(const Message&, TileContext& ctx) override {
+        rounds_.push_back(ctx.round());
+    }
+    const std::vector<Round>& rounds() const { return rounds_; }
+
+private:
+    std::vector<Round> rounds_;
+};
+
+GossipConfig flood() {
+    GossipConfig c;
+    c.forward_p = 1.0;
+    c.default_ttl = 10;
+    return c;
+}
+
+TEST(Islands, ScaleTwoTileActsEveryOtherRound) {
+    // A chattering IP on a scale-2 tile emits in every second round only.
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 1);
+    net.attach(0, std::make_unique<Chatter>());
+    net.set_clock_scale(0, 2.0);
+    for (int i = 0; i < 10; ++i) net.step();
+    const auto& per_round = net.metrics().packets_per_round;
+    // TTL 1 rumors die immediately, so transmissions happen exactly in the
+    // tile's active rounds: 0, 2, 4, ...
+    for (std::size_t r = 0; r < per_round.size(); ++r) {
+        if (r % 2 == 0)
+            EXPECT_GT(per_round[r], 0u) << "round " << r;
+        else
+            EXPECT_EQ(per_round[r], 0u) << "round " << r;
+    }
+}
+
+TEST(Islands, FractionalScaleActsProportionally) {
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 2);
+    net.attach(0, std::make_unique<Chatter>());
+    net.set_clock_scale(0, 1.5);
+    for (int i = 0; i < 30; ++i) net.step();
+    std::size_t active = 0;
+    for (auto n : net.metrics().packets_per_round)
+        if (n > 0) ++active;
+    // 30 rounds / 1.5 = 20 active rounds.
+    EXPECT_NEAR(static_cast<double>(active), 20.0, 1.0);
+}
+
+TEST(Islands, ScaleBelowOneClampsToEveryRound) {
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 3);
+    net.attach(0, std::make_unique<Chatter>());
+    net.set_clock_scale(0, 0.25);
+    for (int i = 0; i < 8; ++i) net.step();
+    for (auto n : net.metrics().packets_per_round) EXPECT_GT(n, 0u);
+}
+
+TEST(Islands, SlowDestinationDefersDelivery) {
+    // Message into a scale-4 island arrives only when that domain ticks.
+    GossipNetwork fast(Topology::mesh(2, 2), flood(), FaultScenario::none(), 4);
+    auto e1 = std::make_unique<Echo>();
+    const Echo& echo_fast = *e1;
+    fast.attach(0, std::make_unique<Chatter>(/*ttl=*/3));
+    fast.attach(3, std::move(e1));
+    for (int i = 0; i < 16; ++i) fast.step();
+
+    GossipNetwork slow(Topology::mesh(2, 2), flood(), FaultScenario::none(), 4);
+    auto e2 = std::make_unique<Echo>();
+    const Echo& echo_slow = *e2;
+    slow.attach(0, std::make_unique<Chatter>(/*ttl=*/3));
+    slow.attach(3, std::move(e2));
+    slow.set_clock_scale(3, 4.0);
+    for (int i = 0; i < 16; ++i) slow.step();
+
+    ASSERT_FALSE(echo_fast.rounds().empty());
+    ASSERT_FALSE(echo_slow.rounds().empty());
+    // The slow island receives fewer deliveries in the same wall time and
+    // only in rounds congruent to its activity grid.
+    EXPECT_LT(echo_slow.rounds().size(), echo_fast.rounds().size());
+    for (Round r : echo_slow.rounds()) EXPECT_EQ(r % 4, 0u) << r;
+}
+
+TEST(Islands, SlowTileClockAdvancesByScaledDuration) {
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 5);
+    net.set_clock_scale(0, 2.0);
+    for (int i = 0; i < 8; ++i) net.step();
+    // After 8 engine rounds: the scale-2 tile executed 4 rounds of 2*T_R
+    // each, so its local time matches the fast tiles'.
+    EXPECT_NEAR(net.elapsed_seconds(), 8.0 * net.config().timing.round_seconds(),
+                1e-15);
+}
+
+TEST(Islands, PerTileBitAccounting) {
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 6);
+    net.attach(0, std::make_unique<Chatter>());
+    for (int i = 0; i < 5; ++i) net.step();
+    const auto& by_tile = net.metrics().bits_sent_by_tile;
+    ASSERT_EQ(by_tile.size(), 4u);
+    std::size_t sum = 0;
+    for (auto b : by_tile) sum += b;
+    EXPECT_EQ(sum, net.metrics().bits_sent);
+    EXPECT_GT(by_tile[0], 0u);
+}
+
+TEST(Islands, ConfigurationIsPreStartOnly) {
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 7);
+    net.step();
+    EXPECT_THROW(net.set_clock_scale(0, 2.0), ContractViolation);
+}
+
+TEST(Islands, RejectsNonPositiveScale) {
+    GossipNetwork net(Topology::mesh(2, 2), flood(), FaultScenario::none(), 8);
+    EXPECT_THROW(net.set_clock_scale(0, 0.0), ContractViolation);
+    EXPECT_THROW(net.set_clock_scale(0, -1.0), ContractViolation);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,178 @@
+#include "apps/mp3_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/audio.hpp"
+
+namespace snoc::apps {
+namespace {
+
+GossipConfig default_config() {
+    GossipConfig c;
+    c.forward_p = 0.75;
+    c.default_ttl = 30;
+    return c;
+}
+
+Mp3Config small_mp3() {
+    Mp3Config c;
+    c.frame_samples = 64;
+    c.frame_count = 6;
+    c.frame_interval = 2;
+    c.band_count = 8;
+    c.frame_budget_bits = 400;
+    c.reservoir_capacity = 800;
+    return c;
+}
+
+TEST(ToneGenerator, DeterministicAndContinuous) {
+    ToneGenerator a(AudioParams{}, 1), b(AudioParams{}, 1);
+    const auto f1 = a.frame(64);
+    const auto f2 = b.frame(64);
+    EXPECT_EQ(f1, f2);
+    // Continuity: two frames of 32 equal one frame of 64.
+    ToneGenerator c(AudioParams{}, 1);
+    auto g1 = c.frame(32);
+    const auto g2 = c.frame(32);
+    g1.insert(g1.end(), g2.begin(), g2.end());
+    EXPECT_EQ(g1, f1);
+}
+
+TEST(ToneGenerator, SamplesStayInRange) {
+    ToneGenerator gen(AudioParams{}, 5);
+    for (double s : gen.frame(4096)) {
+        EXPECT_GE(s, -1.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST(Mp3Noc, FaultFreeEncodingCompletes) {
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 1);
+    const auto cfg = small_mp3();
+    auto& output = deploy_mp3(net, cfg);
+    const auto result = net.run_until([&output] { return output.complete(); }, 500);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(output.frames_received(), cfg.frame_count);
+    EXPECT_EQ(output.frames_skipped(), 0u);
+    EXPECT_GT(output.total_coded_bits(), 0u);
+    ASSERT_TRUE(output.completion_round().has_value());
+}
+
+TEST(Mp3Noc, EmissionLogIsMonotone) {
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 2);
+    auto& output = deploy_mp3(net, small_mp3());
+    net.run_until([&output] { return output.complete(); }, 500);
+    const auto& log = output.emission_log();
+    ASSERT_FALSE(log.empty());
+    for (std::size_t i = 1; i < log.size(); ++i) {
+        EXPECT_GE(log[i].first, log[i - 1].first);
+        EXPECT_GT(log[i].second, log[i - 1].second);
+    }
+    EXPECT_EQ(log.back().second, output.total_coded_bits());
+}
+
+TEST(Mp3Noc, CodedSizeRespectsBudgetPlusReservoir) {
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 3);
+    const auto cfg = small_mp3();
+    auto& output = deploy_mp3(net, cfg);
+    net.run_until([&output] { return output.complete(); }, 500);
+    // Total coded payload can't exceed frames * budget + reservoir.
+    EXPECT_LE(output.total_coded_bits(),
+              cfg.frame_count * cfg.frame_budget_bits + cfg.reservoir_capacity +
+                  // payload framing overhead (headers + scales) per frame:
+                  cfg.frame_count * (4 + 4 + 4 + cfg.band_count * 4 + 4 + 4) * 8);
+}
+
+TEST(Mp3Noc, UpsetsDelayCompletion) {
+    const auto cfg = small_mp3();
+    GossipNetwork clean(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 4);
+    auto& out_clean = deploy_mp3(clean, cfg);
+    const auto clean_run =
+        clean.run_until([&out_clean] { return out_clean.complete(); }, 3000);
+
+    FaultScenario s;
+    s.p_upset = 0.6;
+    GossipConfig gc = default_config();
+    gc.default_ttl = 60;
+    GossipNetwork dirty(Topology::mesh(4, 4), gc, s, 4);
+    auto& out_dirty = deploy_mp3(dirty, cfg);
+    const auto dirty_run =
+        dirty.run_until([&out_dirty] { return out_dirty.complete(); }, 3000);
+
+    ASSERT_TRUE(clean_run.completed);
+    ASSERT_TRUE(dirty_run.completed);
+    EXPECT_GT(dirty_run.rounds, clean_run.rounds);
+}
+
+TEST(Mp3Noc, StreamingModeSkipsUndeliverableFrames) {
+    // Crash the MDCT tile: no frame can ever be encoded; streaming mode
+    // must skip them all instead of stalling.
+    Mp3Config cfg = small_mp3();
+    cfg.skip_after_rounds = 10;
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 5);
+    Mp3Deployment map;
+    auto& output = deploy_mp3(net, cfg, map);
+    for (TileId t = 0; t < 16; ++t)
+        if (t != map.mdct) net.protect(t);
+    net.force_exact_tile_crashes(1);
+    const auto result = net.run_until([&output] { return output.complete(); }, 2000);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(output.frames_received(), 0u);
+    EXPECT_EQ(output.frames_skipped(), cfg.frame_count);
+}
+
+TEST(Mp3Noc, StrictModeStallsOnLostStage) {
+    Mp3Config cfg = small_mp3();
+    cfg.skip_after_rounds = 0; // strict
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 6);
+    Mp3Deployment map;
+    auto& output = deploy_mp3(net, cfg, map);
+    for (TileId t = 0; t < 16; ++t)
+        if (t != map.mdct) net.protect(t);
+    net.force_exact_tile_crashes(1);
+    const auto result = net.run_until([&output] { return output.complete(); }, 300);
+    EXPECT_FALSE(result.completed);
+    EXPECT_EQ(output.frames_received(), 0u);
+}
+
+TEST(Mp3Noc, BitrateReportBasics) {
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), FaultScenario::none(), 7);
+    const auto cfg = small_mp3();
+    auto& output = deploy_mp3(net, cfg);
+    const auto run = net.run_until([&output] { return output.complete(); }, 500);
+    const double tr = net.config().timing.round_seconds();
+    const auto report = bitrate_report(output, cfg, run.rounds, tr);
+    EXPECT_DOUBLE_EQ(report.completion_fraction, 1.0);
+    EXPECT_GT(report.mean_bits_per_second, 0.0);
+    EXPECT_NEAR(report.mean_bits_per_second,
+                static_cast<double>(output.total_coded_bits()) /
+                    (static_cast<double>(run.rounds) * tr),
+                1e-6);
+}
+
+TEST(Mp3Noc, HeavyOverflowDegradesGracefullyInStreamingMode) {
+    Mp3Config cfg = small_mp3();
+    cfg.skip_after_rounds = 15;
+    FaultScenario s;
+    s.p_overflow = 0.5;
+    GossipConfig gc = default_config();
+    gc.default_ttl = 40;
+    GossipNetwork net(Topology::mesh(4, 4), gc, s, 8);
+    auto& output = deploy_mp3(net, cfg);
+    const auto result = net.run_until([&output] { return output.complete(); }, 3000);
+    EXPECT_TRUE(result.completed);
+    // Gossip redundancy still gets most frames through 50% drops.
+    EXPECT_GT(output.frames_received(), 0u);
+}
+
+TEST(Mp3Noc, SynchronisationErrorsDoNotPreventTermination) {
+    FaultScenario s;
+    s.sigma_synchr = 0.5;
+    GossipNetwork net(Topology::mesh(4, 4), default_config(), s, 9);
+    auto& output = deploy_mp3(net, small_mp3());
+    const auto result = net.run_until([&output] { return output.complete(); }, 2000);
+    EXPECT_TRUE(result.completed);
+}
+
+} // namespace
+} // namespace snoc::apps

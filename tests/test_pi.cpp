@@ -1,0 +1,175 @@
+#include "apps/master_slave_pi.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace snoc::apps {
+namespace {
+
+TEST(PiMath, ReferenceConvergesToPi) {
+    EXPECT_NEAR(pi_reference(1000), std::numbers::pi, 1e-6);
+    EXPECT_NEAR(pi_reference(100000), std::numbers::pi, 1e-10);
+}
+
+TEST(PiMath, ArchimedesBounds) {
+    // 223/71 < pi < 22/7 — the bound quoted in Sec. 4.1.1.
+    const double pi = pi_reference(100000);
+    EXPECT_GT(pi, 223.0 / 71.0);
+    EXPECT_LT(pi, 22.0 / 7.0);
+}
+
+TEST(PiMath, PartialSumsComposeExactly) {
+    const std::uint64_t terms = 10000;
+    double sum = 0.0;
+    for (int task = 0; task < 8; ++task)
+        sum += pi_partial_sum(terms * task / 8, terms * (task + 1) / 8, terms);
+    // Addition is not associative in floating point; the split changes
+    // the rounding path but not the value beyond ~1 ulp per term.
+    EXPECT_NEAR(sum, pi_reference(terms), 1e-10);
+}
+
+TEST(PiMath, EmptyRangeIsZero) {
+    EXPECT_DOUBLE_EQ(pi_partial_sum(5, 5, 100), 0.0);
+}
+
+GossipConfig default_config() {
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 30;
+    return c;
+}
+
+TEST(PiNoc, FaultFreeRunAssemblesPi) {
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 1);
+    PiDeployment d;
+    auto& master = deploy_pi(net, d);
+    const auto result = net.run_until([&master] { return master.done(); }, 500);
+    EXPECT_TRUE(result.completed);
+    EXPECT_NEAR(master.pi(), std::numbers::pi, 1e-6);
+    ASSERT_TRUE(master.completion_round().has_value());
+    // Fig. 4-4: Master-Slave completes in 6-9 rounds at p = 0.5 (seed noise
+    // allows a little slack).
+    EXPECT_LE(*master.completion_round(), 15u);
+    EXPECT_GE(*master.completion_round(), 2u);
+}
+
+TEST(PiNoc, FloodingIsFourishRounds) {
+    GossipConfig c = default_config();
+    c.forward_p = 1.0;
+    GossipNetwork net(Topology::mesh(5, 5), c, FaultScenario::none(), 2);
+    auto& master = deploy_pi(net, PiDeployment{});
+    net.run_until([&master] { return master.done(); }, 100);
+    ASSERT_TRUE(master.done());
+    // Work + reply each cross <= 2 hops from centre tile 12 to the ring.
+    EXPECT_LE(*master.completion_round(), 6u);
+}
+
+TEST(PiNoc, PiValueUnharmedByUpsets) {
+    // CRC-filtered gossip: data upsets delay but never corrupt the result.
+    FaultScenario s;
+    s.p_upset = 0.5;
+    GossipConfig c = default_config();
+    c.default_ttl = 60;
+    GossipNetwork net(Topology::mesh(5, 5), c, s, 3);
+    auto& master = deploy_pi(net, PiDeployment{});
+    const auto result = net.run_until([&master] { return master.done(); }, 2000);
+    ASSERT_TRUE(result.completed);
+    EXPECT_NEAR(master.pi(), std::numbers::pi, 1e-6);
+}
+
+TEST(PiNoc, DuplicationSurvivesPrimarySlaveCrash) {
+    // Kill a primary slave tile; its replica answers instead.
+    FaultScenario s;
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), s, 4);
+    PiDeployment d;
+    d.duplicate_slaves = true;
+    auto& master = deploy_pi(net, d);
+    // Protect everything except tile 6 (primary slave of task 0).
+    for (TileId t = 0; t < 25; ++t)
+        if (t != 6) net.protect(t);
+    net.force_exact_tile_crashes(1);
+    const auto result = net.run_until([&master] { return master.done(); }, 500);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(net.tile_alive(6));
+    EXPECT_NEAR(master.pi(), std::numbers::pi, 1e-6);
+}
+
+TEST(PiNoc, WithoutDuplicationSlaveCrashIsFatal) {
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 5);
+    PiDeployment d;
+    d.duplicate_slaves = false;
+    auto& master = deploy_pi(net, d);
+    for (TileId t = 0; t < 25; ++t)
+        if (t != 6) net.protect(t);
+    net.force_exact_tile_crashes(1);
+    const auto result = net.run_until([&master] { return master.done(); }, 300);
+    EXPECT_FALSE(result.completed);
+}
+
+TEST(PiNoc, DuplicationDoesNotInflateUniqueResults) {
+    // Sec. 4.1.3: replicas emit the same messages, so the per-message
+    // traffic does not double.  Compare unique result rumors: with
+    // replication the master still sees 8 results.
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 6);
+    PiDeployment d;
+    d.duplicate_slaves = true;
+    auto& master = deploy_pi(net, d);
+    net.run_until([&master] { return master.done(); }, 500);
+    ASSERT_TRUE(master.done());
+    EXPECT_NEAR(master.pi(), std::numbers::pi, 1e-6);
+}
+
+TEST(PiNoc, DirectAddressingStillAssemblesPi) {
+    GossipConfig c = default_config();
+    c.stop_spread_on_delivery = true;
+    GossipNetwork net(Topology::mesh(5, 5), c, FaultScenario::none(), 7);
+    PiDeployment d;
+    d.direct_addressing = true;
+    auto& master = deploy_pi(net, d);
+    const auto result = net.run_until([&master] { return master.done(); }, 500);
+    ASSERT_TRUE(result.completed);
+    EXPECT_NEAR(master.pi(), std::numbers::pi, 1e-6);
+}
+
+TEST(PiNoc, DirectAddressingUsesFewerPackets) {
+    auto packets_for = [](bool direct) {
+        GossipConfig c = default_config();
+        c.stop_spread_on_delivery = direct;
+        GossipNetwork net(Topology::mesh(5, 5), c, FaultScenario::none(), 8);
+        PiDeployment d;
+        d.direct_addressing = direct;
+        auto& master = deploy_pi(net, d);
+        net.run_until([&master] { return master.done(); }, 500);
+        net.drain();
+        return net.metrics().packets_sent;
+    };
+    EXPECT_LT(packets_for(true), packets_for(false));
+}
+
+TEST(PiTrace, ShapeMatchesDeployment) {
+    PiDeployment d;
+    const auto trace = pi_trace(d);
+    ASSERT_EQ(trace.phases.size(), 2u);
+    EXPECT_EQ(trace.phases[0].messages.size(), 8u);
+    EXPECT_EQ(trace.phases[1].messages.size(), 8u);
+    for (const auto& m : trace.phases[0].messages) EXPECT_EQ(m.src, d.master_tile);
+    for (const auto& m : trace.phases[1].messages) EXPECT_EQ(m.dst, d.master_tile);
+    EXPECT_GT(trace.useful_bits(), 0u);
+}
+
+class PiTermSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PiTermSweep, AccuracyImprovesWithTerms) {
+    const auto terms = GetParam();
+    const double err = std::abs(pi_reference(terms) - std::numbers::pi);
+    // Midpoint rule error ~ 1/(24 n^2) * f'' bound; just check a loose cap.
+    EXPECT_LT(err, 1.0 / static_cast<double>(terms));
+}
+
+INSTANTIATE_TEST_SUITE_P(Terms, PiTermSweep,
+                         ::testing::Values(10, 100, 1000, 10000, 1000000));
+
+} // namespace
+} // namespace snoc::apps

@@ -1,0 +1,87 @@
+#include "apps/producer_consumer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snoc::apps {
+namespace {
+
+GossipConfig config_with_p(double p) {
+    GossipConfig c;
+    c.forward_p = p;
+    c.default_ttl = 30;
+    return c;
+}
+
+TEST(ProducerConsumer, Fig33ScenarioDelivers) {
+    // Producer on tile 6 (index 5), consumer on tile 12 (index 11).
+    GossipNetwork net(Topology::mesh(4, 4), config_with_p(0.5),
+                      FaultScenario::none(), 1);
+    auto& consumer = make_producer_consumer(net, 5, 11, 1);
+    const auto result =
+        net.run_until([&consumer] { return consumer.complete(); }, 100);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(consumer.received_count(), 1u);
+    EXPECT_EQ(consumer.received_items().front(), 0u);
+}
+
+TEST(ProducerConsumer, ConsumerCanReceiveBeforeFullBroadcast) {
+    // Sec. 3.2.1: "The message reaches the Consumer before the full
+    // broadcast is completed" — at delivery some tiles don't know it yet.
+    int early = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        GossipNetwork net(Topology::mesh(4, 4), config_with_p(0.5),
+                          FaultScenario::none(), seed);
+        auto& consumer = make_producer_consumer(net, 5, 11, 1);
+        net.run_until([&consumer] { return consumer.complete(); }, 100);
+        if (net.tiles_knowing(MessageId{5, 0}) < 16) ++early;
+    }
+    EXPECT_GT(early, 0);
+}
+
+TEST(ProducerConsumer, FloodingLatencyEqualsManhattan) {
+    GossipNetwork net(Topology::mesh(4, 4), config_with_p(1.0),
+                      FaultScenario::none(), 2);
+    auto& consumer = make_producer_consumer(net, 5, 11, 1);
+    net.run_until([&consumer] { return consumer.complete(); }, 100);
+    ASSERT_EQ(consumer.arrival_rounds().size(), 1u);
+    EXPECT_EQ(consumer.arrival_rounds().front(),
+              net.topology().manhattan(5, 11));
+}
+
+TEST(ProducerConsumer, StreamDeliversAllItemsInOrderTags) {
+    GossipNetwork net(Topology::mesh(4, 4), config_with_p(1.0),
+                      FaultScenario::none(), 3);
+    auto& consumer = make_producer_consumer(net, 0, 15, 8, /*interval=*/2);
+    const auto result =
+        net.run_until([&consumer] { return consumer.complete(); }, 200);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(consumer.received_count(), 8u);
+    // Flooding with a fixed source-destination pair preserves order.
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(consumer.received_items()[i], i);
+}
+
+TEST(ProducerConsumer, SurvivesModerateUpsets) {
+    FaultScenario s;
+    s.p_upset = 0.3;
+    int complete = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        GossipNetwork net(Topology::mesh(4, 4), config_with_p(0.5), s, seed);
+        auto& consumer = make_producer_consumer(net, 5, 11, 4);
+        if (net.run_until([&consumer] { return consumer.complete(); }, 300).completed)
+            ++complete;
+    }
+    EXPECT_GE(complete, 9);
+}
+
+TEST(ProducerConsumer, ProducerStopsAfterItemCount) {
+    GossipNetwork net(Topology::mesh(4, 4), config_with_p(1.0),
+                      FaultScenario::none(), 4);
+    auto& consumer = make_producer_consumer(net, 5, 11, 3, 1);
+    for (int i = 0; i < 50; ++i) net.step();
+    EXPECT_EQ(consumer.received_count(), 3u);
+    EXPECT_EQ(net.metrics().messages_created, 3u);
+}
+
+} // namespace
+} // namespace snoc::apps

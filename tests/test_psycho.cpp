@@ -1,0 +1,116 @@
+#include "apps/psycho.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace snoc::apps {
+namespace {
+
+std::vector<double> tone(std::size_t n, double cycles, double amp = 1.0) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = amp * std::sin(2.0 * std::numbers::pi * cycles * i / n);
+    return v;
+}
+
+TEST(BandMap, CoversAllBandsMonotonically) {
+    const auto map = band_of_lines(128, 16);
+    ASSERT_EQ(map.size(), 128u);
+    EXPECT_EQ(map.front(), 0u);
+    EXPECT_EQ(map.back(), 15u);
+    for (std::size_t i = 1; i < map.size(); ++i) EXPECT_GE(map[i], map[i - 1]);
+    // Equal-width bands: 8 lines per band.
+    for (std::size_t b = 0; b < 16; ++b) {
+        std::size_t count = 0;
+        for (auto m : map)
+            if (m == b) ++count;
+        EXPECT_EQ(count, 8u);
+    }
+}
+
+TEST(BandMap, RejectsMoreBandsThanLines) {
+    EXPECT_THROW(band_of_lines(8, 16), snoc::ContractViolation);
+}
+
+TEST(Psycho, SilenceHitsAbsoluteFloor) {
+    PsychoParams p;
+    const auto a = analyze_frame(std::vector<double>(128, 0.0), p);
+    ASSERT_EQ(a.band_threshold.size(), p.band_count);
+    for (std::size_t b = 0; b < p.band_count; ++b) {
+        EXPECT_DOUBLE_EQ(a.band_energy[b], 0.0);
+        EXPECT_DOUBLE_EQ(a.band_threshold[b], p.absolute_floor);
+    }
+}
+
+TEST(Psycho, ToneEnergyLandsInCorrectBand) {
+    PsychoParams p;
+    // 128-sample frame, 64 positive-frequency lines, 16 bands of 4 lines.
+    // A tone at 10 cycles/frame sits on line 10 -> band 2.
+    const auto a = analyze_frame(tone(128, 10.0), p);
+    std::size_t argmax = 0;
+    for (std::size_t b = 1; b < p.band_count; ++b)
+        if (a.band_energy[b] > a.band_energy[argmax]) argmax = b;
+    EXPECT_EQ(argmax, 2u);
+}
+
+TEST(Psycho, SelfMaskingIs18DbBelowEnergy) {
+    PsychoParams p;
+    const auto a = analyze_frame(tone(128, 10.0, 1.0), p);
+    const std::size_t b = 2;
+    // Neighbouring-band spreading can only raise the threshold; for the
+    // peak band the self term dominates.
+    EXPECT_NEAR(10.0 * std::log10(a.band_energy[b] / a.band_threshold[b]), 18.0,
+                1e-6);
+}
+
+TEST(Psycho, SpreadingRaisesNeighbourThresholds) {
+    PsychoParams p;
+    const auto loud = analyze_frame(tone(128, 10.0, 1.0), p);
+    // Bands adjacent to the tone band inherit masking energy well above
+    // the absolute floor.
+    EXPECT_GT(loud.band_threshold[1], 100.0 * p.absolute_floor);
+    EXPECT_GT(loud.band_threshold[3], 100.0 * p.absolute_floor);
+    // And it decays with distance.
+    EXPECT_GT(loud.band_threshold[3], loud.band_threshold[6]);
+}
+
+TEST(Psycho, SmrIsPositiveAtToneNonPositiveInSilence) {
+    PsychoParams p;
+    const auto a = analyze_frame(tone(128, 10.0, 1.0), p);
+    EXPECT_GT(a.smr_db[2], 10.0);   // audible detail at the tone
+    EXPECT_LE(a.smr_db[12], 0.0);   // fully masked far away
+}
+
+TEST(Psycho, LouderToneScalesEnergyQuadratically) {
+    PsychoParams p;
+    const auto soft = analyze_frame(tone(128, 10.0, 0.1), p);
+    const auto loud = analyze_frame(tone(128, 10.0, 1.0), p);
+    EXPECT_NEAR(loud.band_energy[2] / soft.band_energy[2], 100.0, 1.0);
+}
+
+TEST(Psycho, RejectsNonPowerOfTwoFrame) {
+    PsychoParams p;
+    EXPECT_THROW(analyze_frame(std::vector<double>(100, 0.1), p),
+                 snoc::ContractViolation);
+    EXPECT_THROW(analyze_frame({}, p), snoc::ContractViolation);
+}
+
+class PsychoBandSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PsychoBandSweep, ThresholdsNeverBelowFloor) {
+    PsychoParams p;
+    p.band_count = GetParam();
+    const auto a = analyze_frame(tone(256, 17.0, 0.7), p);
+    ASSERT_EQ(a.band_threshold.size(), p.band_count);
+    for (double t : a.band_threshold) EXPECT_GE(t, p.absolute_floor);
+    for (double e : a.band_energy) EXPECT_GE(e, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, PsychoBandSweep, ::testing::Values(4, 8, 16, 32, 64));
+
+} // namespace
+} // namespace snoc::apps

@@ -1,0 +1,181 @@
+#include "apps/quantizer.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace snoc::apps {
+namespace {
+
+TEST(CodedBits, ZeroCostsOneBit) {
+    EXPECT_EQ(coded_bits_of(0), 1u);
+}
+
+TEST(CodedBits, CostIsTwoLenPlusOne) {
+    EXPECT_EQ(coded_bits_of(1), 3u);    // len 1
+    EXPECT_EQ(coded_bits_of(-1), 3u);
+    EXPECT_EQ(coded_bits_of(2), 5u);    // len 2
+    EXPECT_EQ(coded_bits_of(3), 5u);
+    EXPECT_EQ(coded_bits_of(4), 7u);    // len 3
+    EXPECT_EQ(coded_bits_of(255), 17u); // len 8
+    EXPECT_EQ(coded_bits_of(256), 19u); // len 9
+}
+
+TEST(CodedBits, VectorSums) {
+    EXPECT_EQ(coded_bits_of(std::vector<std::int32_t>{0, 1, 2}), 1u + 3u + 5u);
+    EXPECT_EQ(coded_bits_of(std::vector<std::int32_t>{}), 0u);
+}
+
+PsychoAnalysis flat_psycho(std::size_t bands, double threshold = 1e-6) {
+    PsychoAnalysis a;
+    a.band_energy.assign(bands, 1.0);
+    a.band_threshold.assign(bands, threshold);
+    a.smr_db.assign(bands, 60.0);
+    return a;
+}
+
+std::vector<double> random_lines(std::size_t n, std::uint64_t seed, double scale) {
+    snoc::RngStream rng(seed);
+    std::vector<double> v(n);
+    for (auto& x : v) x = scale * (2.0 * rng.uniform() - 1.0);
+    return v;
+}
+
+TEST(Quantizer, FitsBudget) {
+    const std::size_t n = 64;
+    IterativeQuantizer q(band_of_lines(n, 8), 8);
+    const auto lines = random_lines(n, 1, 10.0);
+    for (std::size_t budget : {100u, 300u, 1000u}) {
+        const auto frame = q.quantize(lines, flat_psycho(8), budget, 0);
+        EXPECT_LE(frame.coded_bits, budget) << "budget " << budget;
+        EXPECT_EQ(frame.values.size(), n);
+        EXPECT_EQ(coded_bits_of(frame.values), frame.coded_bits);
+    }
+}
+
+TEST(Quantizer, MoreBitsLessNoise) {
+    const std::size_t n = 64;
+    IterativeQuantizer q(band_of_lines(n, 8), 8);
+    const auto lines = random_lines(n, 2, 5.0);
+
+    auto error_at = [&](std::size_t budget) {
+        const auto frame = q.quantize(lines, flat_psycho(8), budget, 0);
+        const auto rebuilt = dequantize(frame);
+        double err = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            err += (rebuilt[i] - lines[i]) * (rebuilt[i] - lines[i]);
+        return err;
+    };
+    const double coarse = error_at(150);
+    const double fine = error_at(1500);
+    EXPECT_LT(fine, coarse);
+}
+
+TEST(Quantizer, GenerousBudgetGivesTinyError) {
+    const std::size_t n = 32;
+    IterativeQuantizer q(band_of_lines(n, 8), 8);
+    const auto lines = random_lines(n, 3, 1.0);
+    const auto frame = q.quantize(lines, flat_psycho(8, 1e-8), 100000, 0);
+    const auto rebuilt = dequantize(frame);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(rebuilt[i], lines[i], 1e-3) << i;
+}
+
+TEST(Quantizer, HighThresholdMeansCoarserCheaperCode) {
+    const std::size_t n = 64;
+    IterativeQuantizer q(band_of_lines(n, 8), 8);
+    const auto lines = random_lines(n, 4, 1.0);
+    const auto precise = q.quantize(lines, flat_psycho(8, 1e-9), 100000, 0);
+    const auto masked = q.quantize(lines, flat_psycho(8, 1e-1), 100000, 0);
+    EXPECT_LT(masked.coded_bits, precise.coded_bits);
+}
+
+TEST(Quantizer, SilenceCodesMinimally) {
+    const std::size_t n = 16;
+    IterativeQuantizer q(band_of_lines(n, 4), 4);
+    const auto frame =
+        q.quantize(std::vector<double>(n, 0.0), flat_psycho(4), 1000, 7);
+    EXPECT_EQ(frame.coded_bits, n); // one bit per zero line
+    EXPECT_EQ(frame.frame_index, 7u);
+    for (auto v : frame.values) EXPECT_EQ(v, 0);
+}
+
+TEST(Quantizer, RejectsMismatchedLineCount) {
+    IterativeQuantizer q(band_of_lines(16, 4), 4);
+    EXPECT_THROW(q.quantize(std::vector<double>(8, 0.0), flat_psycho(4), 100, 0),
+                 snoc::ContractViolation);
+}
+
+TEST(Quantizer, RejectsMismatchedBands) {
+    IterativeQuantizer q(band_of_lines(16, 4), 4);
+    EXPECT_THROW(q.quantize(std::vector<double>(16, 0.0), flat_psycho(8), 100, 0),
+                 snoc::ContractViolation);
+}
+
+TEST(BitReservoir, BanksSurplus) {
+    BitReservoir r(1000);
+    EXPECT_EQ(r.level(), 0u);
+    r.settle(500, 300); // banks 200
+    EXPECT_EQ(r.level(), 200u);
+    EXPECT_EQ(r.available(500), 700u);
+}
+
+TEST(BitReservoir, BorrowDrainsBank) {
+    BitReservoir r(1000);
+    r.settle(500, 100); // banks 400
+    r.settle(500, 800); // borrows 300
+    EXPECT_EQ(r.level(), 100u);
+}
+
+TEST(BitReservoir, CapacityCapsBanking) {
+    BitReservoir r(250);
+    r.settle(500, 0);
+    EXPECT_EQ(r.level(), 250u);
+    r.settle(500, 0);
+    EXPECT_EQ(r.level(), 250u);
+}
+
+TEST(BitReservoir, OverdraftIsAContractViolation) {
+    BitReservoir r(100);
+    EXPECT_THROW(r.settle(500, 700), snoc::ContractViolation);
+}
+
+TEST(BitReservoir, SmoothsVariableFrames) {
+    // Alternating cheap/expensive frames stay within budget+bank.
+    BitReservoir r(600);
+    std::size_t worst_over = 0;
+    for (int f = 0; f < 20; ++f) {
+        const std::size_t budget = 500;
+        const std::size_t want = (f % 2 == 0) ? 200u : 750u;
+        const std::size_t allowed = r.available(budget);
+        const std::size_t used = std::min(want, allowed);
+        if (used > budget) worst_over = std::max(worst_over, used - budget);
+        r.settle(budget, used);
+    }
+    EXPECT_GE(worst_over, 200u); // the reservoir actually funded overruns
+}
+
+// Round-trip property: dequantize(quantize(x)) is within half a step.
+class QuantizerScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizerScaleSweep, ReconstructionBoundedByStep) {
+    const std::size_t n = 64;
+    const double scale = GetParam();
+    IterativeQuantizer q(band_of_lines(n, 8), 8);
+    const auto lines = random_lines(n, 77, scale);
+    const double threshold = 1e-6;
+    const auto frame = q.quantize(lines, flat_psycho(8, threshold), 1u << 20, 0);
+    const auto rebuilt = dequantize(frame);
+    const double step = frame.global_gain * std::sqrt(threshold);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(rebuilt[i] - lines[i]), step * 0.5 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, QuantizerScaleSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 1000.0));
+
+} // namespace
+} // namespace snoc::apps

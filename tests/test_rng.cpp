@@ -1,0 +1,114 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace snoc {
+namespace {
+
+TEST(SplitMix, IsDeterministic) {
+    EXPECT_EQ(splitmix64(0), splitmix64(0));
+    EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(KeyOf, DistinguishesNames) {
+    EXPECT_NE(key_of("forward"), key_of("fault/upset"));
+    EXPECT_EQ(key_of("app"), key_of("app"));
+    EXPECT_NE(key_of(""), key_of("a"));
+}
+
+TEST(RngPool, SameSeedSamePurposeSameStream) {
+    RngPool a(123), b(123);
+    auto sa = a.stream("x", 7);
+    auto sb = b.stream("x", 7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(sa.bits(), sb.bits());
+}
+
+TEST(RngPool, DifferentPurposeDiverges) {
+    RngPool pool(123);
+    auto s1 = pool.stream("x");
+    auto s2 = pool.stream("y");
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (s1.bits() == s2.bits()) ++equal;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(RngPool, DifferentIndexDiverges) {
+    RngPool pool(99);
+    auto s1 = pool.stream("tile", 0);
+    auto s2 = pool.stream("tile", 1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (s1.bits() == s2.bits()) ++equal;
+    EXPECT_LE(equal, 1);
+}
+
+TEST(RngStream, BernoulliEdgeCases) {
+    RngStream s(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(s.bernoulli(0.0));
+        EXPECT_TRUE(s.bernoulli(1.0));
+        EXPECT_FALSE(s.bernoulli(-0.5));
+        EXPECT_TRUE(s.bernoulli(1.5));
+    }
+}
+
+TEST(RngStream, BernoulliFrequency) {
+    RngStream s(42);
+    const int n = 20000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        if (s.bernoulli(0.3)) ++hits;
+    // ~4 sigma band around 0.3.
+    const double p = static_cast<double>(hits) / n;
+    EXPECT_NEAR(p, 0.3, 4.0 * std::sqrt(0.3 * 0.7 / n));
+}
+
+TEST(RngStream, BelowStaysInRange) {
+    RngStream s(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = s.below(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(RngStream, BelowCoversAllValues) {
+    RngStream s(7);
+    std::vector<bool> seen(5, false);
+    for (int i = 0; i < 500; ++i) seen[s.below(5)] = true;
+    for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(RngStream, UniformInUnitInterval) {
+    RngStream s(3);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = s.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        acc.add(u);
+    }
+    EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+    EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngStream, NormalMoments) {
+    RngStream s(11);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i) acc.add(s.normal(5.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(RngStream, NormalZeroStddevIsDegenerate) {
+    RngStream s(11);
+    EXPECT_DOUBLE_EQ(s.normal(3.0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.normal(3.0, -1.0), 3.0);
+}
+
+} // namespace
+} // namespace snoc

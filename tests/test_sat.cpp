@@ -1,0 +1,226 @@
+#include "apps/sat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snoc::apps {
+namespace {
+
+Cnf tiny_sat() {
+    // (x1 | x2) & (!x1 | x3) & (!x2 | !x3)
+    return Cnf{3, {{1, 2}, {-1, 3}, {-2, -3}}};
+}
+
+Cnf tiny_unsat() {
+    // (x1) & (!x1)
+    return Cnf{1, {{1}, {-1}}};
+}
+
+TEST(Dpll, TrivialSat) {
+    const auto r = dpll(tiny_sat());
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(satisfies(tiny_sat(), r.model));
+}
+
+TEST(Dpll, TrivialUnsat) {
+    EXPECT_FALSE(dpll(tiny_unsat()).satisfiable);
+}
+
+TEST(Dpll, EmptyFormulaIsSat) {
+    const Cnf empty{4, {}};
+    const auto r = dpll(empty);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(satisfies(empty, r.model));
+}
+
+TEST(Dpll, UnitPropagationChains) {
+    // x1, x1->x2, x2->x3, x3->x4: all forced true with zero decisions.
+    const Cnf chain{4, {{1}, {-1, 2}, {-2, 3}, {-3, 4}}};
+    const auto r = dpll(chain);
+    ASSERT_TRUE(r.satisfiable);
+    for (std::size_t v = 1; v <= 4; ++v) EXPECT_EQ(r.model[v], 1);
+    EXPECT_EQ(r.decisions, 0u);
+    EXPECT_GE(r.propagations, 4u);
+}
+
+TEST(Dpll, AssumptionsRestrictSearch) {
+    const auto cnf = tiny_sat();
+    const auto forced = dpll(cnf, {-2});
+    ASSERT_TRUE(forced.satisfiable);
+    EXPECT_EQ(forced.model[2], -1);
+    EXPECT_TRUE(satisfies(cnf, forced.model));
+    // Contradictory assumptions: immediately UNSAT.
+    EXPECT_FALSE(dpll(cnf, {1, -1}).satisfiable);
+}
+
+TEST(Dpll, AssumptionsCanMakeSatFormulaUnsat) {
+    // x1|x2 with both forced false.
+    const Cnf cnf{2, {{1, 2}}};
+    EXPECT_FALSE(dpll(cnf, {-1, -2}).satisfiable);
+}
+
+TEST(Dpll, PigeonholeIsUnsat) {
+    for (std::uint32_t holes : {1u, 2u, 3u}) {
+        EXPECT_FALSE(dpll(pigeonhole(holes)).satisfiable) << holes;
+    }
+}
+
+TEST(Dpll, PigeonholeStructure) {
+    const auto php = pigeonhole(3);
+    EXPECT_EQ(php.variables, 12u);
+    // 4 "somewhere" clauses + 3 * C(4,2) exclusions.
+    EXPECT_EQ(php.clauses.size(), 4u + 3u * 6u);
+}
+
+TEST(Dpll, AgreesWithBruteForceOnRandomInstances) {
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        // Near the 3-SAT phase transition (ratio ~4.27) for a mix of
+        // SAT and UNSAT instances.
+        const auto cnf = random_ksat(10, 43, 3, seed);
+        const auto r = dpll(cnf);
+        EXPECT_EQ(r.satisfiable, brute_force_satisfiable(cnf)) << "seed " << seed;
+        if (r.satisfiable) {
+            EXPECT_TRUE(satisfies(cnf, r.model));
+        }
+    }
+}
+
+TEST(Dpll, CubesPartitionTheSearchSpace) {
+    // SAT iff some cube is SAT; UNSAT iff every cube is UNSAT.
+    for (std::uint64_t seed = 40; seed < 52; ++seed) {
+        const auto cnf = random_ksat(12, 51, 3, seed);
+        const bool whole = dpll(cnf).satisfiable;
+        bool any_cube = false;
+        for (std::uint32_t cube = 0; cube < 8; ++cube) {
+            std::vector<Literal> assumptions;
+            for (std::uint32_t v = 0; v < 3; ++v)
+                assumptions.push_back((cube >> v) & 1u
+                                          ? static_cast<Literal>(v + 1)
+                                          : -static_cast<Literal>(v + 1));
+            if (dpll(cnf, assumptions).satisfiable) any_cube = true;
+        }
+        EXPECT_EQ(whole, any_cube) << "seed " << seed;
+    }
+}
+
+TEST(RandomKsat, ShapeAndDeterminism) {
+    const auto a = random_ksat(10, 30, 3, 7);
+    const auto b = random_ksat(10, 30, 3, 7);
+    EXPECT_EQ(a.clauses.size(), 30u);
+    for (std::size_t i = 0; i < a.clauses.size(); ++i) {
+        EXPECT_EQ(a.clauses[i], b.clauses[i]);
+        EXPECT_EQ(a.clauses[i].size(), 3u);
+    }
+}
+
+// --- DIMACS I/O -------------------------------------------------------------
+
+TEST(Dimacs, ParsesCanonicalInput) {
+    const auto cnf = parse_dimacs(
+        "c a comment\n"
+        "p cnf 3 2\n"
+        "1 -2 0\n"
+        "2 3 0\n");
+    EXPECT_EQ(cnf.variables, 3u);
+    ASSERT_EQ(cnf.clauses.size(), 2u);
+    EXPECT_EQ(cnf.clauses[0], (Clause{1, -2}));
+    EXPECT_EQ(cnf.clauses[1], (Clause{2, 3}));
+}
+
+TEST(Dimacs, ToleratesFreeFormWhitespaceAndMultilineClauses) {
+    const auto cnf = parse_dimacs("p cnf 2 1\n1\n-2\n0\n");
+    ASSERT_EQ(cnf.clauses.size(), 1u);
+    EXPECT_EQ(cnf.clauses[0], (Clause{1, -2}));
+}
+
+TEST(Dimacs, RoundtripsGeneratedFormulas) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const auto original = random_ksat(9, 30, 3, seed);
+        const auto reparsed = parse_dimacs(to_dimacs(original));
+        EXPECT_EQ(reparsed.variables, original.variables);
+        ASSERT_EQ(reparsed.clauses.size(), original.clauses.size());
+        for (std::size_t i = 0; i < original.clauses.size(); ++i)
+            EXPECT_EQ(reparsed.clauses[i], original.clauses[i]);
+    }
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+    EXPECT_THROW(parse_dimacs(""), ContractViolation);                // no header
+    EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 0\n2 0\n"),
+                 ContractViolation);                                  // clause count
+    EXPECT_THROW(parse_dimacs("p cnf 2 1\n3 0\n"), ContractViolation); // var range
+    EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), ContractViolation); // unterminated
+    EXPECT_THROW(parse_dimacs("p cnf 2 1\nxyz 0\n"), ContractViolation);
+    EXPECT_THROW(parse_dimacs("p sat 2 1\n"), ContractViolation);     // wrong kind
+    EXPECT_THROW(parse_dimacs("1 0\np cnf 2 1\n"), ContractViolation);
+}
+
+TEST(Dimacs, ParsedFormulaSolvesCorrectly) {
+    // The classic (a|b) & (!a|b) & (a|!b) & (!a|!b) — UNSAT.
+    const auto unsat = parse_dimacs("p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n");
+    EXPECT_FALSE(dpll(unsat).satisfiable);
+    const auto sat = parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n");
+    const auto r = dpll(sat);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(satisfies(sat, r.model));
+}
+
+// --- NoC deployment -------------------------------------------------------
+
+GossipConfig default_config() {
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 30;
+    return c;
+}
+
+TEST(SatNoc, DistributedMatchesSequential) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const auto cnf = random_ksat(12, 51, 3, seed + 60);
+        const bool expected = dpll(cnf).satisfiable;
+        GossipNetwork net(Topology::mesh(5, 5), default_config(),
+                          FaultScenario::none(), seed);
+        auto& master = deploy_sat(net, cnf);
+        const auto run = net.run_until([&master] { return master.done(); }, 500);
+        ASSERT_TRUE(run.completed) << "seed " << seed;
+        EXPECT_EQ(master.satisfiable(), expected) << "seed " << seed;
+        if (master.satisfiable()) {
+            EXPECT_TRUE(satisfies(cnf, master.model()));
+        }
+    }
+}
+
+TEST(SatNoc, UnsatNeedsAllCubes) {
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 1);
+    auto& master = deploy_sat(net, pigeonhole(3));
+    const auto run = net.run_until([&master] { return master.done(); }, 500);
+    ASSERT_TRUE(run.completed);
+    EXPECT_FALSE(master.satisfiable());
+}
+
+TEST(SatNoc, SurvivesUpsets) {
+    FaultScenario s;
+    s.p_upset = 0.5;
+    GossipConfig c = default_config();
+    c.default_ttl = 60;
+    const auto cnf = random_ksat(12, 45, 3, 99);
+    const bool expected = dpll(cnf).satisfiable;
+    GossipNetwork net(Topology::mesh(5, 5), c, s, 2);
+    auto& master = deploy_sat(net, cnf);
+    const auto run = net.run_until([&master] { return master.done(); }, 3000);
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(master.satisfiable(), expected);
+}
+
+TEST(SatNoc, SatAnswerCanArriveBeforeAllCubesReport) {
+    // On a satisfiable instance the master may finish before every cube's
+    // reply: first-SAT-wins (the early-termination property).
+    const Cnf easy{12, {{1, 2, 3}}}; // almost everything satisfies it
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 3);
+    auto& master = deploy_sat(net, easy);
+    const auto run = net.run_until([&master] { return master.done(); }, 500);
+    ASSERT_TRUE(run.completed);
+    EXPECT_TRUE(master.satisfiable());
+}
+
+} // namespace
+} // namespace snoc::apps

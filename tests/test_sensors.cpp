@@ -1,0 +1,101 @@
+#include "apps/sensors.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace snoc::apps {
+namespace {
+
+GossipConfig default_config() {
+    GossipConfig c;
+    c.forward_p = 0.75;
+    c.default_ttl = 12;
+    return c;
+}
+
+TEST(FieldModel, DeterministicGradientAndDrift) {
+    EXPECT_DOUBLE_EQ(field_temperature(0, 0, 0), 55.0);
+    EXPECT_GT(field_temperature(0, 0, 0), field_temperature(4, 4, 0));
+    // Drift is periodic with period 64 rounds.
+    EXPECT_NEAR(field_temperature(2, 2, 10), field_temperature(2, 2, 74), 1e-12);
+}
+
+TEST(Sensors, FaultFreeFullCoverage) {
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 1);
+    const auto sn = deploy_sensors(net);
+    for (int i = 0; i < 40; ++i) net.step();
+    EXPECT_EQ(sn.collector->sensors_heard(), 24u);
+    EXPECT_DOUBLE_EQ(sn.collector->coverage(sn.sensor_tiles, net.round(), 12), 1.0);
+    // Staleness is bounded by sampling period + a few delivery rounds.
+    EXPECT_LE(sn.collector->mean_staleness(sn.sensor_tiles, net.round()), 10.0);
+}
+
+TEST(Sensors, CollectedValuesTrackGroundTruth) {
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 2);
+    const auto sn = deploy_sensors(net);
+    for (int i = 0; i < 40; ++i) net.step();
+    for (TileId t : sn.sensor_tiles) {
+        const auto& state = sn.collector->state_of(t);
+        ASSERT_TRUE(state.has_value()) << "sensor " << t;
+        const double truth =
+            field_temperature(t % 5, t / 5, state->sampled_round);
+        EXPECT_NEAR(state->value, truth, 0.5) << "sensor " << t;
+    }
+}
+
+TEST(Sensors, FreshestReadingWinsOverStragglers) {
+    // Readings can arrive out of order via different gossip paths; the
+    // collector must keep the newest sample per sensor.
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 3);
+    const auto sn = deploy_sensors(net);
+    for (int i = 0; i < 60; ++i) net.step();
+    for (TileId t : sn.sensor_tiles) {
+        const auto& state = sn.collector->state_of(t);
+        ASSERT_TRUE(state.has_value());
+        EXPECT_GE(state->received_round, state->sampled_round);
+        // At round 60 with period 4, the freshest sample is recent.
+        EXPECT_GE(state->sampled_round, 40u);
+    }
+}
+
+TEST(Sensors, ToleratesHeavyOverflowLoss) {
+    // "Non-critical sensors": losing half the packets only ages the data.
+    FaultScenario s;
+    s.p_overflow = 0.5;
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), s, 4);
+    const auto sn = deploy_sensors(net);
+    for (int i = 0; i < 60; ++i) net.step();
+    EXPECT_GE(sn.collector->coverage(sn.sensor_tiles, net.round(), 16), 0.9);
+}
+
+TEST(Sensors, CrashedSensorGoesStale) {
+    GossipNetwork net(Topology::mesh(5, 5), default_config(), FaultScenario::none(), 5);
+    const auto sn = deploy_sensors(net);
+    for (TileId t = 0; t < 25; ++t)
+        if (t != 3) net.protect(t);
+    net.force_exact_tile_crashes(1); // tile 3 dies before round 0
+    for (int i = 0; i < 40; ++i) net.step();
+    EXPECT_FALSE(sn.collector->state_of(3).has_value());
+    // Everyone else still covered.
+    std::vector<TileId> alive_sensors;
+    for (TileId t : sn.sensor_tiles)
+        if (t != 3) alive_sensors.push_back(t);
+    EXPECT_DOUBLE_EQ(sn.collector->coverage(alive_sensors, net.round(), 12), 1.0);
+}
+
+TEST(Sensors, PeriodControlsTrafficVolume) {
+    auto packets_with_period = [](Round period) {
+        GossipNetwork net(Topology::mesh(5, 5), default_config(),
+                          FaultScenario::none(), 6);
+        SensorDeployment d;
+        d.sensor.period = period;
+        deploy_sensors(net, d);
+        for (int i = 0; i < 41; ++i) net.step();
+        return net.metrics().packets_sent;
+    };
+    EXPECT_GT(packets_with_period(2), 2 * packets_with_period(8));
+}
+
+} // namespace
+} // namespace snoc::apps

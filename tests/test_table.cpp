@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+    EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowWidthMustMatch) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"1"}), ContractViolation);
+    EXPECT_NO_THROW(t.add_row({"1", "2"}));
+    EXPECT_EQ(t.row_count(), 1u);
+    EXPECT_EQ(t.row(0)[1], "2");
+    EXPECT_THROW(t.row(1), ContractViolation);
+}
+
+TEST(Table, AsciiRenderingAligns) {
+    Table t({"p", "latency"});
+    t.add_row({"0.5", "7"});
+    t.add_row({"1", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("| p   | latency |"), std::string::npos);
+    EXPECT_NE(text.find("| 0.5 | 7       |"), std::string::npos);
+    EXPECT_NE(text.find("+-----+---------+"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+    Table t({"name", "value"});
+    t.add_row({"plain", "1"});
+    t.add_row({"with,comma", "quote\"inside"});
+    std::ostringstream os;
+    t.print_csv(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("name,value\n"), std::string::npos);
+    EXPECT_NE(text.find("plain,1\n"), std::string::npos);
+    EXPECT_NE(text.find("\"with,comma\",\"quote\"\"inside\"\n"), std::string::npos);
+}
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+    EXPECT_EQ(format_number(1.5), "1.5");
+    EXPECT_EQ(format_number(2.0), "2");
+    EXPECT_EQ(format_number(0.1234567, 3), "0.123");
+    EXPECT_EQ(format_number(-3.1400001, 2), "-3.14");
+    EXPECT_EQ(format_number(0.0), "0");
+}
+
+TEST(FormatSci, ScientificShape) {
+    const auto s = format_sci(2.4e-10, 1);
+    EXPECT_EQ(s, "2.4e-10");
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,142 @@
+#include "sim/trace.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace snoc {
+namespace {
+
+class OneShot final : public IpCore {
+public:
+    explicit OneShot(TileId dst) : dst_(dst) {}
+    void on_start(TileContext& ctx) override {
+        ctx.send(dst_, 0xE1, {std::byte{1}});
+    }
+    void on_message(const Message&, TileContext&) override {}
+
+private:
+    TileId dst_;
+};
+
+class NullSink final : public IpCore {
+public:
+    void on_message(const Message&, TileContext&) override {}
+};
+
+TEST(TraceSinks, CountingSinkTallies) {
+    CountingSink sink;
+    sink.record({0, TraceEventKind::Transmitted, 1, 2, MessageId{1, 0}});
+    sink.record({0, TraceEventKind::Transmitted, 1, 3, MessageId{1, 0}});
+    sink.record({1, TraceEventKind::Delivered, 2, kNoTile, MessageId{1, 0}});
+    EXPECT_EQ(sink.count(TraceEventKind::Transmitted), 2u);
+    EXPECT_EQ(sink.count(TraceEventKind::Delivered), 1u);
+    EXPECT_EQ(sink.count(TraceEventKind::CrcDrop), 0u);
+    EXPECT_EQ(sink.total(), 3u);
+}
+
+TEST(TraceSinks, RingBufferKeepsNewest) {
+    RingBufferSink sink(3);
+    for (Round r = 0; r < 5; ++r)
+        sink.record({r, TraceEventKind::Transmitted, 0, 1, MessageId{0, 0}});
+    EXPECT_EQ(sink.events().size(), 3u);
+    EXPECT_EQ(sink.dropped(), 2u);
+    EXPECT_EQ(sink.events().front().round, 2u);
+    EXPECT_EQ(sink.events().back().round, 4u);
+}
+
+TEST(TraceSinks, RingBufferRejectsZeroCapacity) {
+    EXPECT_THROW(RingBufferSink(0), ContractViolation);
+}
+
+TEST(TraceSinks, FormatIsHumanReadable) {
+    EXPECT_EQ(format_event({12, TraceEventKind::Transmitted, 5, 6, MessageId{5, 0}}),
+              "r12 transmitted tile 5 -> 6 msg (5,0)");
+    EXPECT_EQ(format_event({3, TraceEventKind::CrcDrop, 9, kNoTile,
+                            MessageId{kNoTile, 0}}),
+              "r3 crc-drop tile 9");
+}
+
+TEST(TraceSinks, StreamSinkWritesLines) {
+    std::ostringstream os;
+    StreamSink sink(os);
+    sink.record({1, TraceEventKind::Delivered, 7, kNoTile, MessageId{2, 5}});
+    EXPECT_EQ(os.str(), "r1 delivered tile 7 msg (2,5)\n");
+}
+
+TEST(TraceSinks, TeeFansOut) {
+    CountingSink a, b;
+    TeeSink tee;
+    tee.add(&a);
+    tee.add(&b);
+    tee.record({0, TraceEventKind::Delivered, 0, kNoTile, MessageId{0, 0}});
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(b.total(), 1u);
+    EXPECT_THROW(tee.add(nullptr), ContractViolation);
+}
+
+GossipConfig flood() {
+    GossipConfig c;
+    c.forward_p = 1.0;
+    c.default_ttl = 10;
+    return c;
+}
+
+TEST(EngineTracing, CountsMatchMetrics) {
+    FaultScenario s;
+    s.p_upset = 0.3;
+    GossipNetwork net(Topology::mesh(4, 4), flood(), s, 1);
+    CountingSink sink;
+    net.set_trace_sink(&sink);
+    net.attach(5, std::make_unique<OneShot>(11));
+    for (int i = 0; i < 20; ++i) net.step();
+    const auto& m = net.metrics();
+    EXPECT_EQ(sink.count(TraceEventKind::Transmitted), m.packets_sent);
+    EXPECT_EQ(sink.count(TraceEventKind::Delivered), m.deliveries);
+    EXPECT_EQ(sink.count(TraceEventKind::CrcDrop), m.crc_drops);
+    EXPECT_EQ(sink.count(TraceEventKind::DuplicateIgnored), m.duplicates_ignored);
+    EXPECT_EQ(sink.count(TraceEventKind::TtlExpired), m.ttl_expired);
+    EXPECT_EQ(sink.count(TraceEventKind::MessageCreated), m.messages_created);
+}
+
+TEST(EngineTracing, NoSinkMeansNoOverheadPath) {
+    GossipNetwork net(Topology::mesh(4, 4), flood(), FaultScenario::none(), 2);
+    net.attach(5, std::make_unique<OneShot>(11));
+    for (int i = 0; i < 12; ++i) net.step(); // must simply not crash
+    EXPECT_GT(net.metrics().packets_sent, 0u);
+}
+
+TEST(EngineTracing, TracingDoesNotPerturbTheRun) {
+    auto run_packets = [](bool traced) {
+        GossipNetwork net(Topology::mesh(4, 4), flood(), FaultScenario::none(), 3);
+        CountingSink sink;
+        if (traced) net.set_trace_sink(&sink);
+        net.attach(5, std::make_unique<OneShot>(11));
+        for (int i = 0; i < 15; ++i) net.step();
+        return net.metrics().packets_sent;
+    };
+    EXPECT_EQ(run_packets(true), run_packets(false));
+}
+
+TEST(EngineTracing, DeliveryEventCarriesMessageId) {
+    GossipNetwork net(Topology::mesh(4, 4), flood(), FaultScenario::none(), 4);
+    RingBufferSink sink(4096);
+    net.set_trace_sink(&sink);
+    net.attach(5, std::make_unique<OneShot>(11));
+    net.attach(11, std::make_unique<NullSink>());
+    for (int i = 0; i < 10; ++i) net.step();
+    bool saw_delivery = false;
+    for (const auto& e : sink.events()) {
+        if (e.kind != TraceEventKind::Delivered) continue;
+        saw_delivery = true;
+        EXPECT_EQ(e.tile, 11u);
+        EXPECT_EQ(e.message, (MessageId{5, 0}));
+    }
+    EXPECT_TRUE(saw_delivery);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,175 @@
+#include "core/transport.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+
+namespace snoc {
+namespace {
+
+/// IP core that streams `count` numbered payloads reliably to `peer`.
+class StreamSource final : public IpCore {
+public:
+    StreamSource(TileId peer, std::size_t count, ReliablePolicy policy = {})
+        : sender_(peer, /*channel=*/1, policy), count_(count) {}
+
+    void on_round(TileContext& ctx) override {
+        if (sent_ < count_ && ctx.round() % 2 == 0) {
+            std::vector<std::byte> payload{static_cast<std::byte>(sent_ & 0xFF),
+                                           static_cast<std::byte>(0xCD)};
+            sender_.send(ctx, std::move(payload));
+            ++sent_;
+        }
+        sender_.on_round(ctx);
+    }
+
+    void on_message(const Message& m, TileContext& ctx) override {
+        sender_.on_message(m, ctx);
+    }
+
+    const ReliableSender& sender() const { return sender_; }
+    bool all_sent() const { return sent_ == count_; }
+
+private:
+    ReliableSender sender_;
+    std::size_t count_;
+    std::size_t sent_{0};
+};
+
+class StreamSink final : public IpCore {
+public:
+    explicit StreamSink(TileId peer)
+        : receiver_(peer, /*channel=*/1, [this](std::uint32_t seq,
+                                                std::vector<std::byte> payload) {
+              sequences_.push_back(seq);
+              payloads_.push_back(std::move(payload));
+          }) {}
+
+    void on_message(const Message& m, TileContext& ctx) override {
+        receiver_.on_message(m, ctx);
+    }
+
+    const std::vector<std::uint32_t>& sequences() const { return sequences_; }
+    const std::vector<std::vector<std::byte>>& payloads() const { return payloads_; }
+    const ReliableReceiver& receiver() const { return receiver_; }
+
+private:
+    ReliableReceiver receiver_;
+    std::vector<std::uint32_t> sequences_;
+    std::vector<std::vector<std::byte>> payloads_;
+};
+
+struct Harness {
+    GossipNetwork net;
+    StreamSource* source;
+    StreamSink* sink;
+
+    Harness(GossipConfig config, FaultScenario scenario, std::uint64_t seed,
+            std::size_t items, ReliablePolicy policy = {})
+        : net(Topology::mesh(4, 4), config, scenario, seed) {
+        auto src = std::make_unique<StreamSource>(15, items, policy);
+        auto snk = std::make_unique<StreamSink>(0);
+        source = src.get();
+        sink = snk.get();
+        net.attach(0, std::move(src));
+        net.attach(15, std::move(snk));
+    }
+
+    bool run(std::size_t items, Round max_rounds) {
+        const auto r = net.run_until(
+            [this, items] {
+                return sink->sequences().size() >= items && source->sender().idle();
+            },
+            max_rounds);
+        return r.completed;
+    }
+};
+
+GossipConfig lossy_config() {
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 8; // short TTL: raw gossip loses distant messages often
+    return c;
+}
+
+TEST(ReliableTransport, InOrderExactlyOnceOnCleanChip) {
+    Harness h(lossy_config(), FaultScenario::none(), 1, 10);
+    ASSERT_TRUE(h.run(10, 2000));
+    ASSERT_EQ(h.sink->sequences().size(), 10u);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(h.sink->sequences()[i], i);
+        EXPECT_EQ(h.sink->payloads()[i][0], static_cast<std::byte>(i));
+    }
+}
+
+TEST(ReliableTransport, SurvivesHeavyUpsetsWhereRawGossipWouldNot) {
+    FaultScenario s;
+    s.p_upset = 0.7;
+    Harness h(lossy_config(), s, 2, 10);
+    ASSERT_TRUE(h.run(10, 4000));
+    EXPECT_EQ(h.sink->sequences().size(), 10u);
+    // The reliability came from actual retransmissions, not luck.
+    EXPECT_GT(h.source->sender().retransmissions(), 0u);
+}
+
+TEST(ReliableTransport, SurvivesForcedOverflows) {
+    FaultScenario s;
+    s.p_overflow = 0.5;
+    Harness h(lossy_config(), s, 3, 8);
+    ASSERT_TRUE(h.run(8, 4000));
+    EXPECT_EQ(h.sink->sequences().size(), 8u);
+}
+
+TEST(ReliableTransport, WindowLimitsInFlightSegments) {
+    ReliablePolicy policy;
+    policy.window = 2;
+    policy.retransmit_after = 4;
+    Harness h(lossy_config(), FaultScenario::none(), 4, 12, policy);
+    // Step manually and observe the invariant.
+    for (int i = 0; i < 200; ++i) {
+        h.net.step();
+        EXPECT_LE(h.source->sender().unacked(), 2u);
+    }
+    EXPECT_EQ(h.sink->sequences().size(), 12u);
+}
+
+TEST(ReliableTransport, IdleOnceEverythingAcked) {
+    Harness h(lossy_config(), FaultScenario::none(), 5, 5);
+    ASSERT_TRUE(h.run(5, 2000));
+    EXPECT_TRUE(h.source->sender().idle());
+    EXPECT_EQ(h.sink->receiver().expected(), 5u);
+    EXPECT_EQ(h.sink->receiver().reorder_buffered(), 0u);
+}
+
+TEST(ReliableTransport, RetransmissionsStopAfterAck) {
+    Harness h(lossy_config(), FaultScenario::none(), 6, 3);
+    ASSERT_TRUE(h.run(3, 2000));
+    const auto retransmissions = h.source->sender().retransmissions();
+    for (int i = 0; i < 50; ++i) h.net.step();
+    EXPECT_EQ(h.source->sender().retransmissions(), retransmissions);
+}
+
+TEST(ReliableTransport, PolicyValidation) {
+    EXPECT_THROW(ReliableSender(0, 0, ReliablePolicy{0, 1, 0}), ContractViolation);
+    EXPECT_THROW(ReliableSender(0, 0, ReliablePolicy{1, 0, 0}), ContractViolation);
+    EXPECT_THROW(ReliableReceiver(0, 0, nullptr), ContractViolation);
+}
+
+class UpsetStress : public ::testing::TestWithParam<double> {};
+
+TEST_P(UpsetStress, EventuallyDeliversEverything) {
+    FaultScenario s;
+    s.p_upset = GetParam();
+    GossipConfig c = lossy_config();
+    c.default_ttl = 10;
+    Harness h(c, s, 7, 6);
+    ASSERT_TRUE(h.run(6, 8000)) << "p_upset=" << GetParam();
+    EXPECT_EQ(h.sink->sequences().size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Upsets, UpsetStress, ::testing::Values(0.0, 0.3, 0.6, 0.8));
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,117 @@
+#include "bus/xy_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace snoc {
+namespace {
+
+TEST(XyRoute, WalksXThenY) {
+    const auto mesh = Topology::mesh(4, 4);
+    // tile 5 = (1,1), tile 11 = (3,2): expect 5 -> 6 -> 7 -> 11.
+    const auto path = xy_route(mesh, 5, 11);
+    const std::vector<TileId> expected{5, 6, 7, 11};
+    EXPECT_EQ(path, expected);
+}
+
+TEST(XyRoute, HandlesNegativeDirections) {
+    const auto mesh = Topology::mesh(4, 4);
+    const auto path = xy_route(mesh, 15, 0);
+    const std::vector<TileId> expected{15, 14, 13, 12, 8, 4, 0};
+    EXPECT_EQ(path, expected);
+}
+
+TEST(XyRoute, SelfRouteIsSingleton) {
+    const auto mesh = Topology::mesh(4, 4);
+    const auto path = xy_route(mesh, 7, 7);
+    EXPECT_EQ(path.size(), 1u);
+    EXPECT_EQ(path.front(), 7u);
+}
+
+TEST(XyRoute, LengthIsManhattanPlusOne) {
+    const auto mesh = Topology::mesh(5, 5);
+    RngStream rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const auto a = static_cast<TileId>(rng.below(25));
+        const auto b = static_cast<TileId>(rng.below(25));
+        EXPECT_EQ(xy_route(mesh, a, b).size(), mesh.manhattan(a, b) + 1);
+    }
+}
+
+CrashState no_crashes(const Topology& topo) {
+    CrashState s;
+    s.dead_tiles.assign(topo.node_count(), false);
+    s.dead_links.assign(topo.link_count(), false);
+    return s;
+}
+
+TEST(XyTrace, IntactMeshDeliversEverything) {
+    const auto mesh = Topology::mesh(4, 4);
+    TrafficTrace trace;
+    TrafficPhase p;
+    p.messages.push_back({0, 15, 100});
+    p.messages.push_back({5, 11, 100});
+    trace.phases.push_back(p);
+    const auto result = run_xy_trace(mesh, trace, no_crashes(mesh));
+    EXPECT_EQ(result.delivered, 2u);
+    EXPECT_EQ(result.lost, 0u);
+    EXPECT_EQ(result.rounds, 6u); // the longer path dominates the phase
+    EXPECT_EQ(result.bits, 100u * 6 + 100u * 3);
+}
+
+TEST(XyTrace, DeadTileOnPathLosesMessage) {
+    // Ch. 1: static routing "would fail if even a single tile or a link on
+    // the path is faulty".
+    const auto mesh = Topology::mesh(4, 4);
+    auto crashes = no_crashes(mesh);
+    crashes.dead_tiles[6] = true; // on the 5 -> 11 XY path
+    TrafficTrace trace;
+    TrafficPhase p;
+    p.messages.push_back({5, 11, 100});
+    trace.phases.push_back(p);
+    const auto result = run_xy_trace(mesh, trace, crashes);
+    EXPECT_EQ(result.delivered, 0u);
+    EXPECT_EQ(result.lost, 1u);
+}
+
+TEST(XyTrace, DeadLinkOnPathLosesMessage) {
+    const auto mesh = Topology::mesh(4, 4);
+    auto crashes = no_crashes(mesh);
+    // Kill the directed link 5 -> 6.
+    const auto& nbrs = mesh.neighbours(5);
+    const auto& links = mesh.out_links(5);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == 6) crashes.dead_links[links[i]] = true;
+    TrafficTrace trace;
+    TrafficPhase p;
+    p.messages.push_back({5, 11, 100});
+    trace.phases.push_back(p);
+    const auto result = run_xy_trace(mesh, trace, crashes);
+    EXPECT_EQ(result.lost, 1u);
+}
+
+TEST(XyTrace, DeadTileOffPathIsHarmless) {
+    const auto mesh = Topology::mesh(4, 4);
+    auto crashes = no_crashes(mesh);
+    crashes.dead_tiles[12] = true; // far from the 5 -> 11 path
+    TrafficTrace trace;
+    TrafficPhase p;
+    p.messages.push_back({5, 11, 100});
+    trace.phases.push_back(p);
+    EXPECT_EQ(run_xy_trace(mesh, trace, crashes).delivered, 1u);
+}
+
+TEST(XyTrace, PhaseCostsAccumulate) {
+    const auto mesh = Topology::mesh(4, 4);
+    TrafficTrace trace;
+    TrafficPhase a, b;
+    a.messages.push_back({0, 3, 10});  // 3 hops
+    b.messages.push_back({3, 0, 10});  // 3 hops
+    trace.phases.push_back(a);
+    trace.phases.push_back(b);
+    EXPECT_EQ(run_xy_trace(mesh, trace, no_crashes(mesh)).rounds, 6u);
+}
+
+} // namespace
+} // namespace snoc
