@@ -31,34 +31,53 @@ int main(int argc, char** argv) {
     const bool csv = bench::want_csv(argc, argv);
     const auto topo = Topology::mesh(5, 5);
     constexpr TileId kRoot = 12;
-    constexpr std::size_t kRepeats = 15;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 15);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
+
+    struct Trial {
+        double tree_reach, tree_tx;
+        double reach[2], tx[2]; // 0: gossip p=.5, 1: flooding
+    };
 
     Table table({"crashed tiles", "tree reach [%]", "gossip reach [%]",
                  "flood reach [%]", "tree tx", "gossip tx", "flood tx"});
     for (std::size_t k : {0u, 1u, 2u, 4u, 6u}) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                RngPool pool(seed);
+                FaultInjector inj(FaultScenario::none(), pool);
+                const auto crashes = inj.roll_exact_tile_crashes(topo, k, {kRoot});
+                const double live = static_cast<double>(25 - crashes.dead_tile_count());
+
+                Trial out{};
+                const auto t = tree_broadcast(topo, kRoot, crashes);
+                out.tree_reach = 100.0 * static_cast<double>(t.reached) / live;
+                out.tree_tx = static_cast<double>(t.transmissions);
+
+                for (int mode = 0; mode < 2; ++mode) {
+                    GossipConfig c = bench::config_with_p(mode == 0 ? 0.5 : 1.0, 20);
+                    GossipNetwork net(topo, c, FaultScenario::none(), seed);
+                    net.attach(kRoot, std::make_unique<Announcer>());
+                    net.protect(kRoot);
+                    net.force_exact_tile_crashes(k);
+                    net.drain(100);
+                    out.reach[mode] = 100.0 *
+                                      static_cast<double>(net.tiles_knowing({kRoot, 0})) /
+                                      live;
+                    out.tx[mode] = static_cast<double>(net.metrics().packets_sent);
+                }
+                return out;
+            },
+            kJobs);
         Accumulator tree_reach, tree_tx;
-        Accumulator reach[2], tx[2]; // 0: gossip p=.5, 1: flooding
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            RngPool pool(seed);
-            FaultInjector inj(FaultScenario::none(), pool);
-            const auto crashes = inj.roll_exact_tile_crashes(topo, k, {kRoot});
-            const double live = static_cast<double>(25 - crashes.dead_tile_count());
-
-            const auto t = tree_broadcast(topo, kRoot, crashes);
-            tree_reach.add(100.0 * static_cast<double>(t.reached) / live);
-            tree_tx.add(static_cast<double>(t.transmissions));
-
+        Accumulator reach[2], tx[2];
+        for (const Trial& t : trials) {
+            tree_reach.add(t.tree_reach);
+            tree_tx.add(t.tree_tx);
             for (int mode = 0; mode < 2; ++mode) {
-                GossipConfig c = bench::config_with_p(mode == 0 ? 0.5 : 1.0, 20);
-                GossipNetwork net(topo, c, FaultScenario::none(), seed);
-                net.attach(kRoot, std::make_unique<Announcer>());
-                net.protect(kRoot);
-                net.force_exact_tile_crashes(k);
-                net.drain(100);
-                reach[mode].add(100.0 *
-                                static_cast<double>(net.tiles_knowing({kRoot, 0})) /
-                                live);
-                tx[mode].add(static_cast<double>(net.metrics().packets_sent));
+                reach[mode].add(t.reach[mode]);
+                tx[mode].add(t.tx[mode]);
             }
         }
         table.add_row({std::to_string(k), format_number(tree_reach.mean(), 1),

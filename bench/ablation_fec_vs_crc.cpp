@@ -13,7 +13,13 @@
 int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
-    constexpr std::size_t kRepeats = 10;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
+
+    struct Trial {
+        bool completed{false};
+        double latency{0.0}, loss{0.0}, bits{0.0};
+    };
 
     Table table({"p_upset", "CRC latency", "FEC latency", "CRC loss [%]",
                  "FEC loss [%]", "CRC bits", "FEC bits"});
@@ -26,26 +32,38 @@ int main(int argc, char** argv) {
         for (int mode = 0; mode < 2; ++mode) {
             const auto prot = mode == 0 ? LinkProtection::CrcDetect
                                         : LinkProtection::SecdedCorrect;
-            for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-                FaultScenario s;
-                s.p_upset = upset;
-                GossipConfig c = bench::config_with_p(0.5, 60);
-                c.link_protection = prot;
-                GossipNetwork net(Topology::mesh(5, 5), c, s, seed);
-                apps::PiDeployment d;
-                auto& master = apps::deploy_pi(net, d);
-                net.protect(d.master_tile);
-                const auto r =
-                    net.run_until([&master] { return master.done(); }, 3000);
-                if (!r.completed) continue;
+            const auto trials = run_trials(
+                kRepeats,
+                [&](std::uint64_t seed) {
+                    FaultScenario s;
+                    s.p_upset = upset;
+                    GossipConfig c = bench::config_with_p(0.5, 60);
+                    c.link_protection = prot;
+                    GossipNetwork net(Topology::mesh(5, 5), c, s, seed);
+                    apps::PiDeployment d;
+                    auto& master = apps::deploy_pi(net, d);
+                    net.protect(d.master_tile);
+                    const auto r =
+                        net.run_until([&master] { return master.done(); }, 3000);
+                    Trial out;
+                    if (!r.completed) return out;
+                    out.completed = true;
+                    out.latency = static_cast<double>(r.rounds);
+                    net.drain();
+                    const auto& m = net.metrics();
+                    out.loss = 100.0 *
+                               static_cast<double>(m.crc_drops + m.fec_uncorrectable) /
+                               static_cast<double>(m.packets_sent);
+                    out.bits = static_cast<double>(m.bits_sent);
+                    return out;
+                },
+                kJobs);
+            for (const Trial& t : trials) {
+                if (!t.completed) continue;
                 ++stats[mode].completed;
-                stats[mode].latency.add(static_cast<double>(r.rounds));
-                net.drain();
-                const auto& m = net.metrics();
-                stats[mode].loss.add(
-                    100.0 * static_cast<double>(m.crc_drops + m.fec_uncorrectable) /
-                    static_cast<double>(m.packets_sent));
-                stats[mode].bits.add(static_cast<double>(m.bits_sent));
+                stats[mode].latency.add(t.latency);
+                stats[mode].loss.add(t.loss);
+                stats[mode].bits.add(t.bits);
             }
         }
         auto cell = [](const Stats& s, auto f) {

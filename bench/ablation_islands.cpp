@@ -29,41 +29,59 @@ int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
     const auto tech = Technology::cmos_025um();
-    constexpr std::size_t kRepeats = 10;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
     const auto ring = outer_ring();
+
+    struct Trial {
+        bool completed{false};
+        double rounds{0.0}, uniform_energy{0.0}, island_energy{0.0};
+    };
 
     Table table({"ring slowdown", "latency [rounds]", "completion [%]",
                  "energy, uniform Ebit [J]", "energy, island-aware [J]"});
     for (double scale : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                GossipNetwork net(Topology::mesh(5, 5), bench::config_with_p(0.5, 30),
+                                  FaultScenario::none(), seed);
+                apps::PiDeployment d;
+                auto& master = apps::deploy_pi(net, d);
+                net.protect(d.master_tile);
+                for (TileId t : ring) net.set_clock_scale(t, scale);
+                const auto r = net.run_until([&master] { return master.done(); }, 2000);
+                Trial out;
+                if (!r.completed) return out;
+                out.completed = true;
+                out.rounds = static_cast<double>(r.rounds);
+                net.drain();
+                const auto& m = net.metrics();
+                out.uniform_energy =
+                    static_cast<double>(m.bits_sent) * tech.link_ebit_joules;
+                // Island-aware: V ~ f, E_bit ~ V^2 => E_bit / scale^2 in the
+                // slow island.
+                double joules = 0.0;
+                for (TileId t = 0; t < 25; ++t) {
+                    const bool in_ring =
+                        std::find(ring.begin(), ring.end(), t) != ring.end();
+                    const double ebit = in_ring
+                                            ? tech.link_ebit_joules / (scale * scale)
+                                            : tech.link_ebit_joules;
+                    joules += static_cast<double>(m.bits_sent_by_tile[t]) * ebit;
+                }
+                out.island_energy = joules;
+                return out;
+            },
+            kJobs);
         Accumulator rounds, uniform_energy, island_energy;
         std::size_t completed = 0;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            GossipNetwork net(Topology::mesh(5, 5), bench::config_with_p(0.5, 30),
-                              FaultScenario::none(), seed);
-            apps::PiDeployment d;
-            auto& master = apps::deploy_pi(net, d);
-            net.protect(d.master_tile);
-            for (TileId t : ring) net.set_clock_scale(t, scale);
-            const auto r = net.run_until([&master] { return master.done(); }, 2000);
-            if (!r.completed) continue;
+        for (const Trial& t : trials) {
+            if (!t.completed) continue;
             ++completed;
-            rounds.add(static_cast<double>(r.rounds));
-            net.drain();
-            const auto& m = net.metrics();
-            uniform_energy.add(static_cast<double>(m.bits_sent) *
-                               tech.link_ebit_joules);
-            // Island-aware: V ~ f, E_bit ~ V^2 => E_bit / scale^2 in the
-            // slow island.
-            double joules = 0.0;
-            for (TileId t = 0; t < 25; ++t) {
-                const bool in_ring =
-                    std::find(ring.begin(), ring.end(), t) != ring.end();
-                const double ebit = in_ring
-                                        ? tech.link_ebit_joules / (scale * scale)
-                                        : tech.link_ebit_joules;
-                joules += static_cast<double>(m.bits_sent_by_tile[t]) * ebit;
-            }
-            island_energy.add(joules);
+            rounds.add(t.rounds);
+            uniform_energy.add(t.uniform_energy);
+            island_energy.add(t.island_energy);
         }
         table.add_row({format_number(scale, 1),
                        completed ? format_number(rounds.mean(), 1) : "DNF",

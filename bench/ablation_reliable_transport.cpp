@@ -86,42 +86,61 @@ private:
 int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
-    constexpr std::size_t kRepeats = 10;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
+
+    struct Trial {
+        double raw_del, raw_pkts, rel_del, rel_pkts, rel_rounds;
+    };
 
     Table table({"p_upset", "raw delivery [%]", "reliable delivery [%]",
                  "raw pkts/item", "reliable pkts/item", "reliable rounds"});
     for (double upset : {0.0, 0.3, 0.5, 0.7, 0.85}) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                FaultScenario s;
+                s.p_upset = upset;
+                // Deliberately undersized TTL: raw gossip struggles, the
+                // reliable channel escalates its way through.
+                GossipConfig c = bench::config_with_p(0.5, 8);
+
+                Trial out{};
+                GossipNetwork raw(Topology::mesh(4, 4), c, s, seed);
+                auto sink = std::make_unique<RawSink>();
+                const RawSink& rs = *sink;
+                raw.attach(kSrc, std::make_unique<RawSource>());
+                raw.attach(kDst, std::move(sink));
+                for (int i = 0; i < 120; ++i) raw.step();
+                raw.drain();
+                out.raw_del = 100.0 * static_cast<double>(rs.received()) / kItems;
+                out.raw_pkts =
+                    static_cast<double>(raw.metrics().packets_sent) / kItems;
+
+                GossipNetwork rel(Topology::mesh(4, 4), c, s, seed);
+                auto rsink = std::make_unique<ReliableSink>();
+                auto rsrc = std::make_unique<ReliableSource>();
+                const ReliableSink& sink_ref = *rsink;
+                const ReliableSource& src_ref = *rsrc;
+                rel.attach(kSrc, std::move(rsrc));
+                rel.attach(kDst, std::move(rsink));
+                const auto run = rel.run_until(
+                    [&] { return sink_ref.received() >= kItems && src_ref.sender().idle(); },
+                    8000);
+                out.rel_del = 100.0 * static_cast<double>(sink_ref.received()) / kItems;
+                out.rel_pkts =
+                    static_cast<double>(rel.metrics().packets_sent) / kItems;
+                out.rel_rounds = static_cast<double>(run.rounds);
+                return out;
+            },
+            kJobs);
         Accumulator raw_del, rel_del, raw_pkts, rel_pkts, rel_rounds;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            FaultScenario s;
-            s.p_upset = upset;
-            // Deliberately undersized TTL: raw gossip struggles, the
-            // reliable channel escalates its way through.
-            GossipConfig c = bench::config_with_p(0.5, 8);
-
-            GossipNetwork raw(Topology::mesh(4, 4), c, s, seed);
-            auto sink = std::make_unique<RawSink>();
-            const RawSink& rs = *sink;
-            raw.attach(kSrc, std::make_unique<RawSource>());
-            raw.attach(kDst, std::move(sink));
-            for (int i = 0; i < 120; ++i) raw.step();
-            raw.drain();
-            raw_del.add(100.0 * static_cast<double>(rs.received()) / kItems);
-            raw_pkts.add(static_cast<double>(raw.metrics().packets_sent) / kItems);
-
-            GossipNetwork rel(Topology::mesh(4, 4), c, s, seed);
-            auto rsink = std::make_unique<ReliableSink>();
-            auto rsrc = std::make_unique<ReliableSource>();
-            const ReliableSink& sink_ref = *rsink;
-            const ReliableSource& src_ref = *rsrc;
-            rel.attach(kSrc, std::move(rsrc));
-            rel.attach(kDst, std::move(rsink));
-            const auto run = rel.run_until(
-                [&] { return sink_ref.received() >= kItems && src_ref.sender().idle(); },
-                8000);
-            rel_del.add(100.0 * static_cast<double>(sink_ref.received()) / kItems);
-            rel_pkts.add(static_cast<double>(rel.metrics().packets_sent) / kItems);
-            rel_rounds.add(static_cast<double>(run.rounds));
+        for (const Trial& t : trials) {
+            raw_del.add(t.raw_del);
+            raw_pkts.add(t.raw_pkts);
+            rel_del.add(t.rel_del);
+            rel_pkts.add(t.rel_pkts);
+            rel_rounds.add(t.rel_rounds);
         }
         table.add_row({format_number(upset, 2), format_number(raw_del.mean(), 1),
                        format_number(rel_del.mean(), 1),

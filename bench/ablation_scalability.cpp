@@ -26,8 +26,14 @@ public:
 int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
-    constexpr std::size_t kRepeats = 10;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
     constexpr double kP = 0.5;
+
+    struct Trial {
+        bool completed{false};
+        double rounds{0.0}, packets{0.0};
+    };
 
     Table table({"mesh", "tiles", "rounds to reach all", "diameter/p + slack",
                  "Pittel (full graph)", "packets/tile"});
@@ -35,20 +41,31 @@ int main(int argc, char** argv) {
         const auto topo = Topology::mesh(side, side);
         const std::size_t n = topo.node_count();
         const std::size_t diameter = 2 * (side - 1);
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                GossipConfig c = bench::config_with_p(kP, 512);
+                GossipNetwork net(topo, c, FaultScenario::none(), seed);
+                net.attach(0, std::make_unique<CornerSource>());
+                const MessageId rumor{0, 0};
+                const auto r = net.run_until(
+                    [&net, &rumor, n]() mutable { return net.tiles_knowing(rumor) == n; },
+                    2000);
+                Trial out;
+                if (!r.completed) return out;
+                out.completed = true;
+                out.rounds = static_cast<double>(r.rounds);
+                out.packets = static_cast<double>(net.metrics().packets_sent) /
+                              static_cast<double>(n) /
+                              static_cast<double>(r.rounds);
+                return out;
+            },
+            kJobs);
         Accumulator rounds, packets;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            GossipConfig c = bench::config_with_p(kP, 512);
-            GossipNetwork net(topo, c, FaultScenario::none(), seed);
-            net.attach(0, std::make_unique<CornerSource>());
-            const MessageId rumor{0, 0};
-            const auto r = net.run_until(
-                [&net, &rumor, n]() mutable { return net.tiles_knowing(rumor) == n; },
-                2000);
-            if (!r.completed) continue;
-            rounds.add(static_cast<double>(r.rounds));
-            packets.add(static_cast<double>(net.metrics().packets_sent) /
-                        static_cast<double>(n) /
-                        static_cast<double>(r.rounds));
+        for (const Trial& t : trials) {
+            if (!t.completed) continue;
+            rounds.add(t.rounds);
+            packets.add(t.packets);
         }
         table.add_row({std::to_string(side) + "x" + std::to_string(side),
                        std::to_string(n), format_number(rounds.mean(), 1),

@@ -31,33 +31,58 @@ private:
 
 } // namespace
 
+namespace {
+
+struct TtlTrial {
+    bool delivered{false};
+    snoc::Round latency{0};
+    std::size_t packets{0};
+};
+
+} // namespace
+
 int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
-    constexpr std::size_t kRepeats = 40;
+    const std::size_t repeats = bench::want_repeats(argc, argv, 40);
+    const std::size_t jobs = bench::want_jobs(argc, argv);
 
     Table table({"TTL", "delivery [%]", "avg packets", "avg latency [rounds]"});
     for (std::uint16_t ttl : {2, 4, 6, 8, 12, 16, 24, 32}) {
+        // Independent Monte-Carlo trials: each builds its own network from
+        // its seed, so the fan-out is bit-identical to the serial loop.
+        const auto trials = run_trials(
+            repeats,
+            [&](std::uint64_t seed) {
+                GossipConfig c = bench::config_with_p(0.5);
+                c.default_ttl = ttl;
+                GossipNetwork net(Topology::mesh(5, 5), c, FaultScenario::none(), seed);
+                auto sink = std::make_unique<CornerSink>();
+                const CornerSink& s = *sink;
+                net.attach(0, std::make_unique<CornerSource>());
+                net.attach(24, std::move(sink));
+                net.run_until([&s] { return s.round().has_value(); }, 200);
+                net.drain();
+                TtlTrial out;
+                out.packets = net.metrics().packets_sent;
+                if (s.round()) {
+                    out.delivered = true;
+                    out.latency = *s.round();
+                }
+                return out;
+            },
+            jobs);
         std::size_t delivered = 0;
         Accumulator packets, latency;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            GossipConfig c = bench::config_with_p(0.5);
-            c.default_ttl = ttl;
-            GossipNetwork net(Topology::mesh(5, 5), c, FaultScenario::none(), seed);
-            auto sink = std::make_unique<CornerSink>();
-            const CornerSink& s = *sink;
-            net.attach(0, std::make_unique<CornerSource>());
-            net.attach(24, std::move(sink));
-            net.run_until([&s] { return s.round().has_value(); }, 200);
-            net.drain();
-            packets.add(static_cast<double>(net.metrics().packets_sent));
-            if (s.round()) {
+        for (const TtlTrial& t : trials) {
+            packets.add(static_cast<double>(t.packets));
+            if (t.delivered) {
                 ++delivered;
-                latency.add(static_cast<double>(*s.round()));
+                latency.add(static_cast<double>(t.latency));
             }
         }
         table.add_row({std::to_string(ttl),
-                       format_number(100.0 * delivered / kRepeats, 1),
+                       format_number(100.0 * delivered / repeats, 1),
                        format_number(packets.mean(), 0),
                        delivered ? format_number(latency.mean(), 1) : "-"});
     }

@@ -33,53 +33,69 @@ int main(int argc, char** argv) {
                 "Wormhole 8x8 mesh: latency / throughput vs offered load");
 
     // ---- Part 2: crash sensitivity.
-    constexpr std::size_t kRepeats = 15;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 15);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
     const auto mesh = Topology::mesh(5, 5);
     const std::vector<std::pair<TileId, TileId>> flows{{0, 24}, {4, 20}, {20, 4},
                                                        {24, 0}, {2, 22}, {10, 14}};
+
+    struct Trial {
+        std::size_t worm{0}, wf{0}, gossip{0};
+    };
+
     Table crash({"crashed tiles", "wormhole XY [%]", "wormhole west-first [%]",
                  "gossip delivery [%]"});
     for (std::size_t k : {0u, 1u, 2u, 4u, 6u}) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                // Shared crash pattern (protect the endpoints).
+                RngPool pool(seed);
+                FaultInjector inj(FaultScenario::none(), pool);
+                std::vector<TileId> protected_tiles;
+                for (const auto& [s, d] : flows) {
+                    protected_tiles.push_back(s);
+                    protected_tiles.push_back(d);
+                }
+                const auto crashes =
+                    inj.roll_exact_tile_crashes(mesh, k, protected_tiles);
+
+                Trial out;
+                wormhole::Network wnet(5, 5, wc);
+                for (TileId t = 0; t < 25; ++t)
+                    if (crashes.dead_tiles[t]) wnet.crash_router(t);
+                for (const auto& [s, d] : flows) wnet.inject(s, d);
+                wnet.run(3000);
+                out.worm = wnet.delivered();
+
+                wormhole::Config wfc = wc;
+                wfc.routing = wormhole::Routing::WestFirst;
+                wormhole::Network wfnet(5, 5, wfc);
+                for (TileId t = 0; t < 25; ++t)
+                    if (crashes.dead_tiles[t]) wfnet.crash_router(t);
+                for (const auto& [s, d] : flows) wfnet.inject(s, d);
+                wfnet.run(3000);
+                out.wf = wfnet.delivered();
+
+                GossipConfig gc = bench::config_with_p(0.5, 40);
+                GossipNetwork gnet(mesh, gc, FaultScenario::none(), seed);
+                TrafficTrace trace;
+                TrafficPhase phase;
+                for (const auto& [s, d] : flows) phase.messages.push_back({s, d, 256});
+                trace.phases.push_back(phase);
+                apps::TraceDriver driver(gnet, trace);
+                for (TileId t : protected_tiles) gnet.protect(t);
+                gnet.force_exact_tile_crashes(k);
+                gnet.run_until([&driver] { return driver.complete(); }, 500);
+                out.gossip = driver.delivered_messages();
+                return out;
+            },
+            kJobs);
         std::size_t worm_delivered = 0, wf_delivered = 0, gossip_delivered = 0;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            // Shared crash pattern (protect the endpoints).
-            RngPool pool(seed);
-            FaultInjector inj(FaultScenario::none(), pool);
-            std::vector<TileId> protected_tiles;
-            for (const auto& [s, d] : flows) {
-                protected_tiles.push_back(s);
-                protected_tiles.push_back(d);
-            }
-            const auto crashes =
-                inj.roll_exact_tile_crashes(mesh, k, protected_tiles);
-
-            wormhole::Network wnet(5, 5, wc);
-            for (TileId t = 0; t < 25; ++t)
-                if (crashes.dead_tiles[t]) wnet.crash_router(t);
-            for (const auto& [s, d] : flows) wnet.inject(s, d);
-            wnet.run(3000);
-            worm_delivered += wnet.delivered();
-
-            wormhole::Config wfc = wc;
-            wfc.routing = wormhole::Routing::WestFirst;
-            wormhole::Network wfnet(5, 5, wfc);
-            for (TileId t = 0; t < 25; ++t)
-                if (crashes.dead_tiles[t]) wfnet.crash_router(t);
-            for (const auto& [s, d] : flows) wfnet.inject(s, d);
-            wfnet.run(3000);
-            wf_delivered += wfnet.delivered();
-
-            GossipConfig gc = bench::config_with_p(0.5, 40);
-            GossipNetwork gnet(mesh, gc, FaultScenario::none(), seed);
-            TrafficTrace trace;
-            TrafficPhase phase;
-            for (const auto& [s, d] : flows) phase.messages.push_back({s, d, 256});
-            trace.phases.push_back(phase);
-            apps::TraceDriver driver(gnet, trace);
-            for (TileId t : protected_tiles) gnet.protect(t);
-            gnet.force_exact_tile_crashes(k);
-            gnet.run_until([&driver] { return driver.complete(); }, 500);
-            gossip_delivered += driver.delivered_messages();
+        for (const Trial& t : trials) {
+            worm_delivered += t.worm;
+            wf_delivered += t.wf;
+            gossip_delivered += t.gossip;
         }
         const double total = static_cast<double>(kRepeats * flows.size());
         crash.add_row({std::to_string(k),

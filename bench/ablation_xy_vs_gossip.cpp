@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
     const auto mesh = Topology::mesh(5, 5);
-    constexpr std::size_t kRepeats = 20;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 20);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     // Corner-to-corner traffic: long routes, maximal crash exposure.
     TrafficTrace trace;
@@ -26,26 +27,43 @@ int main(int argc, char** argv) {
 
     Table table({"p_tiles", "XY delivery [%]", "gossip delivery [%]",
                  "gossip completion [%]"});
+    struct Trial {
+        std::size_t xy_delivered{0}, xy_total{0};
+        std::size_t gossip_delivered{0};
+        bool gossip_completed{false};
+    };
+
     for (double p_tiles : {0.0, 0.05, 0.1, 0.15, 0.2, 0.3}) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                FaultScenario s;
+                s.p_tiles = p_tiles;
+                RngPool pool(seed);
+                FaultInjector inj(s, pool);
+                const auto crashes = inj.roll_crashes(mesh, endpoints);
+                Trial out;
+                const auto xy = run_xy_trace(mesh, trace, crashes);
+                out.xy_delivered = xy.delivered;
+                out.xy_total = xy.delivered + xy.lost;
+
+                GossipNetwork net(mesh, bench::config_with_p(0.5, 40), s, seed);
+                apps::TraceDriver driver(net, trace);
+                for (TileId t : endpoints) net.protect(t);
+                const auto r =
+                    net.run_until([&driver] { return driver.complete(); }, 1000);
+                out.gossip_delivered = driver.delivered_messages();
+                out.gossip_completed = r.completed;
+                return out;
+            },
+            kJobs);
         std::size_t xy_delivered = 0, xy_total = 0;
         std::size_t gossip_delivered = 0, gossip_completed = 0;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            FaultScenario s;
-            s.p_tiles = p_tiles;
-            RngPool pool(seed);
-            FaultInjector inj(s, pool);
-            const auto crashes = inj.roll_crashes(mesh, endpoints);
-            const auto xy = run_xy_trace(mesh, trace, crashes);
-            xy_delivered += xy.delivered;
-            xy_total += xy.delivered + xy.lost;
-
-            GossipNetwork net(mesh, bench::config_with_p(0.5, 40), s, seed);
-            apps::TraceDriver driver(net, trace);
-            for (TileId t : endpoints) net.protect(t);
-            const auto r =
-                net.run_until([&driver] { return driver.complete(); }, 1000);
-            gossip_delivered += driver.delivered_messages();
-            if (r.completed) ++gossip_completed;
+        for (const Trial& t : trials) {
+            xy_delivered += t.xy_delivered;
+            xy_total += t.xy_total;
+            gossip_delivered += t.gossip_delivered;
+            if (t.gossip_completed) ++gossip_completed;
         }
         table.add_row({format_number(p_tiles, 2),
                        format_number(100.0 * xy_delivered / xy_total, 1),

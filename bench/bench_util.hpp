@@ -5,12 +5,16 @@
 // table as CSV on request (--csv), for replotting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "apps/fft2d_app.hpp"
 #include "apps/master_slave_pi.hpp"
+#include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/engine.hpp"
@@ -22,6 +26,18 @@ inline bool want_csv(int argc, char** argv) {
     for (int i = 1; i < argc; ++i)
         if (std::string(argv[i]) == "--csv") return true;
     return false;
+}
+
+/// Worker-thread count for the Monte-Carlo trial fan-out:
+/// --jobs=N beats SNOC_JOBS beats hardware concurrency.
+inline std::size_t want_jobs(int argc, char** argv) {
+    return resolve_jobs(CliArgs(argc, argv));
+}
+
+/// Trial-repeat count: --repeats=N, else the bench's default.
+inline std::size_t want_repeats(int argc, char** argv, std::size_t fallback) {
+    const auto r = CliArgs(argc, argv).get_u64("repeats", fallback);
+    return r > 0 ? static_cast<std::size_t>(r) : fallback;
 }
 
 inline void emit(const Table& table, bool csv, const std::string& caption) {
@@ -100,8 +116,8 @@ inline AppRun run_fft_once(const GossipConfig& config, const FaultScenario& scen
     return out;
 }
 
-/// Average an AppRun-producing callable over seeds; reports completion rate.
-template <typename F>
+/// Means over the completed runs of a Monte-Carlo batch.  (Was a
+/// pointlessly templated `Averaged<F>` — the fields never depended on F.)
 struct Averaged {
     double latency_rounds{0.0};
     double packets{0.0};
@@ -110,13 +126,14 @@ struct Averaged {
     double completion_rate{0.0};
 };
 
-template <typename F>
-auto average_runs(F&& run_one, std::size_t repeats) {
-    Averaged<F> avg;
+/// Aggregate per-seed results; runs that did not complete only count
+/// against the completion rate.  Safe on an empty batch.
+inline Averaged average_of(const std::vector<AppRun>& runs) {
+    Averaged avg;
+    if (runs.empty()) return avg; // repeats == 0 used to divide by zero here
     Accumulator lat, pkt, bit, sec;
     std::size_t completed = 0;
-    for (std::uint64_t seed = 0; seed < repeats; ++seed) {
-        const AppRun r = run_one(seed);
+    for (const AppRun& r : runs) {
         if (!r.completed) continue;
         ++completed;
         lat.add(static_cast<double>(r.latency_rounds));
@@ -124,7 +141,7 @@ auto average_runs(F&& run_one, std::size_t repeats) {
         bit.add(static_cast<double>(r.bits));
         sec.add(r.seconds);
     }
-    avg.completion_rate = static_cast<double>(completed) / static_cast<double>(repeats);
+    avg.completion_rate = static_cast<double>(completed) / static_cast<double>(runs.size());
     if (completed > 0) {
         avg.latency_rounds = lat.mean();
         avg.packets = pkt.mean();
@@ -132,6 +149,15 @@ auto average_runs(F&& run_one, std::size_t repeats) {
         avg.seconds = sec.mean();
     }
     return avg;
+}
+
+/// Average an AppRun-producing callable over seeds 0..repeats-1, fanning
+/// the independent trials across `jobs` worker threads (0 = default; see
+/// common/parallel.hpp).  `run_one(seed)` must derive all randomness from
+/// its seed argument — the results are bit-identical for any job count.
+template <typename F>
+Averaged average_runs(F&& run_one, std::size_t repeats, std::size_t jobs = 0) {
+    return average_of(run_trials(repeats, run_one, jobs));
 }
 
 /// Eq. 3 energy per useful bit for an averaged run.

@@ -15,18 +15,24 @@ int main(int argc, char** argv) {
     const bool csv = bench::want_csv(argc, argv);
     constexpr std::size_t kNodes = 1000;
     constexpr std::size_t kRounds = 22;
-    constexpr std::size_t kRepeats = 50;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 50);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     const auto model = analytic::informed_curve(kNodes, kRounds);
 
+    const auto curves = run_trials(
+        kRepeats,
+        [&](std::uint64_t seed) {
+            RngStream rng(splitmix64(seed));
+            auto curve = analytic::simulate_push_gossip(kNodes, rng, kRounds);
+            curve.resize(kRounds + 1, kNodes);
+            return curve;
+        },
+        kJobs);
     std::vector<Accumulator> mc(kRounds + 1);
-    for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-        RngStream rng(splitmix64(seed));
-        auto curve = analytic::simulate_push_gossip(kNodes, rng, kRounds);
-        curve.resize(kRounds + 1, kNodes);
+    for (const auto& curve : curves)
         for (std::size_t t = 0; t <= kRounds; ++t)
             mc[t].add(static_cast<double>(curve[t]));
-    }
 
     Table table({"round", "model I(t)", "monte-carlo mean", "mc min", "mc max"});
     for (std::size_t t = 0; t <= kRounds; ++t) {

@@ -29,19 +29,26 @@ struct SweepPoint {
     double completion{0.0};
 };
 
-SweepPoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats) {
+SweepPoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats,
+                     std::size_t jobs) {
     using namespace snoc;
+    const auto trials = run_trials(
+        repeats,
+        [&](std::uint64_t seed) -> double {
+            GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(0.75, 50),
+                              scenario, seed);
+            auto& output = apps::deploy_mp3(net, mp3_config());
+            const auto r =
+                net.run_until([&output] { return output.complete(); }, 4000);
+            return r.completed ? static_cast<double>(r.rounds) : -1.0;
+        },
+        jobs);
     Accumulator rounds;
     std::size_t completed = 0;
-    for (std::uint64_t seed = 0; seed < repeats; ++seed) {
-        GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(0.75, 50),
-                          scenario, seed);
-        auto& output = apps::deploy_mp3(net, mp3_config());
-        const auto r = net.run_until([&output] { return output.complete(); }, 4000);
-        if (r.completed) {
-            ++completed;
-            rounds.add(static_cast<double>(r.rounds));
-        }
+    for (double r : trials) {
+        if (r < 0.0) continue;
+        ++completed;
+        rounds.add(r);
     }
     SweepPoint p;
     p.completion = static_cast<double>(completed) / static_cast<double>(repeats);
@@ -57,14 +64,15 @@ SweepPoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats) {
 int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
-    constexpr std::size_t kRepeats = 6;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 6);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     // Left panel: buffer overflows.
     Table overflow({"dropped packets [%]", "latency [rounds]", "jitter", "completion"});
     for (double drop : {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9}) {
         FaultScenario s;
         s.p_overflow = drop;
-        const auto p = run_point(s, kRepeats);
+        const auto p = run_point(s, kRepeats, kJobs);
         overflow.add_row({format_number(drop * 100, 0),
                           p.completion > 0 ? format_number(p.latency, 0) : "DNF",
                           p.completion > 0 ? format_number(p.jitter, 1) : "-",
@@ -78,7 +86,7 @@ int main(int argc, char** argv) {
     for (double sigma : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
         FaultScenario s;
         s.sigma_synchr = sigma;
-        const auto p = run_point(s, kRepeats);
+        const auto p = run_point(s, kRepeats, kJobs);
         synchr.add_row({format_number(sigma * 100, 0),
                         p.completion > 0 ? format_number(p.latency, 0) : "DNF",
                         p.completion > 0 ? format_number(p.jitter, 1) : "-",

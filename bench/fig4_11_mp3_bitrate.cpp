@@ -30,20 +30,32 @@ struct BitratePoint {
     double frames{0.0};
 };
 
-BitratePoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats) {
+BitratePoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats,
+                       std::size_t jobs) {
     using namespace snoc;
     const auto cfg = streaming_config();
+    struct Trial {
+        double rate, jitter, frames;
+    };
+    const auto trials = run_trials(
+        repeats,
+        [&](std::uint64_t seed) {
+            GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(0.75, 50),
+                              scenario, seed);
+            auto& output = apps::deploy_mp3(net, cfg);
+            const auto r =
+                net.run_until([&output] { return output.complete(); }, 2000);
+            const double tr = net.config().timing.round_seconds();
+            const auto report = apps::bitrate_report(output, cfg, r.rounds, tr);
+            return Trial{report.mean_bits_per_second, report.jitter_bits_per_second,
+                         report.completion_fraction * 100.0};
+        },
+        jobs);
     Accumulator rate, jitter, frames;
-    for (std::uint64_t seed = 0; seed < repeats; ++seed) {
-        GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(0.75, 50),
-                          scenario, seed);
-        auto& output = apps::deploy_mp3(net, cfg);
-        const auto r = net.run_until([&output] { return output.complete(); }, 2000);
-        const double tr = net.config().timing.round_seconds();
-        const auto report = apps::bitrate_report(output, cfg, r.rounds, tr);
-        rate.add(report.mean_bits_per_second);
-        jitter.add(report.jitter_bits_per_second);
-        frames.add(report.completion_fraction * 100.0);
+    for (const Trial& t : trials) {
+        rate.add(t.rate);
+        jitter.add(t.jitter);
+        frames.add(t.frames);
     }
     return {rate.mean(), jitter.mean(), frames.mean()};
 }
@@ -53,7 +65,8 @@ BitratePoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats)
 int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
-    constexpr std::size_t kRepeats = 6;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 6);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     Table overflow({"dropped packets [%]", "bit rate [bits/s]", "jitter [bits/s]",
                     "frames delivered [%]"});
@@ -61,7 +74,7 @@ int main(int argc, char** argv) {
     for (double drop : {0.0, 0.2, 0.4, 0.6, 0.8}) {
         FaultScenario s;
         s.p_overflow = drop;
-        const auto p = run_point(s, kRepeats);
+        const auto p = run_point(s, kRepeats, kJobs);
         if (drop == 0.0) base_rate = p.rate;
         if (drop == 0.6) rate_at_60 = p.rate;
         overflow.add_row({format_number(drop * 100, 0), format_sci(p.rate, 3),
@@ -74,7 +87,7 @@ int main(int argc, char** argv) {
     for (double sigma : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
         FaultScenario s;
         s.sigma_synchr = sigma;
-        const auto p = run_point(s, kRepeats);
+        const auto p = run_point(s, kRepeats, kJobs);
         synchr.add_row({format_number(sigma * 100, 0), format_sci(p.rate, 3),
                         format_sci(p.jitter, 2), format_number(p.frames, 0)});
     }

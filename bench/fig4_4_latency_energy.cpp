@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
     const bool csv = bench::want_csv(argc, argv);
     const std::vector<double> kPs{1.0, 0.75, 0.5, 0.25};
     const std::vector<std::size_t> kCrashes{0, 1, 2, 3, 4};
-    constexpr std::size_t kRepeats = 12;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 12);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     const auto pi_useful = apps::pi_trace(apps::PiDeployment{}).useful_bits();
     const auto fft_useful = apps::fft2d_trace(apps::FftDeployment{}).useful_bits();
@@ -39,7 +40,7 @@ int main(int argc, char** argv) {
                                    : bench::run_pi_once(config, FaultScenario::none(),
                                                         crashes, seed);
                     },
-                    kRepeats);
+                    kRepeats, kJobs);
                 lat_row.push_back(format_number(avg.latency_rounds, 1));
                 en_row.push_back(format_sci(
                     bench::joules_per_useful_bit(avg.bits,

@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
     const bool csv = bench::want_csv(argc, argv);
     const std::vector<std::size_t> kCrashes{0, 1, 2, 3, 4};
     const std::vector<double> kUpsets{0.0, 0.3, 0.5, 0.7, 0.8, 0.9};
-    constexpr std::size_t kRepeats = 10;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     std::vector<std::string> headers{"tile crashes \\ p_upset"};
     for (double u : kUpsets) headers.push_back(format_number(u, 2));
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
                     return bench::run_pi_once(bench::config_with_p(0.5, 120), s,
                                               crashes, seed, true, 5000);
                 },
-                kRepeats);
+                kRepeats, kJobs);
             lat_row.push_back(avg.completion_rate > 0.0
                                   ? format_number(avg.latency_rounds, 1)
                                   : std::string("-"));

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
     const bool csv = bench::want_csv(argc, argv);
     const std::vector<double> kPs{0.1, 0.25, 0.5, 0.75, 1.0};
     const std::vector<double> kUpsets{0.0, 0.2, 0.4, 0.6, 0.8};
-    constexpr std::size_t kRepeats = 5;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 5);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
     constexpr Round kMaxRounds = 4000;
 
     std::vector<std::string> headers{"p \\ p_upset"};
@@ -41,20 +42,25 @@ int main(int argc, char** argv) {
         std::vector<std::string> lat_row{format_number(p, 2)};
         std::vector<std::string> comp_row{format_number(p, 2)};
         for (double upset : kUpsets) {
+            const auto trials = run_trials(
+                kRepeats,
+                [&](std::uint64_t seed) -> double {
+                    FaultScenario s;
+                    s.p_upset = upset;
+                    GossipNetwork net(Topology::mesh(4, 4),
+                                      bench::config_with_p(p, 60), s, seed);
+                    auto& output = apps::deploy_mp3(net, mp3_config());
+                    const auto r = net.run_until(
+                        [&output] { return output.complete(); }, kMaxRounds);
+                    return r.completed ? static_cast<double>(r.rounds) : -1.0;
+                },
+                kJobs);
             Accumulator rounds;
             std::size_t completed = 0;
-            for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-                FaultScenario s;
-                s.p_upset = upset;
-                GossipNetwork net(Topology::mesh(4, 4),
-                                  bench::config_with_p(p, 60), s, seed);
-                auto& output = apps::deploy_mp3(net, mp3_config());
-                const auto r = net.run_until(
-                    [&output] { return output.complete(); }, kMaxRounds);
-                if (r.completed) {
-                    ++completed;
-                    rounds.add(static_cast<double>(r.rounds));
-                }
+            for (double r : trials) {
+                if (r < 0.0) continue;
+                ++completed;
+                rounds.add(r);
             }
             lat_row.push_back(completed > 0 ? format_number(rounds.mean(), 0)
                                             : std::string("DNF"));

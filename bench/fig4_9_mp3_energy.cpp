@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
     const bool csv = bench::want_csv(argc, argv);
     const auto tech = Technology::cmos_025um();
     const std::vector<double> kPs{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
-    constexpr std::size_t kRepeats = 5;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 5);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     apps::Mp3Config cfg;
     cfg.frame_samples = 64;
@@ -27,22 +28,38 @@ int main(int argc, char** argv) {
     Table table({"p", "energy [J]", "packets", "latency [rounds]", "completion"});
     double first_energy = 0.0, last_energy = 0.0;
     Regression linearity;
+    struct Trial {
+        bool completed{false};
+        double rounds{0.0}, joules{0.0}, packets{0.0};
+    };
     for (double p : kPs) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(p, 40),
+                                  FaultScenario::none(), seed);
+                auto& output = apps::deploy_mp3(net, cfg);
+                const auto r =
+                    net.run_until([&output] { return output.complete(); }, 4000);
+                Trial out;
+                if (!r.completed) return out;
+                out.completed = true;
+                out.rounds = static_cast<double>(r.rounds);
+                net.drain(); // energy runs until every rumor's TTL expires
+                out.joules = static_cast<double>(net.metrics().bits_sent) *
+                             tech.link_ebit_joules;
+                out.packets = static_cast<double>(net.metrics().packets_sent);
+                return out;
+            },
+            kJobs);
         Accumulator joules, packets, rounds;
         std::size_t completed = 0;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(p, 40),
-                              FaultScenario::none(), seed);
-            auto& output = apps::deploy_mp3(net, cfg);
-            const auto r =
-                net.run_until([&output] { return output.complete(); }, 4000);
-            if (!r.completed) continue;
+        for (const Trial& t : trials) {
+            if (!t.completed) continue;
             ++completed;
-            rounds.add(static_cast<double>(r.rounds));
-            net.drain(); // energy runs until every rumor's TTL expires
-            joules.add(static_cast<double>(net.metrics().bits_sent) *
-                       tech.link_ebit_joules);
-            packets.add(static_cast<double>(net.metrics().packets_sent));
+            rounds.add(t.rounds);
+            joules.add(t.joules);
+            packets.add(t.packets);
         }
         table.add_row({format_number(p, 1),
                        completed ? format_sci(joules.mean(), 3) : "-",

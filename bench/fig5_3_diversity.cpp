@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
     using namespace snoc;
     const bool csv = bench::want_csv(argc, argv);
     constexpr std::size_t kFrames = 4;
-    constexpr std::size_t kRepeats = 5;
+    const std::size_t kRepeats = bench::want_repeats(argc, argv, 5);
+    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     Table table({"architecture", "latency [rounds]", "message transmissions",
                  "completion"});
@@ -24,12 +25,17 @@ int main(int argc, char** argv) {
                       diversity::ArchitectureKind::HierarchicalNoc,
                       diversity::ArchitectureKind::CentralRouterMesh,
                       diversity::ArchitectureKind::BusConnectedNocs}) {
+        const auto trials = run_trials(
+            kRepeats,
+            [&](std::uint64_t seed) {
+                return diversity::run_beamforming(
+                    kind, kFrames, bench::config_with_p(0.75, 40),
+                    FaultScenario::none(), seed);
+            },
+            kJobs);
         Accumulator rounds, transmissions;
         std::size_t completed = 0;
-        for (std::uint64_t seed = 0; seed < kRepeats; ++seed) {
-            const auto r = diversity::run_beamforming(
-                kind, kFrames, bench::config_with_p(0.75, 40),
-                FaultScenario::none(), seed);
+        for (const auto& r : trials) {
             if (!r.completed) continue;
             ++completed;
             rounds.add(static_cast<double>(r.rounds));

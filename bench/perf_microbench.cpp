@@ -1,12 +1,16 @@
 // google-benchmark microbenchmarks of the hot paths: CRC, packet codec,
-// a full gossip round, FFT and MDCT kernels.  Not a paper figure — this
-// guards the simulator's own performance.
+// a full gossip round (encode-once vs reference per-transmission encode),
+// the parallel trial fan-out, FFT and MDCT kernels.  Not a paper figure —
+// this guards the simulator's own performance.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "apps/fft.hpp"
 #include "apps/mdct.hpp"
+#include "common/parallel.hpp"
 #include "core/engine.hpp"
 #include "noc/crc.hpp"
 #include "noc/packet.hpp"
@@ -44,11 +48,12 @@ public:
     void on_message(const Message&, TileContext&) override {}
 };
 
-void BM_GossipRound(benchmark::State& state) {
+void gossip_round_impl(benchmark::State& state, bool reference_encode) {
     const auto side = static_cast<std::size_t>(state.range(0));
     GossipConfig c;
     c.forward_p = 0.5;
     c.default_ttl = 1000; // keep the rumor alive through the benchmark
+    c.reference_encode_path = reference_encode;
     for (auto _ : state) {
         state.PauseTiming();
         GossipNetwork net(Topology::mesh(side, side), c, FaultScenario::none(), 1);
@@ -59,7 +64,54 @@ void BM_GossipRound(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * 10);
 }
+
+// Production path: each held message is serialised once per round and the
+// wire image is shared across its port transmissions.
+void BM_GossipRound(benchmark::State& state) { gossip_round_impl(state, false); }
 BENCHMARK(BM_GossipRound)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+// Reference path: re-encode per transmission (the pre-optimisation
+// behaviour).  The delta against BM_GossipRound is what encode-once saves.
+void BM_GossipRoundReference(benchmark::State& state) {
+    gossip_round_impl(state, true);
+}
+BENCHMARK(BM_GossipRoundReference)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+/// One self-contained Monte-Carlo trial: a 5x5 broadcast driven to
+/// quiescence, all randomness derived from the trial index.
+std::size_t broadcast_trial(std::uint64_t seed) {
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 20;
+    GossipNetwork net(Topology::mesh(5, 5), c, FaultScenario::none(), seed);
+    net.attach(0, std::make_unique<BroadcastSource>());
+    net.drain(200);
+    return net.metrics().packets_sent;
+}
+
+// run_trials scaling: Arg is the jobs count.  Compare against /1 to see
+// the fan-out speedup on this machine.
+void BM_TrialFanout(benchmark::State& state) {
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kTrials = 32;
+    for (auto _ : state) {
+        auto results = run_trials(kTrials, broadcast_trial, jobs);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kTrials));
+}
+BENCHMARK(BM_TrialFanout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Fft(benchmark::State& state) {
     std::vector<apps::Complex> v(static_cast<std::size_t>(state.range(0)));
@@ -81,6 +133,41 @@ void BM_Mdct(benchmark::State& state) {
 }
 BENCHMARK(BM_Mdct)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
 
+/// After the registered benchmarks, print a plain serial-vs-parallel
+/// wall-clock summary of the trial fan-out (and assert bit-identical
+/// results) — the acceptance check for the parallel runner in one place.
+void print_fanout_summary() {
+    using clock = std::chrono::steady_clock;
+    constexpr std::size_t kTrials = 64;
+    const std::size_t hw = default_jobs();
+
+    const auto t0 = clock::now();
+    const auto serial = run_trials(kTrials, broadcast_trial, 1);
+    const auto t1 = clock::now();
+    const auto parallel = run_trials(kTrials, broadcast_trial, hw);
+    const auto t2 = clock::now();
+
+    const auto ms = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    const double serial_ms = ms(t0, t1);
+    const double parallel_ms = ms(t1, t2);
+    std::printf("\n-- run_trials fan-out summary (%zu broadcast trials) --\n",
+                kTrials);
+    std::printf("serial   (jobs=1):  %8.2f ms\n", serial_ms);
+    std::printf("parallel (jobs=%zu): %8.2f ms  (%.2fx)\n", hw, parallel_ms,
+                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    std::printf("results bit-identical: %s\n",
+                serial == parallel ? "yes" : "NO - DETERMINISM BROKEN");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_fanout_summary();
+    return 0;
+}

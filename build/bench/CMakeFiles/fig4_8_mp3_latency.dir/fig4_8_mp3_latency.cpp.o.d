@@ -167,7 +167,7 @@ bench/CMakeFiles/fig4_8_mp3_latency.dir/fig4_8_mp3_latency.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/apps/audio.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -189,7 +189,7 @@ bench/CMakeFiles/fig4_8_mp3_latency.dir/fig4_8_mp3_latency.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
@@ -198,11 +198,11 @@ bench/CMakeFiles/fig4_8_mp3_latency.dir/fig4_8_mp3_latency.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/apps/mdct.hpp \
  /root/repo/src/apps/psycho.hpp /root/repo/src/apps/quantizer.hpp \
- /root/repo/src/core/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/engine.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -246,15 +246,27 @@ bench/CMakeFiles/fig4_8_mp3_latency.dir/fig4_8_mp3_latency.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/types.hpp \
  /root/repo/src/core/gossip_config.hpp /root/repo/src/common/expect.hpp \
  /root/repo/src/sim/round_clock.hpp /root/repo/src/core/ip_core.hpp \
- /root/repo/src/noc/packet.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/send_buffer.hpp /root/repo/src/fault/injector.hpp \
- /root/repo/src/fault/fault_model.hpp /root/repo/src/noc/topology.hpp \
- /root/repo/src/sim/trace.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/bench/bench_util.hpp /root/repo/src/apps/fft2d_app.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/utility \
+ /root/repo/src/noc/packet.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/send_buffer.hpp \
+ /root/repo/src/fault/injector.hpp /root/repo/src/fault/fault_model.hpp \
+ /root/repo/src/noc/topology.hpp /root/repo/src/sim/trace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/bench/bench_util.hpp \
+ /root/repo/src/apps/fft2d_app.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/apps/fft.hpp \
  /usr/include/c++/12/complex /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/noc/traffic.hpp \
- /root/repo/src/apps/master_slave_pi.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/apps/master_slave_pi.hpp /root/repo/src/common/cli.hpp \
+ /root/repo/src/common/parallel.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/common/stats.hpp \
  /root/repo/src/common/table.hpp /root/repo/src/energy/energy.hpp

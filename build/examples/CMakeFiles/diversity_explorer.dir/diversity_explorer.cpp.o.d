@@ -161,8 +161,9 @@ examples/CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o: \
  /root/repo/src/diversity/architecture.hpp \
  /root/repo/src/apps/beamforming.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/common/types.hpp /root/repo/src/noc/traffic.hpp \
- /root/repo/src/core/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/src/core/engine.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -171,8 +172,7 @@ examples/CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -216,7 +216,7 @@ examples/CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -238,7 +238,7 @@ examples/CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
@@ -246,8 +246,9 @@ examples/CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/gossip_config.hpp /root/repo/src/common/expect.hpp \
  /root/repo/src/sim/round_clock.hpp /root/repo/src/core/ip_core.hpp \
- /root/repo/src/noc/packet.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/send_buffer.hpp /root/repo/src/fault/injector.hpp \
- /root/repo/src/fault/fault_model.hpp /root/repo/src/noc/topology.hpp \
- /root/repo/src/sim/trace.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /root/repo/src/noc/packet.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/send_buffer.hpp \
+ /root/repo/src/fault/injector.hpp /root/repo/src/fault/fault_model.hpp \
+ /root/repo/src/noc/topology.hpp /root/repo/src/sim/trace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/snoc_common.dir/cli.cpp.o"
   "CMakeFiles/snoc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/snoc_common.dir/parallel.cpp.o"
+  "CMakeFiles/snoc_common.dir/parallel.cpp.o.d"
   "CMakeFiles/snoc_common.dir/stats.cpp.o"
   "CMakeFiles/snoc_common.dir/stats.cpp.o.d"
   "CMakeFiles/snoc_common.dir/table.cpp.o"

@@ -109,7 +109,7 @@ src/core/CMakeFiles/snoc_core.dir/transport.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/ip_core.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -131,8 +131,8 @@ src/core/CMakeFiles/snoc_core.dir/transport.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/string \
- /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/random \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
@@ -172,5 +172,5 @@ src/core/CMakeFiles/snoc_core.dir/transport.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/noc/packet.hpp /root/repo/src/common/expect.hpp \
- /usr/include/c++/12/stdexcept
+ /root/repo/src/noc/packet.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/expect.hpp /usr/include/c++/12/stdexcept

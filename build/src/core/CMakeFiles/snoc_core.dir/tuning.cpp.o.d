@@ -224,15 +224,14 @@ src/core/CMakeFiles/snoc_core.dir/tuning.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/expect.hpp \
- /root/repo/src/core/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/engine.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
  /usr/include/c++/12/unordered_set \
@@ -244,6 +243,6 @@ src/core/CMakeFiles/snoc_core.dir/tuning.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/gossip_config.hpp /root/repo/src/sim/round_clock.hpp \
  /root/repo/src/core/ip_core.hpp /root/repo/src/noc/packet.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/core/send_buffer.hpp \
- /root/repo/src/fault/injector.hpp /root/repo/src/fault/fault_model.hpp \
- /root/repo/src/sim/trace.hpp
+ /usr/include/c++/12/span /root/repo/src/core/metrics.hpp \
+ /root/repo/src/core/send_buffer.hpp /root/repo/src/fault/injector.hpp \
+ /root/repo/src/fault/fault_model.hpp /root/repo/src/sim/trace.hpp

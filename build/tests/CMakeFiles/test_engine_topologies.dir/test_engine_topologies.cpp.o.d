@@ -327,8 +327,9 @@ tests/CMakeFiles/test_engine_topologies.dir/test_engine_topologies.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/types.hpp \
  /root/repo/src/core/gossip_config.hpp /root/repo/src/common/expect.hpp \
  /root/repo/src/sim/round_clock.hpp /root/repo/src/core/ip_core.hpp \
- /root/repo/src/noc/packet.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/send_buffer.hpp /root/repo/src/fault/injector.hpp \
- /root/repo/src/fault/fault_model.hpp /root/repo/src/noc/topology.hpp \
- /root/repo/src/sim/trace.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /root/repo/src/noc/packet.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/send_buffer.hpp \
+ /root/repo/src/fault/injector.hpp /root/repo/src/fault/fault_model.hpp \
+ /root/repo/src/noc/topology.hpp /root/repo/src/sim/trace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc

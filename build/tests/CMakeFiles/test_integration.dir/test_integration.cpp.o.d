@@ -296,7 +296,7 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/apps/master_slave_pi.hpp /root/repo/src/core/engine.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -317,7 +317,7 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
@@ -326,11 +326,12 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/common/types.hpp /root/repo/src/core/gossip_config.hpp \
  /root/repo/src/common/expect.hpp /root/repo/src/sim/round_clock.hpp \
  /root/repo/src/core/ip_core.hpp /root/repo/src/noc/packet.hpp \
- /root/repo/src/core/metrics.hpp /root/repo/src/core/send_buffer.hpp \
- /root/repo/src/fault/injector.hpp /root/repo/src/fault/fault_model.hpp \
- /root/repo/src/noc/topology.hpp /root/repo/src/sim/trace.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/noc/traffic.hpp \
- /root/repo/src/apps/trace_app.hpp /root/repo/src/bus/bus.hpp \
- /root/repo/src/bus/arbiter.hpp /root/repo/src/energy/energy.hpp \
- /root/repo/src/bus/xy_router.hpp /root/repo/src/common/stats.hpp
+ /usr/include/c++/12/span /root/repo/src/core/metrics.hpp \
+ /root/repo/src/core/send_buffer.hpp /root/repo/src/fault/injector.hpp \
+ /root/repo/src/fault/fault_model.hpp /root/repo/src/noc/topology.hpp \
+ /root/repo/src/sim/trace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/noc/traffic.hpp /root/repo/src/apps/trace_app.hpp \
+ /root/repo/src/bus/bus.hpp /root/repo/src/bus/arbiter.hpp \
+ /root/repo/src/energy/energy.hpp /root/repo/src/bus/xy_router.hpp \
+ /root/repo/src/common/stats.hpp

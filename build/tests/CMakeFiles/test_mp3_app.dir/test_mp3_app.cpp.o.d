@@ -70,9 +70,8 @@ tests/CMakeFiles/test_mp3_app.dir/test_mp3_app.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/refwrap.h /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/apps/audio.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
@@ -123,8 +122,9 @@ tests/CMakeFiles/test_mp3_app.dir/test_mp3_app.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstdlib \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/random \
+ /usr/include/c++/12/cstdlib /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
@@ -165,11 +165,11 @@ tests/CMakeFiles/test_mp3_app.dir/test_mp3_app.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/apps/mdct.hpp \
  /root/repo/src/apps/psycho.hpp /root/repo/src/apps/quantizer.hpp \
- /root/repo/src/core/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/engine.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -245,12 +245,12 @@ tests/CMakeFiles/test_mp3_app.dir/test_mp3_app.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/types.hpp \
  /root/repo/src/core/gossip_config.hpp /root/repo/src/common/expect.hpp \
  /root/repo/src/sim/round_clock.hpp /root/repo/src/core/ip_core.hpp \
- /root/repo/src/noc/packet.hpp /root/repo/src/core/metrics.hpp \
- /root/repo/src/core/send_buffer.hpp /root/repo/src/fault/injector.hpp \
- /root/repo/src/fault/fault_model.hpp /root/repo/src/noc/topology.hpp \
- /root/repo/src/sim/trace.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/noc/packet.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/metrics.hpp /root/repo/src/core/send_buffer.hpp \
+ /root/repo/src/fault/injector.hpp /root/repo/src/fault/fault_model.hpp \
+ /root/repo/src/noc/topology.hpp /root/repo/src/sim/trace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/snoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/snoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/snoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snoc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/snoc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/snoc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/diversity/CMakeFiles/snoc_diversity.dir/DependInfo.cmake"
+  "/root/repo/build/src/wormhole/CMakeFiles/snoc_wormhole.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -324,4 +324,4 @@ tests/CMakeFiles/test_statechart.dir/test_statechart.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/core/send_buffer.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/types.hpp \
- /root/repo/src/noc/packet.hpp
+ /root/repo/src/noc/packet.hpp /usr/include/c++/12/span

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/expect.hpp"
+#include "common/parallel.hpp"
 
 namespace snoc {
 
@@ -61,6 +62,12 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
 std::string CliArgs::get_string(const std::string& name, std::string fallback) const {
     const auto v = value(name);
     return v ? *v : std::move(fallback);
+}
+
+std::size_t resolve_jobs(const CliArgs& args) {
+    const auto jobs = static_cast<std::size_t>(
+        args.get_u64("jobs", static_cast<std::uint64_t>(default_jobs())));
+    return jobs > 0 ? jobs : 1;
 }
 
 std::vector<std::string> CliArgs::unknown_options(

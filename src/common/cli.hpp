@@ -3,9 +3,10 @@
 // Supports `--flag`, `--key=value` and `--key value`; anything else is a
 // positional argument.  Unknown flags are collected so callers can reject
 // them with a usage string (benches accept a uniform set: --csv,
-// --repeats=N, --seed=N).
+// --repeats=N, --seed=N, --jobs=N).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -41,5 +42,10 @@ private:
     std::map<std::string, std::optional<std::string>> options_;
     std::vector<std::string> positional_;
 };
+
+/// Worker count for the parallel trial fan-out (common/parallel.hpp):
+/// `--jobs N` beats the SNOC_JOBS environment variable beats the
+/// hardware concurrency.  Always >= 1; `--jobs 1` forces serial runs.
+std::size_t resolve_jobs(const CliArgs& args);
 
 } // namespace snoc

@@ -1,0 +1,75 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace snoc {
+
+std::size_t default_jobs() {
+    if (const char* env = std::getenv("SNOC_JOBS")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+ThreadPool& ThreadPool::shared() {
+    // At least 3 helper threads so run_trials(jobs=4) exercises real
+    // concurrency even when default_jobs() is small (tests force jobs=4
+    // on single-core CI to shake out data races under TSan).
+    static ThreadPool pool(std::max<std::size_t>(default_jobs(), 3));
+    return pool;
+}
+
+} // namespace snoc

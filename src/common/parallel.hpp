@@ -1,0 +1,141 @@
+// Deterministic parallel Monte-Carlo trial fan-out.
+//
+// Every paper figure (Fig. 3-1, 4-4..4-11, 5-3) and every ablation is an
+// average over seeds, and the trials are embarrassingly parallel: each
+// one owns an independent GossipNetwork constructed from its trial
+// index.  run_trials() executes fn(0), fn(1), ..., fn(n-1) on a shared
+// thread pool and returns the results ordered by trial index, so the
+// output is bit-identical regardless of worker count — jobs=1 and
+// jobs=N interleave differently in time but never share RNG state, and
+// every result lands in its own pre-allocated slot.
+//
+// Determinism contract (see DESIGN.md "Performance architecture"):
+//   * fn must derive ALL randomness from its trial-index argument —
+//     construct RngPool/RngStream/GossipNetwork *inside* fn, never
+//     share a stream or a network across trials;
+//   * fn must not mutate shared state (accumulate into the returned
+//     value; aggregate after run_trials returns);
+//   * under these rules, results[i] == fn(i) for every jobs value.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace snoc {
+
+/// Worker count used when the caller does not specify one:
+/// the SNOC_JOBS environment variable if set (and a positive integer),
+/// otherwise std::thread::hardware_concurrency(), otherwise 1.
+std::size_t default_jobs();
+
+/// A reusable fixed-size pool of worker threads.  Jobs are opaque
+/// void() callables processed FIFO; completion is the caller's business
+/// (run_trials uses a per-batch countdown, wait_idle() drains all).
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a job.  Never blocks; the queue is unbounded.
+    void submit(std::function<void()> job);
+
+    /// Block until the queue is empty and every worker is idle.
+    void wait_idle();
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Process-wide pool sized by default_jobs(), created on first use.
+    /// run_trials() draws its workers from here so repeated fan-outs
+    /// reuse threads instead of spawning fresh ones per sweep point.
+    static ThreadPool& shared();
+
+private:
+    void worker_loop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t active_{0};
+    bool stop_{false};
+};
+
+/// Run fn(0..n_trials-1) with up to `jobs` workers (0 = default_jobs())
+/// and return the results in trial order.  The calling thread always
+/// participates as one of the workers, so jobs=1 degenerates to the
+/// plain serial loop with zero synchronisation overhead.  The result
+/// type must be default-constructible (slots are pre-allocated).
+/// The first exception thrown by any trial is rethrown here after all
+/// in-flight trials finish; remaining trials are abandoned.
+template <typename Fn>
+auto run_trials(std::size_t n_trials, Fn&& fn, std::size_t jobs = 0)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::uint64_t>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::uint64_t>>;
+    if (jobs == 0) jobs = default_jobs();
+    std::vector<R> results(n_trials);
+    if (n_trials == 0) return results;
+    if (jobs <= 1 || n_trials == 1) {
+        for (std::uint64_t i = 0; i < n_trials; ++i)
+            results[i] = fn(static_cast<std::uint64_t>(i));
+        return results;
+    }
+
+    // Work-stealing over a shared atomic trial counter: each worker pulls
+    // the next unclaimed index and writes fn(i) into its own slot.  Trial
+    // order in `results` is by index, independent of scheduling.
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto work = [&] {
+        for (;;) {
+            const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_trials || failed.load(std::memory_order_relaxed)) break;
+            try {
+                results[i] = fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    // The caller is worker #1; helpers come from the shared pool.  Each
+    // helper signals the countdown when it runs out of trials.
+    const std::size_t helpers = std::min(jobs, n_trials) - 1;
+    std::atomic<std::size_t> remaining{helpers};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    ThreadPool& pool = ThreadPool::shared();
+    for (std::size_t h = 0; h < helpers; ++h) {
+        pool.submit([&] {
+            work();
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_all();
+            }
+        });
+    }
+    work();
+    {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+    }
+    if (error) std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace snoc

@@ -8,8 +8,28 @@
 //
 // The thesis realises the Bernoulli(p) gate with an amplified-thermal-noise
 // circuit (Sec. 3.2.3); this is its deterministic functional equivalent.
+//
+// Draw-sequence contract (v2): bernoulli(), below() and uniform() map
+// raw mt19937_64 words directly instead of going through the standard
+// <random> distribution adaptors, because the engine's forward phase
+// calls bernoulli() once per output port per held message per round and
+// constructing a distribution object per call dominated that hot path.
+//   * bernoulli(p): one engine word compared against a cached 64-bit
+//     threshold (zero words for p <= 0 or p >= 1);
+//   * below(b): one engine word reduced mod b, with Lemire-style
+//     rejection of the top `2^64 mod b` slice to stay exactly unbiased
+//     (extra words only on rejection, probability < b / 2^64);
+//   * uniform(): the top 53 bits of one engine word scaled by 2^-53;
+//   * normal() still uses std::normal_distribution (cold path: clock
+//     jitter only) — its per-call construction is documented, not a bug:
+//     the distribution caches a second Box-Muller variate that would go
+//     stale across calls with different (mean, stddev) parameters.
+// Any change to these mappings shifts every downstream stochastic
+// trajectory; tests assert distributions and determinism, never exact
+// sequences, so the mappings may evolve — but bump this note when they do.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <string_view>
@@ -46,20 +66,33 @@ public:
     explicit RngStream(std::uint64_t seed) : engine_(seed) {}
 
     /// Bernoulli trial: true with probability p (p clamped to [0,1]).
+    /// The engine's hottest draw: a raw engine word against a cached
+    /// threshold of p * 2^64, recomputed only when p changes (the
+    /// forward gate calls this with the same p for a whole run).
     bool bernoulli(double p) {
         if (p <= 0.0) return false;
         if (p >= 1.0) return true;
-        return std::bernoulli_distribution(p)(engine_);
+        if (p != bernoulli_p_) {
+            bernoulli_p_ = p;
+            // p < 1 here, so ldexp(p, 64) < 2^64 and the cast is safe.
+            bernoulli_threshold_ = static_cast<std::uint64_t>(std::ldexp(p, 64));
+        }
+        return engine_() < bernoulli_threshold_;
     }
 
-    /// Uniform integer in [0, bound) — bound must be > 0.
+    /// Uniform integer in [0, bound) — bound must be > 0.  Unbiased:
+    /// the low `2^64 mod bound` slice of engine words is rejected.
     std::uint64_t below(std::uint64_t bound) {
-        return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+        const std::uint64_t reject = (std::uint64_t{0} - bound) % bound; // 2^64 mod bound
+        for (;;) {
+            const std::uint64_t r = engine_();
+            if (r >= reject) return r % bound;
+        }
     }
 
-    /// Uniform double in [0, 1).
+    /// Uniform double in [0, 1): top 53 bits of one engine word.
     double uniform() {
-        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+        return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
     }
 
     /// Normal draw.
@@ -75,6 +108,8 @@ public:
 
 private:
     std::mt19937_64 engine_;
+    double bernoulli_p_{-1.0};
+    std::uint64_t bernoulli_threshold_{0};
 };
 
 /// Factory for named sub-streams of a root seed.

@@ -201,18 +201,20 @@ void GossipNetwork::step() {
 }
 
 void GossipNetwork::receive_phase() {
-    const auto bucket = in_flight_.find(round_);
-    if (bucket == in_flight_.end()) return;
-    // Detach the bucket before processing: deferred arrivals re-enter the
-    // map (next round's bucket), which may rehash it.
-    auto arrivals = std::move(bucket->second);
-    in_flight_.erase(bucket);
-    for (auto& [dest, arrival] : arrivals) {
+    auto& bucket = in_flight_[round_ % kInFlightRing];
+    if (bucket.empty()) return;
+    // Detach the bucket before processing: slow-clock deferrals re-enter
+    // the ring at the next round's slot, which may alias this one's
+    // storage once the ring wraps.  The swap recycles both vectors'
+    // capacity across rounds.
+    arrivals_scratch_.clear();
+    std::swap(arrivals_scratch_, bucket);
+    for (auto& [dest, arrival] : arrivals_scratch_) {
         if (crash_state_.dead_tiles[dest]) continue; // delivered into silence
         if (!tile_active_this_round(dest)) {
             // The destination's slower clock domain has not reached this
             // round yet; the packet waits in the port buffer.
-            in_flight_[round_ + 1].emplace_back(dest, std::move(arrival));
+            in_flight_[(round_ + 1) % kInFlightRing].emplace_back(dest, std::move(arrival));
             continue;
         }
         auto& tile = tiles_[dest];
@@ -237,7 +239,7 @@ void GossipNetwork::receive_phase() {
         if (config_.link_protection == LinkProtection::SecdedCorrect) {
             // Strip the SECDED layer first; single-bit upsets per word are
             // repaired here, before the CRC ever sees them.
-            auto recovered = fec::recover(arrival.packet.wire());
+            auto recovered = fec::recover(*arrival.wire);
             if (!recovered.ok) {
                 ++metrics_.fec_uncorrectable;
                 trace(TraceEventKind::FecUncorrectable, dest);
@@ -245,9 +247,9 @@ void GossipNetwork::receive_phase() {
             }
             metrics_.fec_corrected += recovered.corrected_words;
             corrected_this_packet = recovered.corrected_words > 0;
-            decoded = Packet::from_wire(std::move(recovered.payload)).decode();
+            decoded = Packet::decode_wire(recovered.payload);
         } else {
-            decoded = arrival.packet.decode();
+            decoded = Packet::decode_wire(*arrival.wire);
         }
         if (!decoded) {
             ++metrics_.crc_drops; // scrambled packet, CRC caught it
@@ -313,30 +315,54 @@ void GossipNetwork::forward_phase() {
             if (budget == 0) break; // serialised medium saturated this round
             if (config_.stop_spread_on_delivery && delivered_unicasts_.contains(m.id))
                 continue; // spread terminated early (Sec. 3.2.2)
+            // Encode-once: the up-to-4 port transmissions of this message
+            // share a single wire image, built lazily when the first port
+            // gate opens (a message that forwards nowhere this round costs
+            // no serialisation at all).  Upset transmissions copy before
+            // corrupting; see enqueue_transmission.
+            std::shared_ptr<const std::vector<std::byte>> wire;
             for (std::size_t i = 0; i < nbrs.size() && budget > 0; ++i) {
                 // Fig. 3-4: the message is presented on every output port
                 // and a random decision (probability p) gates each port.
                 if (!forward_rng_[t].bernoulli(config_.forward_p)) continue;
                 if (crash_state_.dead_links[links[i]]) continue;
                 if (route_filter_[t] && !route_filter_[t](m, nbrs[i])) continue;
-                enqueue_transmission(t, nbrs[i], links[i], m);
+                if (!wire || config_.reference_encode_path) wire = encode_message(m);
+                enqueue_transmission(t, nbrs[i], links[i], m, wire);
                 --budget;
             }
         }
     }
 }
 
+std::shared_ptr<const std::vector<std::byte>> GossipNetwork::encode_message(
+    const Message& m) const {
+    Packet p = Packet::encode(m);
+    if (config_.link_protection == LinkProtection::SecdedCorrect) {
+        auto protected_wire = fec::protect(p.wire());
+        return std::make_shared<const std::vector<std::byte>>(
+            std::move(protected_wire.bytes));
+    }
+    return std::make_shared<const std::vector<std::byte>>(std::move(p.mutable_wire()));
+}
+
 void GossipNetwork::enqueue_transmission(TileId from, TileId to, LinkId link,
-                                         const Message& m) {
-    Packet wire = Packet::encode(m);
-    if (config_.link_protection == LinkProtection::SecdedCorrect)
-        wire = Packet::from_wire(fec::protect(wire.wire()).bytes);
+                                         const Message& m,
+                                         std::shared_ptr<const std::vector<std::byte>> wire) {
     Arrival arrival{std::move(wire), false};
-    arrival.corrupted = injector_.maybe_upset(arrival.packet);
+    if (injector_.upset_roll()) {
+        // Copy-on-corrupt: only the (rare) upset transmission pays for a
+        // private copy of the bytes; clean ones alias the shared image.
+        auto corrupted = std::make_shared<std::vector<std::byte>>(*arrival.wire);
+        injector_.apply_upset(*corrupted);
+        arrival.wire = std::move(corrupted);
+        arrival.corrupted = true;
+    }
+    const std::size_t bits = arrival.wire->size() * 8;
     ++metrics_.packets_sent;
     ++packets_this_round_;
-    metrics_.bits_sent += arrival.packet.bit_size();
-    metrics_.bits_sent_by_tile[from] += arrival.packet.bit_size();
+    metrics_.bits_sent += bits;
+    metrics_.bits_sent_by_tile[from] += bits;
     ++metrics_.packets_by_link[link];
     trace(TraceEventKind::Transmitted, from, to, m.id);
 
@@ -351,7 +377,7 @@ void GossipNetwork::enqueue_transmission(TileId from, TileId to, LinkId link,
         ++metrics_.skew_deferrals;
         trace(TraceEventKind::SkewDeferral, from, to, m.id);
     }
-    in_flight_[arrival_round].emplace_back(to, std::move(arrival));
+    in_flight_[arrival_round % kInFlightRing].emplace_back(to, std::move(arrival));
 }
 
 void GossipNetwork::age_phase() {
@@ -382,7 +408,8 @@ void GossipNetwork::advance_clocks() {
 }
 
 bool GossipNetwork::quiescent() const {
-    if (!in_flight_.empty()) return false;
+    for (const auto& bucket : in_flight_)
+        if (!bucket.empty()) return false;
     for (const auto& tile : tiles_)
         if (!tile.send_buffer.empty()) return false;
     return true;

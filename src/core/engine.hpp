@@ -14,11 +14,11 @@
 // deferrals are applied exactly where they would strike on silicon.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -117,8 +117,11 @@ public:
     const SendBuffer& send_buffer(TileId t) const;
 
 private:
+    /// One packet in flight.  All clean transmissions of a message in a
+    /// round share a single encoded wire image (encode-once forward
+    /// path); an upset transmission owns a corrupted copy of the bytes.
     struct Arrival {
-        Packet packet;
+        std::shared_ptr<const std::vector<std::byte>> wire;
         bool corrupted{false};
     };
 
@@ -140,8 +143,10 @@ private:
     void age_phase();
     void advance_clocks();
     void deliver_and_insert(TileId tile, Message message);
-    void enqueue_transmission(TileId from, TileId to, LinkId link,
-                              const Message& m);
+    /// Serialise + CRC (+ optional FEC) a message into a shareable wire image.
+    std::shared_ptr<const std::vector<std::byte>> encode_message(const Message& m) const;
+    void enqueue_transmission(TileId from, TileId to, LinkId link, const Message& m,
+                              std::shared_ptr<const std::vector<std::byte>> wire);
     void trace(TraceEventKind kind, TileId tile, TileId peer = kNoTile,
                MessageId message = MessageId{kNoTile, 0});
 
@@ -167,8 +172,14 @@ private:
     // Rumors whose destination already has them (only tracked when
     // config_.stop_spread_on_delivery is set).
     std::unordered_set<MessageId> delivered_unicasts_;
-    // arrivals bucketed by arrival round, per destination tile.
-    std::unordered_map<Round, std::vector<std::pair<TileId, Arrival>>> in_flight_;
+    // Arrivals bucketed by arrival round, per destination tile.  A packet
+    // sent in round r lands at r+1, or r+2 after a skew deferral, and a
+    // slow-clock receive defers at most one round at a time — so a small
+    // ring of reusable buckets replaces the old unordered_map<Round, ...>
+    // (no hashing, no rehash, vector capacity survives across rounds).
+    static constexpr std::size_t kInFlightRing = 4;
+    std::array<std::vector<std::pair<TileId, Arrival>>, kInFlightRing> in_flight_;
+    std::vector<std::pair<TileId, Arrival>> arrivals_scratch_;
     NetworkMetrics metrics_;
     std::size_t packets_this_round_{0};
     std::size_t sendbuf_overflow_snapshot_{0};

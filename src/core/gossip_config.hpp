@@ -57,6 +57,15 @@ struct GossipConfig {
     /// Link-level protection scheme (see LinkProtection).
     LinkProtection link_protection{LinkProtection::CrcDetect};
 
+    /// Diagnostic knob: serialise (and CRC / FEC-protect) the wire image
+    /// anew for every port transmission instead of encoding each held
+    /// message once per round and sharing the bytes across its ports.
+    /// Observable behaviour must be identical either way —
+    /// test_engine_equivalence asserts it metric-for-metric and
+    /// perf_microbench's BM_GossipRoundReference measures what the
+    /// sharing saves.  Never set this in real experiments.
+    bool reference_encode_path{false};
+
     void validate() const {
         SNOC_EXPECT(forward_p >= 0.0 && forward_p <= 1.0);
         SNOC_EXPECT(default_ttl > 0);

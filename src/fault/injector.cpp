@@ -69,14 +69,21 @@ CrashState FaultInjector::roll_exact_tile_crashes(
 }
 
 bool FaultInjector::maybe_upset(Packet& packet) {
-    if (!upset_rng_.bernoulli(scenario_.p_upset)) return false;
-    corrupt(packet);
-    ++upsets_;
+    if (!upset_roll()) return false;
+    apply_upset(packet.mutable_wire());
     return true;
 }
 
-void FaultInjector::corrupt(Packet& packet) {
-    auto& wire = packet.mutable_wire();
+bool FaultInjector::upset_roll() {
+    return upset_rng_.bernoulli(scenario_.p_upset);
+}
+
+void FaultInjector::apply_upset(std::vector<std::byte>& wire) {
+    corrupt(wire);
+    ++upsets_;
+}
+
+void FaultInjector::corrupt(std::vector<std::byte>& wire) {
     SNOC_EXPECT(!wire.empty());
     const std::size_t nbits = wire.size() * 8;
 

@@ -46,6 +46,18 @@ public:
     /// Returns true iff the packet was corrupted.
     bool maybe_upset(Packet& packet);
 
+    /// The gate half of maybe_upset: roll whether this transmission is
+    /// upset without touching any bytes.  Pair with apply_upset() — the
+    /// engine shares one encoded wire image across a round's port
+    /// transmissions and copies the bytes only when a transmission is
+    /// actually upset, so the decision must come before the copy.
+    /// Draw-for-draw identical to maybe_upset()'s gate.
+    bool upset_roll();
+
+    /// The corruption half: scramble wire bytes in place (and count the
+    /// upset).  Only call after upset_roll() returned true.
+    void apply_upset(std::vector<std::byte>& wire);
+
     /// True iff this reception should be dropped as a forced buffer
     /// overflow (probability p_overflow).
     bool overflow_drop();
@@ -59,7 +71,7 @@ public:
     std::size_t overflows_forced() const { return overflows_; }
 
 private:
-    void corrupt(Packet& packet);
+    void corrupt(std::vector<std::byte>& wire);
 
     FaultScenario scenario_;
     RngStream crash_rng_;

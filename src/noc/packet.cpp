@@ -54,30 +54,32 @@ Packet Packet::encode(const Message& m) {
 
 Packet Packet::from_wire(std::vector<std::byte> wire) { return Packet(std::move(wire)); }
 
-bool Packet::crc_ok() const {
-    if (wire_.size() < kHeaderBytes + kCrcBytes) return false;
-    const std::size_t body = wire_.size() - kCrcBytes;
+bool Packet::crc_ok() const { return crc_ok_wire(wire_); }
+
+std::optional<Message> Packet::decode() const { return decode_wire(wire_); }
+
+bool Packet::crc_ok_wire(std::span<const std::byte> wire) {
+    if (wire.size() < kHeaderBytes + kCrcBytes) return false;
+    const std::size_t body = wire.size() - kCrcBytes;
     std::size_t pos = body;
     std::uint32_t stored = 0;
-    if (!get(std::span<const std::byte>(wire_), pos, stored)) return false;
-    const std::uint32_t computed =
-        crc::crc32(std::span<const std::byte>(wire_.data(), body));
+    if (!get(wire, pos, stored)) return false;
+    const std::uint32_t computed = crc::crc32(wire.subspan(0, body));
     return stored == computed;
 }
 
-std::optional<Message> Packet::decode() const {
-    if (!crc_ok()) return std::nullopt;
-    std::span<const std::byte> in(wire_);
+std::optional<Message> Packet::decode_wire(std::span<const std::byte> wire) {
+    if (!crc_ok_wire(wire)) return std::nullopt;
     std::size_t pos = 0;
     Message m;
     std::uint32_t payload_len = 0;
-    if (!get(in, pos, m.id.origin) || !get(in, pos, m.id.sequence) ||
-        !get(in, pos, m.source) || !get(in, pos, m.destination) ||
-        !get(in, pos, m.tag) || !get(in, pos, m.ttl) || !get(in, pos, payload_len))
+    if (!get(wire, pos, m.id.origin) || !get(wire, pos, m.id.sequence) ||
+        !get(wire, pos, m.source) || !get(wire, pos, m.destination) ||
+        !get(wire, pos, m.tag) || !get(wire, pos, m.ttl) || !get(wire, pos, payload_len))
         return std::nullopt;
-    if (pos + payload_len + kCrcBytes != wire_.size()) return std::nullopt;
-    m.payload.assign(wire_.begin() + static_cast<std::ptrdiff_t>(pos),
-                     wire_.begin() + static_cast<std::ptrdiff_t>(pos + payload_len));
+    if (pos + payload_len + kCrcBytes != wire.size()) return std::nullopt;
+    const auto* base = wire.data() + pos;
+    m.payload.assign(base, base + payload_len);
     return m;
 }
 

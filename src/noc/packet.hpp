@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -57,6 +58,12 @@ public:
     /// Deserialise; nullopt if the CRC fails or the framing is invalid.
     /// (Fig. 3-4: send_buffer <- {m received | CRC_OK(m)}.)
     std::optional<Message> decode() const;
+
+    /// Same checks straight off raw wire bytes — the receive path decodes
+    /// a wire image shared by several transmissions without constructing
+    /// (and copying into) a Packet first.
+    static bool crc_ok_wire(std::span<const std::byte> wire);
+    static std::optional<Message> decode_wire(std::span<const std::byte> wire);
 
     /// Size on the wire, in bits — the S of Eq. 2/3.
     std::size_t bit_size() const { return wire_.size() * 8; }

@@ -1,0 +1,207 @@
+// The encode-once forward path and the in-flight ring buffer are pure
+// optimisations: for any fixed seed the network must behave exactly as if
+// every transmission serialised its own packet (the reference_encode_path
+// diagnostic knob re-enables that).  These tests run the same scenario
+// with both paths and require NetworkMetrics to match field-for-field —
+// any divergence means the shared wire image leaked a mutation, an RNG
+// draw moved, or a ring bucket aliased a live round.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/master_slave_pi.hpp"
+#include "core/engine.hpp"
+
+namespace snoc {
+namespace {
+
+class BroadcastSource final : public IpCore {
+public:
+    void on_start(TileContext& ctx) override {
+        ctx.send(kBroadcast, 0xEE, std::vector<std::byte>(24, std::byte{7}));
+    }
+    void on_message(const Message&, TileContext&) override {}
+};
+
+class ChattySource final : public IpCore {
+public:
+    explicit ChattySource(TileId dest) : dest_(dest) {}
+    void on_round(TileContext& ctx) override {
+        if (ctx.round() % 3 == 0 && sent_ < 6) {
+            ctx.send(dest_, 0xC0 + sent_, {static_cast<std::byte>(sent_)});
+            ++sent_;
+        }
+    }
+    void on_message(const Message&, TileContext&) override {}
+
+private:
+    TileId dest_;
+    std::size_t sent_{0};
+};
+
+class Sink final : public IpCore {
+public:
+    void on_message(const Message&, TileContext&) override {}
+};
+
+struct Scenario {
+    std::string name;
+    GossipConfig config;
+    FaultScenario faults;
+    bool unicast_traffic{false};
+    bool use_pi_app{false};
+    bool forward_cap{false};
+    bool islands{false};
+};
+
+std::vector<Scenario> scenarios() {
+    std::vector<Scenario> out;
+
+    Scenario plain;
+    plain.name = "plain_broadcast";
+    plain.config.forward_p = 0.5;
+    plain.config.default_ttl = 16;
+    out.push_back(plain);
+
+    Scenario upsets = plain;
+    upsets.name = "heavy_upsets";
+    upsets.faults.p_upset = 0.4;
+    out.push_back(upsets);
+
+    Scenario secded = upsets;
+    secded.name = "secded_upsets";
+    secded.config.link_protection = LinkProtection::SecdedCorrect;
+    out.push_back(secded);
+
+    Scenario skew = plain;
+    skew.name = "clock_skew";
+    skew.faults.sigma_synchr = 0.6; // exercises the round+2 ring bucket
+    out.push_back(skew);
+
+    Scenario crashes = upsets;
+    crashes.name = "crashes_and_upsets";
+    crashes.faults.p_tiles = 0.1;
+    crashes.faults.p_links = 0.05;
+    out.push_back(crashes);
+
+    Scenario unicast = plain;
+    unicast.name = "stop_spread_unicast";
+    unicast.config.stop_spread_on_delivery = true;
+    unicast.unicast_traffic = true;
+    out.push_back(unicast);
+
+    Scenario capped = plain;
+    capped.name = "forward_capacity";
+    capped.forward_cap = true;
+    capped.unicast_traffic = true;
+    out.push_back(capped);
+
+    Scenario island = plain;
+    island.name = "islands_with_skew";
+    island.islands = true;
+    island.faults.sigma_synchr = 0.4;
+    out.push_back(island);
+
+    Scenario app = plain;
+    app.name = "pi_app_upsets";
+    app.use_pi_app = true;
+    app.faults.p_upset = 0.2;
+    app.config.default_ttl = 30;
+    out.push_back(app);
+
+    return out;
+}
+
+NetworkMetrics run_scenario(const Scenario& s, std::uint64_t seed,
+                            bool reference_encode) {
+    GossipConfig config = s.config;
+    config.reference_encode_path = reference_encode;
+    GossipNetwork net(Topology::mesh(4, 4), config, s.faults, seed);
+    net.attach(0, std::make_unique<BroadcastSource>());
+    if (s.unicast_traffic) {
+        net.attach(5, std::make_unique<ChattySource>(15));
+        net.attach(15, std::make_unique<Sink>());
+    }
+    if (s.forward_cap) {
+        net.set_forward_capacity(5, 2);
+        net.set_forward_capacity(6, 1);
+    }
+    if (s.islands) {
+        net.set_clock_scale(3, 2.0);
+        net.set_clock_scale(12, 3.0);
+    }
+    for (int i = 0; i < 40; ++i) net.step();
+    net.drain(200);
+    return net.metrics();
+}
+
+NetworkMetrics run_pi_scenario(const Scenario& s, std::uint64_t seed,
+                               bool reference_encode) {
+    GossipConfig config = s.config;
+    config.reference_encode_path = reference_encode;
+    GossipNetwork net(Topology::mesh(5, 5), config, s.faults, seed);
+    apps::PiDeployment d;
+    auto& master = apps::deploy_pi(net, d);
+    net.protect(d.master_tile);
+    net.run_until([&master] { return master.done(); }, 2000);
+    net.drain();
+    return net.metrics();
+}
+
+void expect_metrics_equal(const NetworkMetrics& a, const NetworkMetrics& b,
+                          const std::string& label) {
+    EXPECT_EQ(a.rounds, b.rounds) << label;
+    EXPECT_EQ(a.packets_sent, b.packets_sent) << label;
+    EXPECT_EQ(a.bits_sent, b.bits_sent) << label;
+    EXPECT_EQ(a.messages_created, b.messages_created) << label;
+    EXPECT_EQ(a.deliveries, b.deliveries) << label;
+    EXPECT_EQ(a.duplicates_ignored, b.duplicates_ignored) << label;
+    EXPECT_EQ(a.crc_drops, b.crc_drops) << label;
+    EXPECT_EQ(a.upsets_undetected, b.upsets_undetected) << label;
+    EXPECT_EQ(a.overflow_drops, b.overflow_drops) << label;
+    EXPECT_EQ(a.ttl_expired, b.ttl_expired) << label;
+    EXPECT_EQ(a.skew_deferrals, b.skew_deferrals) << label;
+    EXPECT_EQ(a.fec_corrected, b.fec_corrected) << label;
+    EXPECT_EQ(a.fec_uncorrectable, b.fec_uncorrectable) << label;
+    EXPECT_EQ(a.packets_per_round, b.packets_per_round) << label;
+    EXPECT_EQ(a.bits_sent_by_tile, b.bits_sent_by_tile) << label;
+    EXPECT_EQ(a.packets_by_link, b.packets_by_link) << label;
+}
+
+TEST(EngineEquivalence, SharedWireMatchesReferenceEncodePath) {
+    for (const Scenario& s : scenarios()) {
+        for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+            const auto label = s.name + " seed=" + std::to_string(seed);
+            const auto shared =
+                s.use_pi_app ? run_pi_scenario(s, seed, false)
+                             : run_scenario(s, seed, false);
+            const auto reference =
+                s.use_pi_app ? run_pi_scenario(s, seed, true)
+                             : run_scenario(s, seed, true);
+            expect_metrics_equal(shared, reference, label);
+        }
+    }
+}
+
+TEST(EngineEquivalence, ScenariosActuallyExerciseTheHotPaths) {
+    // Guard against the equivalence test silently testing nothing: the
+    // grid must produce traffic, upsets, skew deferrals and FEC repairs.
+    std::size_t packets = 0, crc_drops = 0, skew = 0, fec = 0;
+    for (const Scenario& s : scenarios()) {
+        const auto m = s.use_pi_app ? run_pi_scenario(s, 1, false)
+                                    : run_scenario(s, 1, false);
+        packets += m.packets_sent;
+        crc_drops += m.crc_drops;
+        skew += m.skew_deferrals;
+        fec += m.fec_corrected;
+    }
+    EXPECT_GT(packets, 1000u);
+    EXPECT_GT(crc_drops, 0u);
+    EXPECT_GT(skew, 0u);
+    EXPECT_GT(fec, 0u);
+}
+
+} // namespace
+} // namespace snoc
