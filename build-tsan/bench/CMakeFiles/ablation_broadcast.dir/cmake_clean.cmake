@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_broadcast.dir/ablation_broadcast.cpp.o"
+  "CMakeFiles/ablation_broadcast.dir/ablation_broadcast.cpp.o.d"
+  "ablation_broadcast"
+  "ablation_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fec_vs_crc.dir/ablation_fec_vs_crc.cpp.o"
+  "CMakeFiles/ablation_fec_vs_crc.dir/ablation_fec_vs_crc.cpp.o.d"
+  "ablation_fec_vs_crc"
+  "ablation_fec_vs_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fec_vs_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

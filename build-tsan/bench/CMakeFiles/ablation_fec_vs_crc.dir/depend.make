@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fec_vs_crc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_islands.dir/ablation_islands.cpp.o"
+  "CMakeFiles/ablation_islands.dir/ablation_islands.cpp.o.d"
+  "ablation_islands"
+  "ablation_islands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_islands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_islands.
+# This may be replaced when dependencies are built.

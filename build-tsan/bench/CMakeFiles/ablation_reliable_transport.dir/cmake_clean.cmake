@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reliable_transport.dir/ablation_reliable_transport.cpp.o"
+  "CMakeFiles/ablation_reliable_transport.dir/ablation_reliable_transport.cpp.o.d"
+  "ablation_reliable_transport"
+  "ablation_reliable_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reliable_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wormhole_vs_gossip.dir/ablation_wormhole_vs_gossip.cpp.o"
+  "CMakeFiles/ablation_wormhole_vs_gossip.dir/ablation_wormhole_vs_gossip.cpp.o.d"
+  "ablation_wormhole_vs_gossip"
+  "ablation_wormhole_vs_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wormhole_vs_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

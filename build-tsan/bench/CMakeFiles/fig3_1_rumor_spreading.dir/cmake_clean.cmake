@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_rumor_spreading.dir/fig3_1_rumor_spreading.cpp.o"
+  "CMakeFiles/fig3_1_rumor_spreading.dir/fig3_1_rumor_spreading.cpp.o.d"
+  "fig3_1_rumor_spreading"
+  "fig3_1_rumor_spreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_rumor_spreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

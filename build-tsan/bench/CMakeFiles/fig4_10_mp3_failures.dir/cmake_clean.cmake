@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_10_mp3_failures.dir/fig4_10_mp3_failures.cpp.o"
+  "CMakeFiles/fig4_10_mp3_failures.dir/fig4_10_mp3_failures.cpp.o.d"
+  "fig4_10_mp3_failures"
+  "fig4_10_mp3_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_10_mp3_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_10_mp3_failures.
+# This may be replaced when dependencies are built.

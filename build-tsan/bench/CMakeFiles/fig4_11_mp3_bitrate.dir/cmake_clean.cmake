@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_11_mp3_bitrate.dir/fig4_11_mp3_bitrate.cpp.o"
+  "CMakeFiles/fig4_11_mp3_bitrate.dir/fig4_11_mp3_bitrate.cpp.o.d"
+  "fig4_11_mp3_bitrate"
+  "fig4_11_mp3_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_11_mp3_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

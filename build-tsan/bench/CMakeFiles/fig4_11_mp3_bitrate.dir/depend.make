@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_11_mp3_bitrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_4_latency_energy.dir/fig4_4_latency_energy.cpp.o"
+  "CMakeFiles/fig4_4_latency_energy.dir/fig4_4_latency_energy.cpp.o.d"
+  "fig4_4_latency_energy"
+  "fig4_4_latency_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_4_latency_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_6_bus_comparison.dir/fig4_6_bus_comparison.cpp.o"
+  "CMakeFiles/fig4_6_bus_comparison.dir/fig4_6_bus_comparison.cpp.o.d"
+  "fig4_6_bus_comparison"
+  "fig4_6_bus_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_6_bus_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_9_mp3_energy.
+# This may be replaced when dependencies are built.

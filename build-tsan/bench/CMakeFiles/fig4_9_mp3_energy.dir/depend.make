@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_9_mp3_energy.
+# This may be replaced when dependencies are built.

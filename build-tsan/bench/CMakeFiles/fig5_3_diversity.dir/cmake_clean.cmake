@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_diversity.dir/fig5_3_diversity.cpp.o"
+  "CMakeFiles/fig5_3_diversity.dir/fig5_3_diversity.cpp.o.d"
+  "fig5_3_diversity"
+  "fig5_3_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

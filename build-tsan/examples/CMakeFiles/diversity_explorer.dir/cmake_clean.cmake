@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o"
+  "CMakeFiles/diversity_explorer.dir/diversity_explorer.cpp.o.d"
+  "diversity_explorer"
+  "diversity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_image.dir/fft2d_image.cpp.o"
+  "CMakeFiles/fft2d_image.dir/fft2d_image.cpp.o.d"
+  "fft2d_image"
+  "fft2d_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

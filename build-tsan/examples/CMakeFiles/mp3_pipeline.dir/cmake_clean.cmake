@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp3_pipeline.dir/mp3_pipeline.cpp.o"
+  "CMakeFiles/mp3_pipeline.dir/mp3_pipeline.cpp.o.d"
+  "mp3_pipeline"
+  "mp3_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

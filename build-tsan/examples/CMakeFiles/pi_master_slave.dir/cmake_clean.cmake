@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_master_slave.dir/pi_master_slave.cpp.o"
+  "CMakeFiles/pi_master_slave.dir/pi_master_slave.cpp.o.d"
+  "pi_master_slave"
+  "pi_master_slave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_master_slave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

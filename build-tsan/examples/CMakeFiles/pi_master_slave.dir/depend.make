@@ -1,0 +1,2 @@
+# Empty dependencies file for pi_master_slave.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spread_visualizer.dir/spread_visualizer.cpp.o"
+  "CMakeFiles/spread_visualizer.dir/spread_visualizer.cpp.o.d"
+  "spread_visualizer"
+  "spread_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spread_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

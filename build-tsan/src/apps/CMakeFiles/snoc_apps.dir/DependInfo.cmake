@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/audio.cpp" "src/apps/CMakeFiles/snoc_apps.dir/audio.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/audio.cpp.o.d"
+  "/root/repo/src/apps/beamforming.cpp" "src/apps/CMakeFiles/snoc_apps.dir/beamforming.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/beamforming.cpp.o.d"
+  "/root/repo/src/apps/bitstream.cpp" "src/apps/CMakeFiles/snoc_apps.dir/bitstream.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/bitstream.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/snoc_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/fft2d_app.cpp" "src/apps/CMakeFiles/snoc_apps.dir/fft2d_app.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/fft2d_app.cpp.o.d"
+  "/root/repo/src/apps/master_slave_pi.cpp" "src/apps/CMakeFiles/snoc_apps.dir/master_slave_pi.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/master_slave_pi.cpp.o.d"
+  "/root/repo/src/apps/mdct.cpp" "src/apps/CMakeFiles/snoc_apps.dir/mdct.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/mdct.cpp.o.d"
+  "/root/repo/src/apps/mp3_app.cpp" "src/apps/CMakeFiles/snoc_apps.dir/mp3_app.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/mp3_app.cpp.o.d"
+  "/root/repo/src/apps/mp3_decoder.cpp" "src/apps/CMakeFiles/snoc_apps.dir/mp3_decoder.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/mp3_decoder.cpp.o.d"
+  "/root/repo/src/apps/producer_consumer.cpp" "src/apps/CMakeFiles/snoc_apps.dir/producer_consumer.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/producer_consumer.cpp.o.d"
+  "/root/repo/src/apps/psycho.cpp" "src/apps/CMakeFiles/snoc_apps.dir/psycho.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/psycho.cpp.o.d"
+  "/root/repo/src/apps/quantizer.cpp" "src/apps/CMakeFiles/snoc_apps.dir/quantizer.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/quantizer.cpp.o.d"
+  "/root/repo/src/apps/sat.cpp" "src/apps/CMakeFiles/snoc_apps.dir/sat.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/sat.cpp.o.d"
+  "/root/repo/src/apps/sensors.cpp" "src/apps/CMakeFiles/snoc_apps.dir/sensors.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/sensors.cpp.o.d"
+  "/root/repo/src/apps/trace_app.cpp" "src/apps/CMakeFiles/snoc_apps.dir/trace_app.cpp.o" "gcc" "src/apps/CMakeFiles/snoc_apps.dir/trace_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/snoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/snoc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/snoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/snoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/snoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

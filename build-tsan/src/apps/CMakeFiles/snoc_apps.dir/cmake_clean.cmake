@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_apps.dir/audio.cpp.o"
+  "CMakeFiles/snoc_apps.dir/audio.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/beamforming.cpp.o"
+  "CMakeFiles/snoc_apps.dir/beamforming.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/bitstream.cpp.o"
+  "CMakeFiles/snoc_apps.dir/bitstream.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/fft.cpp.o"
+  "CMakeFiles/snoc_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/fft2d_app.cpp.o"
+  "CMakeFiles/snoc_apps.dir/fft2d_app.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/master_slave_pi.cpp.o"
+  "CMakeFiles/snoc_apps.dir/master_slave_pi.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/mdct.cpp.o"
+  "CMakeFiles/snoc_apps.dir/mdct.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/mp3_app.cpp.o"
+  "CMakeFiles/snoc_apps.dir/mp3_app.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/mp3_decoder.cpp.o"
+  "CMakeFiles/snoc_apps.dir/mp3_decoder.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/producer_consumer.cpp.o"
+  "CMakeFiles/snoc_apps.dir/producer_consumer.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/psycho.cpp.o"
+  "CMakeFiles/snoc_apps.dir/psycho.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/quantizer.cpp.o"
+  "CMakeFiles/snoc_apps.dir/quantizer.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/sat.cpp.o"
+  "CMakeFiles/snoc_apps.dir/sat.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/sensors.cpp.o"
+  "CMakeFiles/snoc_apps.dir/sensors.cpp.o.d"
+  "CMakeFiles/snoc_apps.dir/trace_app.cpp.o"
+  "CMakeFiles/snoc_apps.dir/trace_app.cpp.o.d"
+  "libsnoc_apps.a"
+  "libsnoc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

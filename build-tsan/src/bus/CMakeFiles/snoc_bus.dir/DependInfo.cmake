@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/broadcast_tree.cpp" "src/bus/CMakeFiles/snoc_bus.dir/broadcast_tree.cpp.o" "gcc" "src/bus/CMakeFiles/snoc_bus.dir/broadcast_tree.cpp.o.d"
+  "/root/repo/src/bus/bus.cpp" "src/bus/CMakeFiles/snoc_bus.dir/bus.cpp.o" "gcc" "src/bus/CMakeFiles/snoc_bus.dir/bus.cpp.o.d"
+  "/root/repo/src/bus/deflection.cpp" "src/bus/CMakeFiles/snoc_bus.dir/deflection.cpp.o" "gcc" "src/bus/CMakeFiles/snoc_bus.dir/deflection.cpp.o.d"
+  "/root/repo/src/bus/xy_router.cpp" "src/bus/CMakeFiles/snoc_bus.dir/xy_router.cpp.o" "gcc" "src/bus/CMakeFiles/snoc_bus.dir/xy_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/snoc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/snoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/snoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/energy/CMakeFiles/snoc_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/snoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/snoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

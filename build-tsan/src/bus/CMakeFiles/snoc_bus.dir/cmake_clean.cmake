@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_bus.dir/broadcast_tree.cpp.o"
+  "CMakeFiles/snoc_bus.dir/broadcast_tree.cpp.o.d"
+  "CMakeFiles/snoc_bus.dir/bus.cpp.o"
+  "CMakeFiles/snoc_bus.dir/bus.cpp.o.d"
+  "CMakeFiles/snoc_bus.dir/deflection.cpp.o"
+  "CMakeFiles/snoc_bus.dir/deflection.cpp.o.d"
+  "CMakeFiles/snoc_bus.dir/xy_router.cpp.o"
+  "CMakeFiles/snoc_bus.dir/xy_router.cpp.o.d"
+  "libsnoc_bus.a"
+  "libsnoc_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_common.dir/cli.cpp.o"
+  "CMakeFiles/snoc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/snoc_common.dir/parallel.cpp.o"
+  "CMakeFiles/snoc_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/snoc_common.dir/stats.cpp.o"
+  "CMakeFiles/snoc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/snoc_common.dir/table.cpp.o"
+  "CMakeFiles/snoc_common.dir/table.cpp.o.d"
+  "libsnoc_common.a"
+  "libsnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/snoc_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/snoc_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/snoc_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/snoc_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/gossip_statechart.cpp" "src/core/CMakeFiles/snoc_core.dir/gossip_statechart.cpp.o" "gcc" "src/core/CMakeFiles/snoc_core.dir/gossip_statechart.cpp.o.d"
+  "/root/repo/src/core/send_buffer.cpp" "src/core/CMakeFiles/snoc_core.dir/send_buffer.cpp.o" "gcc" "src/core/CMakeFiles/snoc_core.dir/send_buffer.cpp.o.d"
+  "/root/repo/src/core/transport.cpp" "src/core/CMakeFiles/snoc_core.dir/transport.cpp.o" "gcc" "src/core/CMakeFiles/snoc_core.dir/transport.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/snoc_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/snoc_core.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/snoc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/snoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/snoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/snoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_core.dir/analytic.cpp.o"
+  "CMakeFiles/snoc_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/snoc_core.dir/engine.cpp.o"
+  "CMakeFiles/snoc_core.dir/engine.cpp.o.d"
+  "CMakeFiles/snoc_core.dir/gossip_statechart.cpp.o"
+  "CMakeFiles/snoc_core.dir/gossip_statechart.cpp.o.d"
+  "CMakeFiles/snoc_core.dir/send_buffer.cpp.o"
+  "CMakeFiles/snoc_core.dir/send_buffer.cpp.o.d"
+  "CMakeFiles/snoc_core.dir/transport.cpp.o"
+  "CMakeFiles/snoc_core.dir/transport.cpp.o.d"
+  "CMakeFiles/snoc_core.dir/tuning.cpp.o"
+  "CMakeFiles/snoc_core.dir/tuning.cpp.o.d"
+  "libsnoc_core.a"
+  "libsnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_diversity.dir/architecture.cpp.o"
+  "CMakeFiles/snoc_diversity.dir/architecture.cpp.o.d"
+  "libsnoc_diversity.a"
+  "libsnoc_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_energy.dir/energy.cpp.o"
+  "CMakeFiles/snoc_energy.dir/energy.cpp.o.d"
+  "libsnoc_energy.a"
+  "libsnoc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

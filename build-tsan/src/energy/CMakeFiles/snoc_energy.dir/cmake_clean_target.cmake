@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnoc_energy.a"
+)

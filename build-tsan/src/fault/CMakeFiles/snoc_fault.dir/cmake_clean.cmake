@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_fault.dir/fault_model.cpp.o"
+  "CMakeFiles/snoc_fault.dir/fault_model.cpp.o.d"
+  "CMakeFiles/snoc_fault.dir/injector.cpp.o"
+  "CMakeFiles/snoc_fault.dir/injector.cpp.o.d"
+  "libsnoc_fault.a"
+  "libsnoc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

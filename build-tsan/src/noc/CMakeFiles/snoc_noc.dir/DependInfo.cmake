@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/fec.cpp" "src/noc/CMakeFiles/snoc_noc.dir/fec.cpp.o" "gcc" "src/noc/CMakeFiles/snoc_noc.dir/fec.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/noc/CMakeFiles/snoc_noc.dir/packet.cpp.o" "gcc" "src/noc/CMakeFiles/snoc_noc.dir/packet.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/snoc_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/snoc_noc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/snoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

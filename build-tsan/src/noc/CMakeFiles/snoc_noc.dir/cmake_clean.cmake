@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_noc.dir/fec.cpp.o"
+  "CMakeFiles/snoc_noc.dir/fec.cpp.o.d"
+  "CMakeFiles/snoc_noc.dir/packet.cpp.o"
+  "CMakeFiles/snoc_noc.dir/packet.cpp.o.d"
+  "CMakeFiles/snoc_noc.dir/topology.cpp.o"
+  "CMakeFiles/snoc_noc.dir/topology.cpp.o.d"
+  "libsnoc_noc.a"
+  "libsnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

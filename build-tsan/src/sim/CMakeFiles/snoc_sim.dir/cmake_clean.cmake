@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_sim.dir/statechart.cpp.o"
+  "CMakeFiles/snoc_sim.dir/statechart.cpp.o.d"
+  "CMakeFiles/snoc_sim.dir/trace.cpp.o"
+  "CMakeFiles/snoc_sim.dir/trace.cpp.o.d"
+  "libsnoc_sim.a"
+  "libsnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

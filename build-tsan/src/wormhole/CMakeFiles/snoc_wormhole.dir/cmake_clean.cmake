@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoc_wormhole.dir/router.cpp.o"
+  "CMakeFiles/snoc_wormhole.dir/router.cpp.o.d"
+  "libsnoc_wormhole.a"
+  "libsnoc_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoc_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

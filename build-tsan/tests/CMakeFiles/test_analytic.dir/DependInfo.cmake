@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/test_analytic.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/test_analytic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/snoc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/noc/CMakeFiles/snoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/snoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/snoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/snoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/energy/CMakeFiles/snoc_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bus/CMakeFiles/snoc_bus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/snoc_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/diversity/CMakeFiles/snoc_diversity.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wormhole/CMakeFiles/snoc_wormhole.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beamforming.dir/test_beamforming.cpp.o"
+  "CMakeFiles/test_beamforming.dir/test_beamforming.cpp.o.d"
+  "test_beamforming"
+  "test_beamforming.pdb"
+  "test_beamforming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beamforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast_tree.dir/test_broadcast_tree.cpp.o"
+  "CMakeFiles/test_broadcast_tree.dir/test_broadcast_tree.cpp.o.d"
+  "test_broadcast_tree"
+  "test_broadcast_tree.pdb"
+  "test_broadcast_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc.dir/test_crc.cpp.o"
+  "CMakeFiles/test_crc.dir/test_crc.cpp.o.d"
+  "test_crc"
+  "test_crc.pdb"
+  "test_crc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

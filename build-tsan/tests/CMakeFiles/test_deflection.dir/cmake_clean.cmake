@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deflection.dir/test_deflection.cpp.o"
+  "CMakeFiles/test_deflection.dir/test_deflection.cpp.o.d"
+  "test_deflection"
+  "test_deflection.pdb"
+  "test_deflection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diversity.dir/test_diversity.cpp.o"
+  "CMakeFiles/test_diversity.dir/test_diversity.cpp.o.d"
+  "test_diversity"
+  "test_diversity.pdb"
+  "test_diversity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_topologies.dir/test_engine_topologies.cpp.o"
+  "CMakeFiles/test_engine_topologies.dir/test_engine_topologies.cpp.o.d"
+  "test_engine_topologies"
+  "test_engine_topologies.pdb"
+  "test_engine_topologies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

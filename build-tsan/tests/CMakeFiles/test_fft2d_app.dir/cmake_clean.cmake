@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft2d_app.dir/test_fft2d_app.cpp.o"
+  "CMakeFiles/test_fft2d_app.dir/test_fft2d_app.cpp.o.d"
+  "test_fft2d_app"
+  "test_fft2d_app.pdb"
+  "test_fft2d_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft2d_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

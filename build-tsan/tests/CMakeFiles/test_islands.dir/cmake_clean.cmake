@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_islands.dir/test_islands.cpp.o"
+  "CMakeFiles/test_islands.dir/test_islands.cpp.o.d"
+  "test_islands"
+  "test_islands.pdb"
+  "test_islands[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_islands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdct.dir/test_mdct.cpp.o"
+  "CMakeFiles/test_mdct.dir/test_mdct.cpp.o.d"
+  "test_mdct"
+  "test_mdct.pdb"
+  "test_mdct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp3_decoder.dir/test_mp3_decoder.cpp.o"
+  "CMakeFiles/test_mp3_decoder.dir/test_mp3_decoder.cpp.o.d"
+  "test_mp3_decoder"
+  "test_mp3_decoder.pdb"
+  "test_mp3_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp3_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

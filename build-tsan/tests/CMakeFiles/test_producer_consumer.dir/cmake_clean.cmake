@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_producer_consumer.dir/test_producer_consumer.cpp.o"
+  "CMakeFiles/test_producer_consumer.dir/test_producer_consumer.cpp.o.d"
+  "test_producer_consumer"
+  "test_producer_consumer.pdb"
+  "test_producer_consumer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_producer_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psycho.dir/test_psycho.cpp.o"
+  "CMakeFiles/test_psycho.dir/test_psycho.cpp.o.d"
+  "test_psycho"
+  "test_psycho.pdb"
+  "test_psycho[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psycho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

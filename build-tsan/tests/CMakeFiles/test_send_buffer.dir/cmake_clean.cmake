@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_send_buffer.dir/test_send_buffer.cpp.o"
+  "CMakeFiles/test_send_buffer.dir/test_send_buffer.cpp.o.d"
+  "test_send_buffer"
+  "test_send_buffer.pdb"
+  "test_send_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_send_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

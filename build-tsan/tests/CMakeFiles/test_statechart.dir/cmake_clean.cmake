@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statechart.dir/test_statechart.cpp.o"
+  "CMakeFiles/test_statechart.dir/test_statechart.cpp.o.d"
+  "test_statechart"
+  "test_statechart.pdb"
+  "test_statechart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statechart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_app.dir/test_trace_app.cpp.o"
+  "CMakeFiles/test_trace_app.dir/test_trace_app.cpp.o.d"
+  "test_trace_app"
+  "test_trace_app.pdb"
+  "test_trace_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

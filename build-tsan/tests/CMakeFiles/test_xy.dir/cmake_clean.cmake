@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xy.dir/test_xy.cpp.o"
+  "CMakeFiles/test_xy.dir/test_xy.cpp.o.d"
+  "test_xy"
+  "test_xy.pdb"
+  "test_xy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
