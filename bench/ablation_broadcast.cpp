@@ -28,11 +28,9 @@ public:
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 15);
     const auto topo = Topology::mesh(5, 5);
     constexpr TileId kRoot = 12;
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 15);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     struct Trial {
         double tree_reach, tree_tx;
@@ -43,7 +41,7 @@ int main(int argc, char** argv) {
                  "flood reach [%]", "tree tx", "gossip tx", "flood tx"});
     for (std::size_t k : {0u, 1u, 2u, 4u, 6u}) {
         const auto trials = run_trials(
-            kRepeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 RngPool pool(seed);
                 FaultInjector inj(FaultScenario::none(), pool);
@@ -69,7 +67,7 @@ int main(int argc, char** argv) {
                 }
                 return out;
             },
-            kJobs);
+            opt.jobs);
         Accumulator tree_reach, tree_tx;
         Accumulator reach[2], tx[2];
         for (const Trial& t : trials) {
@@ -87,7 +85,7 @@ int main(int argc, char** argv) {
                        format_number(tx[0].mean(), 0),
                        format_number(tx[1].mean(), 0)});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Ablation: spanning tree vs gossip vs flooding broadcast "
                 "(5x5, reach among live tiles)");
     std::cout << "\nReading: the tree is 25x cheaper but sheds whole subtrees\n"

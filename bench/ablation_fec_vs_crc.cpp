@@ -12,9 +12,7 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const auto opt = bench::options(argc, argv, 10);
 
     struct Trial {
         bool completed{false};
@@ -33,7 +31,7 @@ int main(int argc, char** argv) {
             const auto prot = mode == 0 ? LinkProtection::CrcDetect
                                         : LinkProtection::SecdedCorrect;
             const auto trials = run_trials(
-                kRepeats,
+                opt.repeats,
                 [&](std::uint64_t seed) {
                     FaultScenario s;
                     s.p_upset = upset;
@@ -57,7 +55,7 @@ int main(int argc, char** argv) {
                     out.bits = static_cast<double>(m.bits_sent);
                     return out;
                 },
-                kJobs);
+                opt.jobs);
             for (const Trial& t : trials) {
                 if (!t.completed) continue;
                 ++stats[mode].completed;
@@ -78,7 +76,7 @@ int main(int argc, char** argv) {
              cell(stats[0], [&] { return format_sci(stats[0].bits.mean(), 2); }),
              cell(stats[1], [&] { return format_sci(stats[1].bits.mean(), 2); })});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Ablation: CRC-drop vs SECDED link protection (Master-Slave, p=0.5)");
     std::cout << "\nReading: FEC turns packet losses into corrections (lower\n"
                  "latency under heavy upsets) but every packet pays the Hamming\n"

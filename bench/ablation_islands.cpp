@@ -27,10 +27,8 @@ std::vector<snoc::TileId> outer_ring() {
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 10);
     const auto tech = Technology::cmos_025um();
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
     const auto ring = outer_ring();
 
     struct Trial {
@@ -42,7 +40,7 @@ int main(int argc, char** argv) {
                  "energy, uniform Ebit [J]", "energy, island-aware [J]"});
     for (double scale : {1.0, 1.5, 2.0, 3.0, 4.0}) {
         const auto trials = run_trials(
-            kRepeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 GossipNetwork net(Topology::mesh(5, 5), bench::config_with_p(0.5, 30),
                                   FaultScenario::none(), seed);
@@ -73,7 +71,7 @@ int main(int argc, char** argv) {
                 out.island_energy = joules;
                 return out;
             },
-            kJobs);
+            opt.jobs);
         Accumulator rounds, uniform_energy, island_energy;
         std::size_t completed = 0;
         for (const Trial& t : trials) {
@@ -85,11 +83,11 @@ int main(int argc, char** argv) {
         }
         table.add_row({format_number(scale, 1),
                        completed ? format_number(rounds.mean(), 1) : "DNF",
-                       format_number(100.0 * completed / kRepeats, 0),
+                       format_number(100.0 * completed / opt.repeats, 0),
                        completed ? format_sci(uniform_energy.mean(), 2) : "-",
                        completed ? format_sci(island_energy.mean(), 2) : "-"});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Ablation: voltage/frequency island on the outer ring "
                 "(Master-Slave, 5x5, p=0.5)");
     std::cout << "\nReading: slowing the ring costs a few rounds of latency\n"

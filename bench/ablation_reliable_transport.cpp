@@ -85,9 +85,7 @@ private:
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const auto opt = bench::options(argc, argv, 10);
 
     struct Trial {
         double raw_del, raw_pkts, rel_del, rel_pkts, rel_rounds;
@@ -97,7 +95,7 @@ int main(int argc, char** argv) {
                  "raw pkts/item", "reliable pkts/item", "reliable rounds"});
     for (double upset : {0.0, 0.3, 0.5, 0.7, 0.85}) {
         const auto trials = run_trials(
-            kRepeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 FaultScenario s;
                 s.p_upset = upset;
@@ -133,7 +131,7 @@ int main(int argc, char** argv) {
                 out.rel_rounds = static_cast<double>(run.rounds);
                 return out;
             },
-            kJobs);
+            opt.jobs);
         Accumulator raw_del, rel_del, raw_pkts, rel_pkts, rel_rounds;
         for (const Trial& t : trials) {
             raw_del.add(t.raw_del);
@@ -148,7 +146,7 @@ int main(int argc, char** argv) {
                        format_number(rel_pkts.mean(), 0),
                        format_number(rel_rounds.mean(), 0)});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Ablation: raw gossip vs reliable transport (TTL 8, p=0.5, "
                 "corner-to-corner 4x4)");
     return 0;

@@ -25,9 +25,7 @@ public:
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const auto opt = bench::options(argc, argv, 10);
     constexpr double kP = 0.5;
 
     struct Trial {
@@ -42,7 +40,7 @@ int main(int argc, char** argv) {
         const std::size_t n = topo.node_count();
         const std::size_t diameter = 2 * (side - 1);
         const auto trials = run_trials(
-            kRepeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 GossipConfig c = bench::config_with_p(kP, 512);
                 GossipNetwork net(topo, c, FaultScenario::none(), seed);
@@ -60,7 +58,7 @@ int main(int argc, char** argv) {
                               static_cast<double>(r.rounds);
                 return out;
             },
-            kJobs);
+            opt.jobs);
         Accumulator rounds, packets;
         for (const Trial& t : trials) {
             if (!t.completed) continue;
@@ -73,7 +71,7 @@ int main(int argc, char** argv) {
                        format_number(analytic::pittel_rounds(n), 1),
                        format_number(packets.mean(), 2)});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Ablation: broadcast scalability vs mesh size (p=0.5)");
     std::cout << "\nReading: rounds grow with the diameter (linear in the\n"
                  "side), per-tile per-round traffic stays flat - the locality\n"

@@ -43,16 +43,14 @@ struct TtlTrial {
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
-    const std::size_t repeats = bench::want_repeats(argc, argv, 40);
-    const std::size_t jobs = bench::want_jobs(argc, argv);
+    const auto opt = bench::options(argc, argv, 40);
 
     Table table({"TTL", "delivery [%]", "avg packets", "avg latency [rounds]"});
     for (std::uint16_t ttl : {2, 4, 6, 8, 12, 16, 24, 32}) {
         // Independent Monte-Carlo trials: each builds its own network from
         // its seed, so the fan-out is bit-identical to the serial loop.
         const auto trials = run_trials(
-            repeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 GossipConfig c = bench::config_with_p(0.5);
                 c.default_ttl = ttl;
@@ -71,7 +69,7 @@ int main(int argc, char** argv) {
                 }
                 return out;
             },
-            jobs);
+            opt.jobs);
         std::size_t delivered = 0;
         Accumulator packets, latency;
         for (const TtlTrial& t : trials) {
@@ -82,11 +80,11 @@ int main(int argc, char** argv) {
             }
         }
         table.add_row({std::to_string(ttl),
-                       format_number(100.0 * delivered / repeats, 1),
+                       format_number(100.0 * delivered / opt.repeats, 1),
                        format_number(packets.mean(), 0),
                        delivered ? format_number(latency.mean(), 1) : "-"});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Ablation: TTL vs delivery probability / bandwidth / latency "
                 "(corner-to-corner on 5x5, p=0.5)");
     return 0;

@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 15);
 
     // ---- Part 1: saturation curve.
     wormhole::Config wc;
@@ -29,12 +29,10 @@ int main(int argc, char** argv) {
                             format_number(p.throughput, 3),
                             format_number(100.0 * p.delivered_fraction, 1)});
     }
-    bench::emit(saturation, csv,
+    bench::emit(saturation, opt,
                 "Wormhole 8x8 mesh: latency / throughput vs offered load");
 
     // ---- Part 2: crash sensitivity.
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 15);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
     const auto mesh = Topology::mesh(5, 5);
     const std::vector<std::pair<TileId, TileId>> flows{{0, 24}, {4, 20}, {20, 4},
                                                        {24, 0}, {2, 22}, {10, 14}};
@@ -47,7 +45,7 @@ int main(int argc, char** argv) {
                  "gossip delivery [%]"});
     for (std::size_t k : {0u, 1u, 2u, 4u, 6u}) {
         const auto trials = run_trials(
-            kRepeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 // Shared crash pattern (protect the endpoints).
                 RngPool pool(seed);
@@ -90,20 +88,20 @@ int main(int argc, char** argv) {
                 out.gossip = driver.delivered_messages();
                 return out;
             },
-            kJobs);
+            opt.jobs);
         std::size_t worm_delivered = 0, wf_delivered = 0, gossip_delivered = 0;
         for (const Trial& t : trials) {
             worm_delivered += t.worm;
             wf_delivered += t.wf;
             gossip_delivered += t.gossip;
         }
-        const double total = static_cast<double>(kRepeats * flows.size());
+        const double total = static_cast<double>(opt.repeats * flows.size());
         crash.add_row({std::to_string(k),
                        format_number(100.0 * worm_delivered / total, 1),
                        format_number(100.0 * wf_delivered / total, 1),
                        format_number(100.0 * gossip_delivered / total, 1)});
     }
-    bench::emit(crash, csv,
+    bench::emit(crash, opt,
                 "Crash sensitivity: wormhole XY / west-first vs gossip "
                 "(5x5, 6 flows)");
     return 0;

@@ -2,18 +2,20 @@
 // under tile crash failures — quantifying the Ch. 1 claim that static
 // routing "would fail if even a single tile or a link on the path is
 // faulty" while gossip degrades gracefully.
+//
+// Two ScenarioRunner experiments over the same p_tiles axis and the same
+// per-repeat seeds: the XyAdapter and the gossip engine roll their crash
+// patterns independently from the shared seed, exactly as the old
+// hand-rolled loop did.
 #include <iostream>
 
-#include "apps/trace_app.hpp"
 #include "bench_util.hpp"
-#include "bus/xy_router.hpp"
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 20);
     const auto mesh = Topology::mesh(5, 5);
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 20);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const std::vector<double> kPTiles{0.0, 0.05, 0.1, 0.15, 0.2, 0.3};
 
     // Corner-to-corner traffic: long routes, maximal crash exposure.
     TrafficTrace trace;
@@ -25,53 +27,63 @@ int main(int argc, char** argv) {
     trace.phases.push_back(phase);
     const std::vector<TileId> endpoints{0, 4, 20, 24};
 
-    Table table({"p_tiles", "XY delivery [%]", "gossip delivery [%]",
-                 "gossip completion [%]"});
-    struct Trial {
-        std::size_t xy_delivered{0}, xy_total{0};
-        std::size_t gossip_delivered{0};
-        bool gossip_completed{false};
+    const auto scenario_for = [](double p_tiles) {
+        FaultScenario s;
+        s.p_tiles = p_tiles;
+        return s;
     };
 
-    for (double p_tiles : {0.0, 0.05, 0.1, 0.15, 0.2, 0.3}) {
-        const auto trials = run_trials(
-            kRepeats,
-            [&](std::uint64_t seed) {
-                FaultScenario s;
-                s.p_tiles = p_tiles;
-                RngPool pool(seed);
-                FaultInjector inj(s, pool);
-                const auto crashes = inj.roll_crashes(mesh, endpoints);
-                Trial out;
-                const auto xy = run_xy_trace(mesh, trace, crashes);
-                out.xy_delivered = xy.delivered;
-                out.xy_total = xy.delivered + xy.lost;
+    ExperimentSpec xy_spec;
+    xy_spec.name = "ablation xy";
+    xy_spec.axes = {{"p_tiles", kPTiles}};
+    xy_spec.repeats = opt.repeats;
+    xy_spec.base_seed = opt.seed;
+    xy_spec.jobs = opt.jobs;
+    xy_spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
+        return std::make_unique<XyAdapter>(XySpec{mesh, endpoints},
+                                           scenario_for(pt.value("p_tiles")), seed);
+    };
+    xy_spec.trace = [&](const SweepPoint&) { return trace; };
 
-                GossipNetwork net(mesh, bench::config_with_p(0.5, 40), s, seed);
-                apps::TraceDriver driver(net, trace);
-                for (TileId t : endpoints) net.protect(t);
-                const auto r =
-                    net.run_until([&driver] { return driver.complete(); }, 1000);
-                out.gossip_delivered = driver.delivered_messages();
-                out.gossip_completed = r.completed;
-                return out;
-            },
-            kJobs);
+    ExperimentSpec gossip_spec;
+    gossip_spec.name = "ablation gossip";
+    gossip_spec.axes = {{"p_tiles", kPTiles}};
+    gossip_spec.repeats = opt.repeats;
+    gossip_spec.base_seed = opt.seed;
+    gossip_spec.jobs = opt.jobs;
+    gossip_spec.max_rounds = 1000;
+    gossip_spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
+        GossipSpec spec;
+        spec.topology = mesh;
+        spec.config = bench::config_with_p(0.5, 40);
+        spec.protect = endpoints;
+        return std::make_unique<GossipAdapter>(
+            std::move(spec), scenario_for(pt.value("p_tiles")), seed);
+    };
+    gossip_spec.trace = [&](const SweepPoint&) { return trace; };
+
+    const auto xy_cells = ScenarioRunner(xy_spec).run();
+    const auto gossip_cells = ScenarioRunner(gossip_spec).run();
+
+    Table table({"p_tiles", "XY delivery [%]", "gossip delivery [%]",
+                 "gossip completion [%]"});
+    for (std::size_t c = 0; c < kPTiles.size(); ++c) {
         std::size_t xy_delivered = 0, xy_total = 0;
-        std::size_t gossip_delivered = 0, gossip_completed = 0;
-        for (const Trial& t : trials) {
-            xy_delivered += t.xy_delivered;
-            xy_total += t.xy_total;
-            gossip_delivered += t.gossip_delivered;
-            if (t.gossip_completed) ++gossip_completed;
+        for (const RunReport& r : xy_cells[c].reports) {
+            xy_delivered += r.deliveries;
+            xy_total += r.messages;
         }
-        table.add_row({format_number(p_tiles, 2),
-                       format_number(100.0 * xy_delivered / xy_total, 1),
-                       format_number(100.0 * gossip_delivered /
-                                         (kRepeats * trace.message_count()),
-                                     1),
-                       format_number(100.0 * gossip_completed / kRepeats, 0)});
+        std::size_t gossip_delivered = 0;
+        for (const RunReport& r : gossip_cells[c].reports)
+            gossip_delivered += r.deliveries;
+        table.add_row(
+            {format_number(kPTiles[c], 2),
+             format_number(100.0 * xy_delivered / xy_total, 1),
+             format_number(100.0 * gossip_delivered /
+                               (opt.repeats * trace.message_count()),
+                           1),
+             format_number(100.0 * gossip_cells[c].stats.completion_rate, 0)});
     }
-    bench::emit(table, csv, "Ablation: XY routing vs gossip under tile crashes");
+    bench::emit(table, opt, "Ablation: XY routing vs gossip under tile crashes");
     return 0;
 }

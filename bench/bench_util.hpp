@@ -2,7 +2,10 @@
 //
 // Every bench prints (a) the figure/table it regenerates, (b) an aligned
 // ASCII table with the same rows/series the thesis plots, and (c) the same
-// table as CSV on request (--csv), for replotting.
+// table as CSV (--csv) or JSON (--json) on request, for replotting.
+// Flag parsing lives in common/cli.hpp (BenchOptions); sweep/repeat/retry
+// execution lives in sim/scenario.hpp (ScenarioRunner); this header only
+// keeps the two case-study app deployments and the Eq. 3 shortcut.
 #pragma once
 
 #include <cstddef>
@@ -19,30 +22,22 @@
 #include "common/table.hpp"
 #include "core/engine.hpp"
 #include "energy/energy.hpp"
+#include "sim/backends.hpp"
+#include "sim/scenario.hpp"
 
 namespace snoc::bench {
 
-inline bool want_csv(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]) == "--csv") return true;
-    return false;
+/// Parse the uniform bench flag set (--csv/--json/--repeats/--jobs/--seed).
+inline BenchOptions options(int argc, char** argv, std::size_t default_repeats = 1) {
+    return parse_bench_options(argc, argv, default_repeats);
 }
 
-/// Worker-thread count for the Monte-Carlo trial fan-out:
-/// --jobs=N beats SNOC_JOBS beats hardware concurrency.
-inline std::size_t want_jobs(int argc, char** argv) {
-    return resolve_jobs(CliArgs(argc, argv));
-}
-
-/// Trial-repeat count: --repeats=N, else the bench's default.
-inline std::size_t want_repeats(int argc, char** argv, std::size_t fallback) {
-    const auto r = CliArgs(argc, argv).get_u64("repeats", fallback);
-    return r > 0 ? static_cast<std::size_t>(r) : fallback;
-}
-
-inline void emit(const Table& table, bool csv, const std::string& caption) {
+inline void emit(const Table& table, const BenchOptions& options,
+                 const std::string& caption) {
     std::cout << "\n== " << caption << " ==\n";
-    if (csv)
+    if (options.json)
+        table.print_json(std::cout);
+    else if (options.csv)
         table.print_csv(std::cout);
     else
         table.print(std::cout);
@@ -55,109 +50,59 @@ inline GossipConfig config_with_p(double p, std::uint16_t ttl = 30) {
     return c;
 }
 
-/// One application run's measurements.
-struct AppRun {
-    bool completed{false};
-    Round latency_rounds{0};     ///< rounds until the app finished.
-    std::size_t packets{0};      ///< total transmissions incl. TTL drain.
-    std::size_t bits{0};
-    double seconds{0.0};         ///< wall-clock at completion (GALS model).
-};
-
-/// Master-Slave pi on a 5x5 mesh (Fig. 4-2 deployment).  Latency is the
-/// completion round; packets/bits include the post-completion TTL drain
-/// (the energy keeps burning until every rumor dies).
-inline AppRun run_pi_once(const GossipConfig& config, const FaultScenario& scenario,
-                          std::size_t exact_tile_crashes, std::uint64_t seed,
-                          bool duplicate_slaves = true, Round max_rounds = 3000,
-                          bool direct_addressing = false) {
-    GossipNetwork net(Topology::mesh(5, 5), config, scenario, seed);
+/// Master-Slave pi on a 5x5 mesh (Fig. 4-2 deployment), through the
+/// unified GossipAdapter.  Latency is the completion round; packets/bits
+/// include the post-completion TTL drain (the energy keeps burning until
+/// every rumor dies).
+inline RunReport run_pi_once(const GossipConfig& config, const FaultScenario& scenario,
+                             std::size_t exact_tile_crashes, std::uint64_t seed,
+                             bool duplicate_slaves = true, Round max_rounds = 3000,
+                             bool direct_addressing = false) {
+    GossipSpec spec;
+    spec.topology = Topology::mesh(5, 5);
+    spec.config = config;
+    spec.exact_tile_crashes = exact_tile_crashes;
+    spec.drain = true;
+    GossipAdapter net(std::move(spec), scenario, seed);
     apps::PiDeployment d;
     d.duplicate_slaves = duplicate_slaves;
     d.direct_addressing = direct_addressing;
-    auto& master = apps::deploy_pi(net, d);
-    net.protect(d.master_tile);
+    auto& master = apps::deploy_pi(net.network(), d);
+    net.network().protect(d.master_tile);
     if (duplicate_slaves) {
         // With replication, protecting one copy of each task keeps the
         // workload well-defined while the other copy may crash.
-        for (TileId t : {6u, 7u, 8u, 11u, 13u, 16u, 17u, 18u}) net.protect(t);
+        for (TileId t : {6u, 7u, 8u, 11u, 13u, 16u, 17u, 18u}) net.network().protect(t);
     }
-    net.force_exact_tile_crashes(exact_tile_crashes);
-    const auto r = net.run_until([&master] { return master.done(); }, max_rounds);
-    AppRun out;
-    out.completed = r.completed;
-    out.latency_rounds = r.rounds;
-    out.seconds = r.elapsed_seconds;
-    net.drain();
-    out.packets = net.metrics().packets_sent;
-    out.bits = net.metrics().bits_sent;
-    return out;
+    return net.run_until([&master] { return master.done(); }, max_rounds);
 }
 
 /// Parallel 2-D FFT on a 4x4 mesh (Fig. 4-3 deployment).
-inline AppRun run_fft_once(const GossipConfig& config, const FaultScenario& scenario,
-                           std::size_t exact_tile_crashes, std::uint64_t seed,
-                           Round max_rounds = 3000) {
-    GossipNetwork net(Topology::mesh(4, 4), config, scenario, seed);
+inline RunReport run_fft_once(const GossipConfig& config, const FaultScenario& scenario,
+                              std::size_t exact_tile_crashes, std::uint64_t seed,
+                              Round max_rounds = 3000) {
+    GossipSpec spec;
+    spec.topology = Topology::mesh(4, 4);
+    spec.config = config;
+    spec.exact_tile_crashes = exact_tile_crashes;
+    spec.drain = true;
+    GossipAdapter net(std::move(spec), scenario, seed);
     apps::FftDeployment d;
     d.duplicate_workers = true;
-    auto& root = apps::deploy_fft2d(net, d, seed + 1);
-    net.protect(d.root_tile);
-    for (TileId t : d.worker_tiles) net.protect(t);
-    net.force_exact_tile_crashes(exact_tile_crashes);
-    const auto r = net.run_until([&root] { return root.done(); }, max_rounds);
-    AppRun out;
-    out.completed = r.completed;
-    out.latency_rounds = r.rounds;
-    out.seconds = r.elapsed_seconds;
-    net.drain();
-    out.packets = net.metrics().packets_sent;
-    out.bits = net.metrics().bits_sent;
-    return out;
+    auto& root = apps::deploy_fft2d(net.network(), d, seed + 1);
+    net.network().protect(d.root_tile);
+    for (TileId t : d.worker_tiles) net.network().protect(t);
+    return net.run_until([&root] { return root.done(); }, max_rounds);
 }
 
-/// Means over the completed runs of a Monte-Carlo batch.  (Was a
-/// pointlessly templated `Averaged<F>` — the fields never depended on F.)
-struct Averaged {
-    double latency_rounds{0.0};
-    double packets{0.0};
-    double bits{0.0};
-    double seconds{0.0};
-    double completion_rate{0.0};
-};
-
-/// Aggregate per-seed results; runs that did not complete only count
-/// against the completion rate.  Safe on an empty batch.
-inline Averaged average_of(const std::vector<AppRun>& runs) {
-    Averaged avg;
-    if (runs.empty()) return avg; // repeats == 0 used to divide by zero here
-    Accumulator lat, pkt, bit, sec;
-    std::size_t completed = 0;
-    for (const AppRun& r : runs) {
-        if (!r.completed) continue;
-        ++completed;
-        lat.add(static_cast<double>(r.latency_rounds));
-        pkt.add(static_cast<double>(r.packets));
-        bit.add(static_cast<double>(r.bits));
-        sec.add(r.seconds);
-    }
-    avg.completion_rate = static_cast<double>(completed) / static_cast<double>(runs.size());
-    if (completed > 0) {
-        avg.latency_rounds = lat.mean();
-        avg.packets = pkt.mean();
-        avg.bits = bit.mean();
-        avg.seconds = sec.mean();
-    }
-    return avg;
-}
-
-/// Average an AppRun-producing callable over seeds 0..repeats-1, fanning
+/// Average a RunReport-producing callable over seeds 0..repeats-1, fanning
 /// the independent trials across `jobs` worker threads (0 = default; see
 /// common/parallel.hpp).  `run_one(seed)` must derive all randomness from
 /// its seed argument — the results are bit-identical for any job count.
+/// (Sweeps should prefer ScenarioRunner; this remains for one-off cells.)
 template <typename F>
-Averaged average_runs(F&& run_one, std::size_t repeats, std::size_t jobs = 0) {
-    return average_of(run_trials(repeats, run_one, jobs));
+CellStats average_runs(F&& run_one, std::size_t repeats, std::size_t jobs = 0) {
+    return aggregate(run_trials(repeats, run_one, jobs));
 }
 
 /// Eq. 3 energy per useful bit for an averaged run.

@@ -12,23 +12,21 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 50);
     constexpr std::size_t kNodes = 1000;
     constexpr std::size_t kRounds = 22;
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 50);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     const auto model = analytic::informed_curve(kNodes, kRounds);
 
     const auto curves = run_trials(
-        kRepeats,
+        opt.repeats,
         [&](std::uint64_t seed) {
             RngStream rng(splitmix64(seed));
             auto curve = analytic::simulate_push_gossip(kNodes, rng, kRounds);
             curve.resize(kRounds + 1, kNodes);
             return curve;
         },
-        kJobs);
+        opt.jobs);
     std::vector<Accumulator> mc(kRounds + 1);
     for (const auto& curve : curves)
         for (std::size_t t = 0; t <= kRounds; ++t)
@@ -40,7 +38,7 @@ int main(int argc, char** argv) {
                        format_number(mc[t].mean(), 1), format_number(mc[t].min(), 0),
                        format_number(mc[t].max(), 0)});
     }
-    bench::emit(table, csv,
+    bench::emit(table, opt,
                 "Fig. 3-1: rumor spreading, 1000-node fully connected network");
 
     const auto all_reached = analytic::rounds_to_reach(kNodes, 1.0);

@@ -63,22 +63,20 @@ SweepPoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats,
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 6);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const auto opt = bench::options(argc, argv, 6);
 
     // Left panel: buffer overflows.
     Table overflow({"dropped packets [%]", "latency [rounds]", "jitter", "completion"});
     for (double drop : {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9}) {
         FaultScenario s;
         s.p_overflow = drop;
-        const auto p = run_point(s, kRepeats, kJobs);
+        const auto p = run_point(s, opt.repeats, opt.jobs);
         overflow.add_row({format_number(drop * 100, 0),
                           p.completion > 0 ? format_number(p.latency, 0) : "DNF",
                           p.completion > 0 ? format_number(p.jitter, 1) : "-",
                           format_number(p.completion * 100, 0) + "%"});
     }
-    bench::emit(overflow, csv,
+    bench::emit(overflow, opt,
                 "Fig. 4-10 (left): MP3 latency vs buffer overflow drops");
 
     // Right panel: synchronisation errors.
@@ -86,13 +84,13 @@ int main(int argc, char** argv) {
     for (double sigma : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
         FaultScenario s;
         s.sigma_synchr = sigma;
-        const auto p = run_point(s, kRepeats, kJobs);
+        const auto p = run_point(s, opt.repeats, opt.jobs);
         synchr.add_row({format_number(sigma * 100, 0),
                         p.completion > 0 ? format_number(p.latency, 0) : "DNF",
                         p.completion > 0 ? format_number(p.jitter, 1) : "-",
                         format_number(p.completion * 100, 0) + "%"});
     }
-    bench::emit(synchr, csv,
+    bench::emit(synchr, opt,
                 "Fig. 4-10 (right): MP3 latency vs synchronisation errors");
     return 0;
 }

@@ -64,9 +64,7 @@ BitratePoint run_point(const snoc::FaultScenario& scenario, std::size_t repeats,
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 6);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const auto opt = bench::options(argc, argv, 6);
 
     Table overflow({"dropped packets [%]", "bit rate [bits/s]", "jitter [bits/s]",
                     "frames delivered [%]"});
@@ -74,24 +72,24 @@ int main(int argc, char** argv) {
     for (double drop : {0.0, 0.2, 0.4, 0.6, 0.8}) {
         FaultScenario s;
         s.p_overflow = drop;
-        const auto p = run_point(s, kRepeats, kJobs);
+        const auto p = run_point(s, opt.repeats, opt.jobs);
         if (drop == 0.0) base_rate = p.rate;
         if (drop == 0.6) rate_at_60 = p.rate;
         overflow.add_row({format_number(drop * 100, 0), format_sci(p.rate, 3),
                           format_sci(p.jitter, 2), format_number(p.frames, 0)});
     }
-    bench::emit(overflow, csv, "Fig. 4-11 (left): MP3 bit rate vs dropped packets");
+    bench::emit(overflow, opt, "Fig. 4-11 (left): MP3 bit rate vs dropped packets");
 
     Table synchr({"sigma_synchr [% of T_R]", "bit rate [bits/s]", "jitter [bits/s]",
                   "frames delivered [%]"});
     for (double sigma : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
         FaultScenario s;
         s.sigma_synchr = sigma;
-        const auto p = run_point(s, kRepeats, kJobs);
+        const auto p = run_point(s, opt.repeats, opt.jobs);
         synchr.add_row({format_number(sigma * 100, 0), format_sci(p.rate, 3),
                         format_sci(p.jitter, 2), format_number(p.frames, 0)});
     }
-    bench::emit(synchr, csv,
+    bench::emit(synchr, opt,
                 "Fig. 4-11 (right): MP3 bit rate vs synchronisation errors");
 
     std::cout << "\nbit-rate at 60% drops / clean bit-rate = "

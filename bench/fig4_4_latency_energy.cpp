@@ -15,33 +15,39 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 12);
     const std::vector<double> kPs{1.0, 0.75, 0.5, 0.25};
-    const std::vector<std::size_t> kCrashes{0, 1, 2, 3, 4};
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 12);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const std::vector<double> kCrashes{0, 1, 2, 3, 4};
 
     const auto pi_useful = apps::pi_trace(apps::PiDeployment{}).useful_bits();
     const auto fft_useful = apps::fft2d_trace(apps::FftDeployment{}).useful_bits();
 
     for (const bool is_fft : {true, false}) {
+        ExperimentSpec spec;
+        spec.name = is_fft ? "fig4_4 fft" : "fig4_4 pi";
+        spec.axes = {{"crashes", kCrashes}, {"p", kPs}};
+        spec.repeats = opt.repeats;
+        spec.base_seed = opt.seed;
+        spec.jobs = opt.jobs;
+        spec.trial = [is_fft](const SweepPoint& pt, std::uint64_t seed) {
+            const auto config = bench::config_with_p(pt.value("p"), 30);
+            const auto crashes = static_cast<std::size_t>(pt.value("crashes"));
+            return is_fft ? bench::run_fft_once(config, FaultScenario::none(),
+                                                crashes, seed)
+                          : bench::run_pi_once(config, FaultScenario::none(),
+                                               crashes, seed);
+        };
+        const auto cells = ScenarioRunner(spec).run();
+
         Table latency({"tile crashes", "flooding (p=1)", "p=0.75", "p=0.5", "p=0.25"});
         Table energy({"tile crashes", "flooding (p=1)", "p=0.75", "p=0.5", "p=0.25"});
-        for (std::size_t crashes : kCrashes) {
-            std::vector<std::string> lat_row{std::to_string(crashes)};
-            std::vector<std::string> en_row{std::to_string(crashes)};
-            for (double p : kPs) {
-                const auto config = bench::config_with_p(p, 30);
-                const auto avg = bench::average_runs(
-                    [&](std::uint64_t seed) {
-                        return is_fft
-                                   ? bench::run_fft_once(config, FaultScenario::none(),
-                                                         crashes, seed)
-                                   : bench::run_pi_once(config, FaultScenario::none(),
-                                                        crashes, seed);
-                    },
-                    kRepeats, kJobs);
-                lat_row.push_back(format_number(avg.latency_rounds, 1));
+        for (std::size_t c = 0; c < kCrashes.size(); ++c) {
+            std::vector<std::string> lat_row{
+                std::to_string(static_cast<std::size_t>(kCrashes[c]))};
+            std::vector<std::string> en_row = lat_row;
+            for (std::size_t p = 0; p < kPs.size(); ++p) {
+                const CellStats& avg = cells[c * kPs.size() + p].stats;
+                lat_row.push_back(format_number(avg.rounds, 1));
                 en_row.push_back(format_sci(
                     bench::joules_per_useful_bit(avg.bits,
                                                  is_fft ? fft_useful : pi_useful),
@@ -51,8 +57,8 @@ int main(int argc, char** argv) {
             energy.add_row(en_row);
         }
         const std::string app = is_fft ? "FFT2 (4x4)" : "Master-Slave (5x5)";
-        bench::emit(latency, csv, "Fig. 4-4 latency [rounds] - " + app);
-        bench::emit(energy, csv, "Fig. 4-4 energy [J/useful bit] - " + app);
+        bench::emit(latency, opt, "Fig. 4-4 latency [rounds] - " + app);
+        bench::emit(energy, opt, "Fig. 4-4 energy [J/useful bit] - " + app);
     }
     return 0;
 }

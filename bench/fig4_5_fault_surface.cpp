@@ -11,11 +11,9 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 10);
     const std::vector<std::size_t> kCrashes{0, 1, 2, 3, 4};
     const std::vector<double> kUpsets{0.0, 0.3, 0.5, 0.7, 0.8, 0.9};
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 10);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     std::vector<std::string> headers{"tile crashes \\ p_upset"};
     for (double u : kUpsets) headers.push_back(format_number(u, 2));
@@ -34,17 +32,17 @@ int main(int argc, char** argv) {
                     return bench::run_pi_once(bench::config_with_p(0.5, 120), s,
                                               crashes, seed, true, 5000);
                 },
-                kRepeats, kJobs);
+                opt.repeats, opt.jobs);
             lat_row.push_back(avg.completion_rate > 0.0
-                                  ? format_number(avg.latency_rounds, 1)
+                                  ? format_number(avg.rounds, 1)
                                   : std::string("-"));
             comp_row.push_back(format_number(avg.completion_rate * 100.0, 0) + "%");
         }
         latency.add_row(lat_row);
         completion.add_row(comp_row);
     }
-    bench::emit(latency, csv,
+    bench::emit(latency, opt,
                 "Fig. 4-5: latency [rounds] vs (tile crashes, p_upset), Master-Slave");
-    bench::emit(completion, csv, "Fig. 4-5 companion: completion rate");
+    bench::emit(completion, opt, "Fig. 4-5 companion: completion rate");
     return 0;
 }

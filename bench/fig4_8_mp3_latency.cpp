@@ -26,11 +26,9 @@ snoc::apps::Mp3Config mp3_config() {
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 5);
     const std::vector<double> kPs{0.1, 0.25, 0.5, 0.75, 1.0};
     const std::vector<double> kUpsets{0.0, 0.2, 0.4, 0.6, 0.8};
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 5);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
     constexpr Round kMaxRounds = 4000;
 
     std::vector<std::string> headers{"p \\ p_upset"};
@@ -43,7 +41,7 @@ int main(int argc, char** argv) {
         std::vector<std::string> comp_row{format_number(p, 2)};
         for (double upset : kUpsets) {
             const auto trials = run_trials(
-                kRepeats,
+                opt.repeats,
                 [&](std::uint64_t seed) -> double {
                     FaultScenario s;
                     s.p_upset = upset;
@@ -54,7 +52,7 @@ int main(int argc, char** argv) {
                         [&output] { return output.complete(); }, kMaxRounds);
                     return r.completed ? static_cast<double>(r.rounds) : -1.0;
                 },
-                kJobs);
+                opt.jobs);
             Accumulator rounds;
             std::size_t completed = 0;
             for (double r : trials) {
@@ -65,12 +63,12 @@ int main(int argc, char** argv) {
             lat_row.push_back(completed > 0 ? format_number(rounds.mean(), 0)
                                             : std::string("DNF"));
             comp_row.push_back(
-                format_number(100.0 * completed / kRepeats, 0) + "%");
+                format_number(100.0 * completed / opt.repeats, 0) + "%");
         }
         latency.add_row(lat_row);
         completion.add_row(comp_row);
     }
-    bench::emit(latency, csv, "Fig. 4-8: MP3 latency [rounds] over (p, p_upset)");
-    bench::emit(completion, csv, "Fig. 4-8 companion: completion rate");
+    bench::emit(latency, opt, "Fig. 4-8: MP3 latency [rounds] over (p, p_upset)");
+    bench::emit(completion, opt, "Fig. 4-8 companion: completion rate");
     return 0;
 }

@@ -11,11 +11,9 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 5);
     const auto tech = Technology::cmos_025um();
     const std::vector<double> kPs{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 5);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
 
     apps::Mp3Config cfg;
     cfg.frame_samples = 64;
@@ -34,7 +32,7 @@ int main(int argc, char** argv) {
     };
     for (double p : kPs) {
         const auto trials = run_trials(
-            kRepeats,
+            opt.repeats,
             [&](std::uint64_t seed) {
                 GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(p, 40),
                                   FaultScenario::none(), seed);
@@ -51,7 +49,7 @@ int main(int argc, char** argv) {
                 out.packets = static_cast<double>(net.metrics().packets_sent);
                 return out;
             },
-            kJobs);
+            opt.jobs);
         Accumulator joules, packets, rounds;
         std::size_t completed = 0;
         for (const Trial& t : trials) {
@@ -65,14 +63,14 @@ int main(int argc, char** argv) {
                        completed ? format_sci(joules.mean(), 3) : "-",
                        completed ? format_number(packets.mean(), 0) : "-",
                        completed ? format_number(rounds.mean(), 0) : "DNF",
-                       format_number(100.0 * completed / kRepeats, 0) + "%"});
+                       format_number(100.0 * completed / opt.repeats, 0) + "%"});
         if (completed) {
             if (first_energy == 0.0) first_energy = joules.mean();
             last_energy = joules.mean();
             linearity.add(p, joules.mean());
         }
     }
-    bench::emit(table, csv, "Fig. 4-9: MP3 energy dissipation vs p");
+    bench::emit(table, opt, "Fig. 4-9: MP3 energy dissipation vs p");
     std::cout << "\nenergy(p=1)/energy(p~0.1) = "
               << format_number(last_energy / first_energy, 1)
               << " (approximately linear growth expected)\n";

@@ -13,53 +13,60 @@
 
 int main(int argc, char** argv) {
     using namespace snoc;
-    const bool csv = bench::want_csv(argc, argv);
+    const auto opt = bench::options(argc, argv, 5);
     constexpr std::size_t kFrames = 4;
-    const std::size_t kRepeats = bench::want_repeats(argc, argv, 5);
-    const std::size_t kJobs = bench::want_jobs(argc, argv);
+    const std::vector<diversity::ArchitectureKind> kKinds{
+        diversity::ArchitectureKind::FlatNoc,
+        diversity::ArchitectureKind::HierarchicalNoc,
+        diversity::ArchitectureKind::CentralRouterMesh,
+        diversity::ArchitectureKind::BusConnectedNocs};
+
+    // The declarative flavour: one axis enumerating the architectures, a
+    // backend factory per cell, the beamforming trace mapped per cell.
+    ExperimentSpec spec;
+    spec.name = "fig5_3";
+    spec.axes = {{"arch", {0, 1, 2, 3}}};
+    spec.repeats = opt.repeats;
+    spec.base_seed = opt.seed;
+    spec.jobs = opt.jobs;
+    spec.max_rounds = 20000;
+    spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
+        return diversity::make_interconnect(kKinds[pt.index_of("arch")],
+                                            bench::config_with_p(0.75, 40),
+                                            FaultScenario::none(), seed);
+    };
+    spec.trace = [&](const SweepPoint& pt) {
+        const auto arch =
+            diversity::make_architecture(kKinds[pt.index_of("arch")]);
+        return diversity::beamforming_trace_for(arch, kFrames);
+    };
+    const auto cells = ScenarioRunner(spec).run();
 
     Table table({"architecture", "latency [rounds]", "message transmissions",
                  "completion"});
     double flat_tx = 0.0, hier_tx = 0.0, flat_lat = 0.0, bus_lat = 0.0;
-    for (auto kind : {diversity::ArchitectureKind::FlatNoc,
-                      diversity::ArchitectureKind::HierarchicalNoc,
-                      diversity::ArchitectureKind::CentralRouterMesh,
-                      diversity::ArchitectureKind::BusConnectedNocs}) {
-        const auto trials = run_trials(
-            kRepeats,
-            [&](std::uint64_t seed) {
-                return diversity::run_beamforming(
-                    kind, kFrames, bench::config_with_p(0.75, 40),
-                    FaultScenario::none(), seed);
-            },
-            kJobs);
-        Accumulator rounds, transmissions;
-        std::size_t completed = 0;
-        for (const auto& r : trials) {
-            if (!r.completed) continue;
-            ++completed;
-            rounds.add(static_cast<double>(r.rounds));
-            transmissions.add(static_cast<double>(r.transmissions));
-        }
-        table.add_row({to_string(kind), format_number(rounds.mean(), 1),
-                       format_number(transmissions.mean(), 0),
-                       format_number(100.0 * completed / kRepeats, 0) + "%"});
+    for (const CellResult& cell : cells) {
+        const auto kind = kKinds[cell.point.index_of("arch")];
+        const CellStats& s = cell.stats;
+        table.add_row({to_string(kind), format_number(s.rounds, 1),
+                       format_number(s.transmissions, 0),
+                       format_number(100.0 * s.completion_rate, 0) + "%"});
         switch (kind) {
         case diversity::ArchitectureKind::FlatNoc:
-            flat_tx = transmissions.mean();
-            flat_lat = rounds.mean();
+            flat_tx = s.transmissions;
+            flat_lat = s.rounds;
             break;
         case diversity::ArchitectureKind::HierarchicalNoc:
-            hier_tx = transmissions.mean();
+            hier_tx = s.transmissions;
             break;
         case diversity::ArchitectureKind::BusConnectedNocs:
-            bus_lat = rounds.mean();
+            bus_lat = s.rounds;
             break;
         case diversity::ArchitectureKind::CentralRouterMesh:
             break; // extension row, not part of the Fig. 5-3 ratios
         }
     }
-    bench::emit(table, csv, "Fig. 5-3: on-chip diversity architecture comparison");
+    bench::emit(table, opt, "Fig. 5-3: on-chip diversity architecture comparison");
     std::cout << "\nflat/hierarchical transmission ratio: "
               << format_number(flat_tx / hier_tx, 2)
               << " (paper: flat highest, hierarchical lowest)\n"

@@ -8,6 +8,7 @@
 
 #include "common/table.hpp"
 #include "diversity/architecture.hpp"
+#include "sim/scenario.hpp"
 
 using namespace snoc;
 
@@ -20,20 +21,40 @@ int main(int argc, char** argv) {
     config.forward_p = 0.75;
     config.default_ttl = 40;
 
+    const std::vector<diversity::ArchitectureKind> kKinds{
+        diversity::ArchitectureKind::FlatNoc,
+        diversity::ArchitectureKind::HierarchicalNoc,
+        diversity::ArchitectureKind::BusConnectedNocs};
+
     std::cout << "On-chip diversity explorer: beamforming, " << frames
               << " frames, 16 sensors + 4 aggregators + 1 combiner\n\n";
 
     for (const bool faulty : {false, true}) {
         FaultScenario scenario;
         if (faulty) scenario.p_upset = 0.3;
+
+        ExperimentSpec spec;
+        spec.name = faulty ? "diversity (upsets)" : "diversity (healthy)";
+        spec.axes = {{"arch", {0, 1, 2}}};
+        spec.repeats = 1;
+        spec.base_seed = seed;
+        spec.max_rounds = 20000;
+        spec.backend = [&](const SweepPoint& pt, std::uint64_t s) {
+            return diversity::make_interconnect(kKinds[pt.index_of("arch")],
+                                                config, scenario, s);
+        };
+        spec.trace = [&](const SweepPoint& pt) {
+            const auto arch =
+                diversity::make_architecture(kKinds[pt.index_of("arch")]);
+            return diversity::beamforming_trace_for(arch, frames);
+        };
+        const auto cells = ScenarioRunner(spec).run();
+
         Table table({"architecture", "completed", "rounds", "transmissions"});
-        for (auto kind : {diversity::ArchitectureKind::FlatNoc,
-                          diversity::ArchitectureKind::HierarchicalNoc,
-                          diversity::ArchitectureKind::BusConnectedNocs}) {
-            const auto r =
-                diversity::run_beamforming(kind, frames, config, scenario, seed);
-            table.add_row({to_string(kind), r.completed ? "yes" : "no",
-                           std::to_string(r.rounds),
+        for (const CellResult& cell : cells) {
+            const RunReport& r = cell.reports.front();
+            table.add_row({to_string(kKinds[cell.point.index_of("arch")]),
+                           r.completed ? "yes" : "no", std::to_string(r.rounds),
                            std::to_string(r.transmissions)});
         }
         std::cout << (faulty ? "with 30% data upsets:" : "healthy chip:") << "\n";

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure + build + full ctest, honoring SNOC_SANITIZE.
+#
+#   scripts/check.sh                 # plain build in build/
+#   SNOC_SANITIZE=thread scripts/check.sh   # TSan build in build-thread/
+#
+# Ends with an explicit pass over the interconnect/scenario labels — the
+# backend-parity and runner-determinism suites this repo's refactors rest
+# on — so a sanitizer run can target just them with CHECK_LABELS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${SNOC_SANITIZE:-}"
+if [[ -n "${SANITIZE}" ]]; then
+    BUILD_DIR="build-${SANITIZE}"
+    CONFIGURE_ARGS=(-DSNOC_SANITIZE="${SANITIZE}")
+else
+    BUILD_DIR="build"
+    CONFIGURE_ARGS=()
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "${CONFIGURE_ARGS[@]+"${CONFIGURE_ARGS[@]}"}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# The unified-interconnect suites, runnable on their own via
+# CHECK_LABELS='interconnect|scenario' (the default below).
+LABELS="${CHECK_LABELS:-interconnect|scenario}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L "${LABELS}"

@@ -66,6 +66,7 @@ XyRunResult run_xy_trace(const Topology& mesh, const TrafficTrace& trace,
             ++result.delivered;
             const std::size_t hops = path.size() - 1;
             longest = std::max(longest, hops);
+            result.hops += hops;
             result.bits += m.bits * hops;
         }
         result.rounds += longest;

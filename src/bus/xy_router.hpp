@@ -22,6 +22,7 @@ struct XyRunResult {
     std::size_t lost{0};       ///< path crossed a dead tile or link.
     std::size_t rounds{0};     ///< sum over phases of the longest path (hops).
     std::size_t bits{0};       ///< link-level bits (one traversal per hop).
+    std::size_t hops{0};       ///< total link transmissions (delivered paths).
 };
 
 /// Realise a trace on an XY-routed mesh with a fixed crash pattern.

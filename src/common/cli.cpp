@@ -70,6 +70,23 @@ std::size_t resolve_jobs(const CliArgs& args) {
     return jobs > 0 ? jobs : 1;
 }
 
+BenchOptions parse_bench_options(const CliArgs& args, std::size_t default_repeats) {
+    BenchOptions options;
+    options.csv = args.has("csv");
+    options.json = args.has("json");
+    const auto repeats = args.get_u64(
+        "repeats", static_cast<std::uint64_t>(default_repeats));
+    options.repeats =
+        repeats > 0 ? static_cast<std::size_t>(repeats) : default_repeats;
+    options.jobs = resolve_jobs(args);
+    options.seed = args.get_u64("seed", 0);
+    return options;
+}
+
+BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_repeats) {
+    return parse_bench_options(CliArgs(argc, argv), default_repeats);
+}
+
 std::vector<std::string> CliArgs::unknown_options(
     const std::vector<std::string>& known) const {
     std::vector<std::string> unknown;

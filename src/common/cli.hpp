@@ -48,4 +48,19 @@ private:
 /// hardware concurrency.  Always >= 1; `--jobs 1` forces serial runs.
 std::size_t resolve_jobs(const CliArgs& args);
 
+/// The uniform flag set every bench binary accepts, parsed in exactly one
+/// place: --csv | --json (table output format), --repeats=N, --jobs=N,
+/// --seed=N.  Benches with extra flags construct CliArgs themselves and
+/// call the CliArgs overload.
+struct BenchOptions {
+    bool csv{false};
+    bool json{false};
+    std::size_t repeats{1};   ///< --repeats, else the bench's default (> 0).
+    std::size_t jobs{1};      ///< resolved worker count (resolve_jobs).
+    std::uint64_t seed{0};    ///< --seed base seed for the sweep.
+};
+
+BenchOptions parse_bench_options(const CliArgs& args, std::size_t default_repeats);
+BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_repeats);
+
 } // namespace snoc

@@ -79,6 +79,45 @@ void Table::print_csv(std::ostream& os) const {
     for (const auto& row : rows_) emit(row);
 }
 
+namespace {
+std::string json_escape(const std::string& cell) {
+    std::string out;
+    out.reserve(cell.size() + 2);
+    for (char ch : cell) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+} // namespace
+
+void Table::print_json(std::ostream& os) const {
+    os << "[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << (r ? ",\n " : "\n ") << '{';
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            if (c) os << ", ";
+            os << '"' << json_escape(headers_[c]) << "\": \""
+               << json_escape(rows_[r][c]) << '"';
+        }
+        os << '}';
+    }
+    os << "\n]\n";
+}
+
 std::string format_number(double value, int precision) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", precision, value);

@@ -24,6 +24,9 @@ public:
     void print(std::ostream& os) const;
     /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted).
     void print_csv(std::ostream& os) const;
+    /// JSON array of objects, one per row, keyed by header.  Cells stay
+    /// strings — they are already formatted for presentation.
+    void print_json(std::ostream& os) const;
 
 private:
     std::vector<std::string> headers_;

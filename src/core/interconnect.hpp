@@ -1,0 +1,95 @@
+// The unified interconnect abstraction.
+//
+// The thesis' whole argument is comparative — stochastic gossip vs. the
+// shared bus (Sec. 4.1.4), vs. deterministic XY / wormhole / deflection
+// routing (our extension baselines), vs. the Ch. 5 diversity hybrids —
+// yet every backend historically exposed its own constructor shape and
+// result struct, so every bench re-implemented trial loops and table
+// emission by hand.  `Interconnect` normalizes the three things a
+// comparison needs:
+//
+//   * construction — a backend is built from a topology/shape, its own
+//     config struct, a FaultScenario and a seed (see sim/backends.hpp
+//     for the concrete adapters and the factory);
+//   * execution    — `run(trace, limit)` realises a backend-independent
+//     TrafficTrace to completion or a round/cycle budget;
+//   * results      — one RunReport for all backends: completion flag,
+//     latency (rounds *and* seconds), traffic, delivery/drop taxonomy
+//     and Technology-weighted wire energy.
+//
+// Adding a backend is writing one adapter (~50 lines), not forking a
+// bench file; `ScenarioRunner` (sim/scenario.hpp) then sweeps/averages
+// any Interconnect declaratively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/metrics.hpp"
+#include "noc/traffic.hpp"
+
+namespace snoc {
+
+/// The backends the factory in sim/backends.hpp can build.  Diversity
+/// architectures (Ch. 5) are gossip-backed and register through their own
+/// factory in diversity/architecture.hpp.
+enum class BackendKind : std::uint8_t {
+    Gossip,     ///< the paper's stochastic communication engine.
+    Bus,        ///< shared-bus baseline of Sec. 4.1.4.
+    Xy,         ///< deterministic dimension-ordered routing (Ch. 1 strawman).
+    Wormhole,   ///< flit-level wormhole-routed mesh.
+    Deflection, ///< bufferless hot-potato routing.
+};
+
+constexpr const char* to_string(BackendKind k) {
+    switch (k) {
+    case BackendKind::Gossip: return "gossip";
+    case BackendKind::Bus: return "bus";
+    case BackendKind::Xy: return "xy";
+    case BackendKind::Wormhole: return "wormhole";
+    case BackendKind::Deflection: return "deflection";
+    }
+    return "?";
+}
+
+/// One run's measurements, backend-independent.  Fields a backend cannot
+/// measure stay at their zero value (e.g. the bus has no rounds; XY has
+/// no wall-clock model beyond hops).  `metrics` carries the full gossip
+/// taxonomy when the backend is gossip-based, zeroed otherwise.
+struct RunReport {
+    bool completed{false};        ///< workload finished inside the budget.
+    Round rounds{0};              ///< gossip rounds / router cycles executed.
+    double seconds{0.0};          ///< wall-clock (GALS / cycle-time model).
+    std::size_t transmissions{0}; ///< link or bus transfers.
+    std::size_t bits{0};          ///< wire bits moved.
+    std::size_t messages{0};      ///< logical messages offered to the network.
+    std::size_t deliveries{0};    ///< messages that reached their destination.
+    std::size_t dropped{0};       ///< messages lost (crash / TTL / hop budget).
+    double joules{0.0};           ///< wire energy (Eq. 3, Technology-weighted).
+    std::uint64_t seed{0};        ///< seed this run was constructed from.
+    std::size_t attempts{1};      ///< tries the retry policy spent (>= 1).
+    NetworkMetrics metrics{};     ///< full gossip counters, when applicable.
+};
+
+/// A communication backend under test.  Construction is adapter-specific
+/// (each takes its own config plus FaultScenario + seed); execution and
+/// results are uniform.
+class Interconnect {
+public:
+    virtual ~Interconnect() = default;
+
+    virtual BackendKind kind() const = 0;
+
+    /// Human-readable backend name for table rows.
+    virtual std::string name() const { return to_string(kind()); }
+
+    /// Realise `trace` phase by phase until it completes or `limit`
+    /// rounds/cycles elapse.  One-shot: construct a fresh adapter per run
+    /// (a trial owns its backend, exactly as the determinism contract of
+    /// common/parallel.hpp requires).
+    virtual RunReport run(const TrafficTrace& trace, Round limit) = 0;
+};
+
+} // namespace snoc

@@ -2,6 +2,7 @@
 
 #include "apps/trace_app.hpp"
 #include "common/expect.hpp"
+#include "sim/backends.hpp"
 
 namespace snoc::diversity {
 
@@ -146,27 +147,45 @@ Architecture make_architecture(ArchitectureKind kind) {
     return arch;
 }
 
+void install_architecture(const Architecture& arch, GossipNetwork& net) {
+    if (arch.hub != kNoTile) {
+        net.set_forward_capacity(arch.hub, arch.hub_capacity);
+        install_cluster_filters(net);
+    } else if (arch.kind == ArchitectureKind::CentralRouterMesh) {
+        install_gateway_mesh_filters(net);
+    }
+}
+
+TrafficTrace beamforming_trace_for(const Architecture& arch, std::size_t frames) {
+    return apps::beamforming_trace(arch.mapping, frames);
+}
+
+std::unique_ptr<Interconnect> make_interconnect(ArchitectureKind kind,
+                                                const GossipConfig& config,
+                                                const FaultScenario& scenario,
+                                                std::uint64_t seed) {
+    const Architecture arch = make_architecture(kind);
+    GossipSpec spec;
+    spec.topology = arch.topology;
+    spec.config = config;
+    spec.customize = [arch](GossipNetwork& net) { install_architecture(arch, net); };
+    return std::make_unique<GossipAdapter>(std::move(spec), scenario, seed);
+}
+
 DiversityResult run_beamforming(ArchitectureKind kind, std::size_t frames,
                                 const GossipConfig& config,
                                 const FaultScenario& scenario, std::uint64_t seed,
                                 Round max_rounds) {
     const Architecture arch = make_architecture(kind);
-    GossipNetwork net(arch.topology, config, scenario, seed);
-    if (arch.hub != kNoTile) {
-        net.set_forward_capacity(arch.hub, arch.hub_capacity);
-        install_cluster_filters(net);
-    } else if (kind == ArchitectureKind::CentralRouterMesh) {
-        install_gateway_mesh_filters(net);
-    }
-    apps::TraceDriver driver(net, apps::beamforming_trace(arch.mapping, frames));
-    const auto run =
-        net.run_until([&driver] { return driver.complete(); }, max_rounds);
+    const auto backend = make_interconnect(kind, config, scenario, seed);
+    const RunReport report =
+        backend->run(beamforming_trace_for(arch, frames), max_rounds);
 
     DiversityResult result;
-    result.completed = run.completed;
-    result.rounds = run.rounds;
-    result.transmissions = net.metrics().packets_sent;
-    result.seconds = run.elapsed_seconds;
+    result.completed = report.completed;
+    result.rounds = report.rounds;
+    result.transmissions = report.metrics.packets_sent;
+    result.seconds = report.seconds;
     return result;
 }
 

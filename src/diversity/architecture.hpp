@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "apps/beamforming.hpp"
 #include "core/engine.hpp"
+#include "core/interconnect.hpp"
 #include "fault/fault_model.hpp"
 #include "noc/topology.hpp"
 
@@ -53,6 +55,22 @@ struct Architecture {
 
 /// Build one of the three Fig. 5-2 shapes (64 worker tiles each).
 Architecture make_architecture(ArchitectureKind kind);
+
+/// Install an architecture's traffic shaping on a freshly built network:
+/// the hub's per-round forward capacity plus the cluster/gateway route
+/// filters that confine gossip to the destination's cluster.
+void install_architecture(const Architecture& arch, GossipNetwork& net);
+
+/// The acoustic-beamforming TrafficTrace mapped onto an architecture.
+TrafficTrace beamforming_trace_for(const Architecture& arch, std::size_t frames);
+
+/// A gossip-backed Interconnect for one of the Fig. 5-2 architectures —
+/// the Ch. 5 entry into the unified comparison harness (the adapter
+/// recipe: topology + filters in, RunReport out).
+std::unique_ptr<Interconnect> make_interconnect(ArchitectureKind kind,
+                                                const GossipConfig& config,
+                                                const FaultScenario& scenario,
+                                                std::uint64_t seed);
 
 /// Run the beamforming workload on an architecture and report the Fig. 5-3
 /// quantities.

@@ -1,0 +1,244 @@
+#include "sim/backends.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apps/trace_app.hpp"
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+
+namespace snoc {
+
+// --- Gossip ---------------------------------------------------------------
+
+GossipAdapter::GossipAdapter(GossipSpec spec, const FaultScenario& scenario,
+                             std::uint64_t seed)
+    : spec_(std::move(spec)),
+      net_(spec_.topology, spec_.config, scenario, seed),
+      seed_(seed) {
+    for (TileId t : spec_.protect) net_.protect(t);
+    if (spec_.exact_tile_crashes) net_.force_exact_tile_crashes(*spec_.exact_tile_crashes);
+    if (spec_.customize) spec_.customize(net_);
+}
+
+RunReport GossipAdapter::run_until(const std::function<bool()>& done, Round limit) {
+    RunReport report;
+    report.seed = seed_;
+    const auto r = net_.run_until(done, limit);
+    report.completed = r.completed;
+    report.rounds = r.rounds;
+    report.seconds = r.elapsed_seconds;
+    if (spec_.drain) net_.drain();
+    const NetworkMetrics& m = net_.metrics();
+    report.transmissions = m.packets_sent;
+    report.bits = m.bits_sent;
+    report.messages = m.messages_created;
+    report.deliveries = m.deliveries;
+    report.dropped = m.ttl_expired;
+    report.joules = static_cast<double>(m.bits_sent) * spec_.tech.link_ebit_joules;
+    report.metrics = m;
+    return report;
+}
+
+RunReport GossipAdapter::run(const TrafficTrace& trace, Round limit) {
+    apps::TraceDriver driver(net_, trace);
+    RunReport report =
+        run_until([&driver] { return driver.complete(); }, limit);
+    // Logical (trace-level) delivery view: the gossip metrics count
+    // per-tile deliveries including broadcasts; the trace counts each
+    // logical message once.
+    report.messages = trace.message_count();
+    report.deliveries = driver.delivered_messages();
+    report.dropped = report.messages - std::min(report.deliveries, report.messages);
+    return report;
+}
+
+// --- Bus ------------------------------------------------------------------
+
+BusAdapter::BusAdapter(BusSpec spec, const FaultScenario& scenario,
+                       std::uint64_t seed)
+    : spec_(spec), bus_(spec.modules, spec.tech), seed_(seed) {
+    // The entire medium is one link: a link-crash roll kills the bus.
+    if (scenario.p_links > 0.0) {
+        RngPool pool(seed);
+        auto rng = pool.stream("bus-crash");
+        if (rng.bernoulli(scenario.p_links)) bus_.crash();
+    }
+}
+
+RunReport BusAdapter::run(const TrafficTrace& trace, Round /*limit*/) {
+    const BusRunResult r = bus_.run(trace);
+    RunReport report;
+    report.seed = seed_;
+    report.completed = r.completed;
+    report.seconds = r.seconds;
+    report.transmissions = r.transfers;
+    report.bits = r.bits;
+    report.messages = trace.message_count();
+    report.deliveries = r.completed ? r.transfers : 0;
+    report.dropped = report.messages - report.deliveries;
+    report.joules = r.joules;
+    return report;
+}
+
+// --- XY -------------------------------------------------------------------
+
+XyAdapter::XyAdapter(XySpec spec, const FaultScenario& scenario, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+    // Exactly the crash roll the hand-rolled benches performed.
+    RngPool pool(seed);
+    FaultInjector injector(scenario, pool);
+    crashes_ = injector.roll_crashes(spec_.mesh, spec_.protect);
+}
+
+RunReport XyAdapter::run(const TrafficTrace& trace, Round /*limit*/) {
+    const XyRunResult r = run_xy_trace(spec_.mesh, trace, crashes_);
+    RunReport report;
+    report.seed = seed_;
+    report.completed = r.lost == 0;
+    report.rounds = static_cast<Round>(r.rounds);
+    report.transmissions = r.hops;
+    report.bits = r.bits;
+    report.messages = r.delivered + r.lost;
+    report.deliveries = r.delivered;
+    report.dropped = r.lost;
+    // Eq. 2 shape: each round forwards one average-size packet per link.
+    const double s_bits = r.hops > 0
+                              ? static_cast<double>(r.bits) / static_cast<double>(r.hops)
+                              : 0.0;
+    report.seconds =
+        static_cast<double>(r.rounds) * s_bits / spec_.tech.link_frequency_hz;
+    report.joules = static_cast<double>(r.bits) * spec_.tech.link_ebit_joules;
+    return report;
+}
+
+// --- Wormhole -------------------------------------------------------------
+
+WormholeAdapter::WormholeAdapter(WormholeSpec spec, const FaultScenario& scenario,
+                                 std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+    RngPool pool(seed);
+    FaultInjector injector(scenario, pool);
+    crashes_ =
+        injector.roll_crashes(Topology::mesh(spec_.width, spec_.height), spec_.protect);
+}
+
+RunReport WormholeAdapter::run(const TrafficTrace& trace, Round limit) {
+    wormhole::Network net(spec_.width, spec_.height, spec_.config);
+    for (TileId t = 0; t < crashes_.dead_tiles.size(); ++t)
+        if (crashes_.dead_tiles[t]) net.crash_router(t);
+
+    RunReport report;
+    report.seed = seed_;
+    report.messages = trace.message_count();
+    bool completed = true;
+    for (const auto& phase : trace.phases) {
+        std::size_t expected = net.delivered();
+        for (const auto& m : phase.messages) {
+            if (m.src == m.dst) {
+                ++report.deliveries; // local, never enters the network.
+                continue;
+            }
+            net.inject(m.src, m.dst);
+            ++expected;
+        }
+        while (net.delivered() < expected && net.cycle() < limit) net.step();
+        if (net.delivered() < expected) {
+            completed = false; // a worm is blocked (or the budget is gone).
+            break;
+        }
+    }
+    report.completed = completed;
+    report.rounds = static_cast<Round>(net.cycle());
+    report.deliveries += net.delivered();
+    report.dropped = report.messages - std::min(report.deliveries, report.messages);
+    report.transmissions = net.flit_hops();
+    const double flit_bits =
+        spec_.packet_bits / static_cast<double>(spec_.config.flits_per_packet);
+    report.bits = static_cast<std::size_t>(
+        static_cast<double>(net.flit_hops()) * flit_bits);
+    // One flit crosses a link per cycle; a cycle is one flit time.
+    report.seconds = static_cast<double>(net.cycle()) * flit_bits /
+                     spec_.tech.link_frequency_hz;
+    report.joules = static_cast<double>(report.bits) * spec_.tech.link_ebit_joules;
+    return report;
+}
+
+// --- Deflection -----------------------------------------------------------
+
+DeflectionAdapter::DeflectionAdapter(DeflectionSpec spec,
+                                     const FaultScenario& scenario,
+                                     std::uint64_t seed)
+    : spec_(std::move(spec)), scenario_(scenario), seed_(seed) {}
+
+RunReport DeflectionAdapter::run(const TrafficTrace& trace, Round limit) {
+    deflection::Network net(spec_.width, spec_.height, spec_.config, seed_);
+    {
+        RngPool pool(seed_);
+        FaultInjector injector(scenario_, pool);
+        net.apply_crashes(injector.roll_crashes(
+            Topology::mesh(spec_.width, spec_.height), spec_.protect));
+    }
+
+    RunReport report;
+    report.seed = seed_;
+    report.messages = trace.message_count();
+    std::unordered_map<std::uint32_t, std::size_t> bits_of; // packet id -> bits
+    bool completed = true;
+    for (const auto& phase : trace.phases) {
+        for (const auto& m : phase.messages) {
+            if (m.src == m.dst) {
+                ++report.deliveries;
+                continue;
+            }
+            bits_of[net.inject(m.src, m.dst)] = m.bits;
+        }
+        while (net.in_flight() > 0 && net.cycle() < limit) net.step();
+        if (net.in_flight() > 0) {
+            completed = false;
+            break;
+        }
+    }
+    for (const auto& rec : net.records()) {
+        const auto it = bits_of.find(rec.id);
+        const std::size_t bits = it != bits_of.end() ? it->second : 0;
+        report.transmissions += rec.hops;
+        report.bits += rec.hops * bits;
+    }
+    report.completed = completed && net.dropped() == 0;
+    report.rounds = static_cast<Round>(net.cycle());
+    report.deliveries += net.delivered();
+    report.dropped = report.messages - std::min(report.deliveries, report.messages);
+    const double s_bits =
+        report.transmissions > 0
+            ? static_cast<double>(report.bits) / static_cast<double>(report.transmissions)
+            : 0.0;
+    report.seconds =
+        static_cast<double>(net.cycle()) * s_bits / spec_.tech.link_frequency_hz;
+    report.joules = static_cast<double>(report.bits) * spec_.tech.link_ebit_joules;
+    return report;
+}
+
+// --- Factory --------------------------------------------------------------
+
+std::unique_ptr<Interconnect> make_interconnect(BackendKind kind,
+                                                const FaultScenario& scenario,
+                                                std::uint64_t seed) {
+    switch (kind) {
+    case BackendKind::Gossip:
+        return std::make_unique<GossipAdapter>(GossipSpec{}, scenario, seed);
+    case BackendKind::Bus:
+        return std::make_unique<BusAdapter>(BusSpec{}, scenario, seed);
+    case BackendKind::Xy:
+        return std::make_unique<XyAdapter>(XySpec{}, scenario, seed);
+    case BackendKind::Wormhole:
+        return std::make_unique<WormholeAdapter>(WormholeSpec{}, scenario, seed);
+    case BackendKind::Deflection:
+        return std::make_unique<DeflectionAdapter>(DeflectionSpec{}, scenario, seed);
+    }
+    SNOC_ENSURE(false && "unknown backend kind");
+    return nullptr;
+}
+
+} // namespace snoc

@@ -1,0 +1,185 @@
+// Per-backend Interconnect adapters (see core/interconnect.hpp for the
+// interface contract).  Each adapter is a thin, zero-cost wrapper: it
+// builds the underlying backend exactly the way the benches used to by
+// hand — same construction order, same RNG derivation — so a run through
+// an adapter is metric-for-metric identical to a direct backend run
+// (test_interconnect asserts this).
+//
+// The adapter recipe for a new backend (see DESIGN.md §8):
+//   1. a Spec struct: shape + backend config + Technology;
+//   2. a constructor (Spec, FaultScenario, seed) that rolls every random
+//      decision from `seed`;
+//   3. run(trace, limit): realise the trace phase by phase, fill the
+//      RunReport fields the backend can measure, leave the rest zero.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "bus/deflection.hpp"
+#include "bus/xy_router.hpp"
+#include "core/engine.hpp"
+#include "core/interconnect.hpp"
+#include "energy/energy.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/topology.hpp"
+#include "noc/traffic.hpp"
+#include "wormhole/router.hpp"
+
+namespace snoc {
+
+/// --- Gossip (the paper's engine) ---------------------------------------
+
+struct GossipSpec {
+    Topology topology{Topology::mesh(5, 5)};
+    GossipConfig config{};
+    /// Tiles that must survive the crash roll (masters, endpoints, ...).
+    std::vector<TileId> protect{};
+    /// Crash exactly k unprotected tiles instead of rolling p_tiles
+    /// (Fig. 4-4's x-axis); nullopt = roll p_tiles.
+    std::optional<std::size_t> exact_tile_crashes{};
+    /// Run the post-completion TTL drain before reading traffic counters
+    /// (energy accounting wants the full broadcast lifetime).
+    bool drain{false};
+    /// Applied to the freshly built network, before the first round —
+    /// route filters, forward capacities, clock scales (Ch. 5 hybrids).
+    std::function<void(GossipNetwork&)> customize{};
+    Technology tech{Technology::cmos_025um()};
+};
+
+class GossipAdapter final : public Interconnect {
+public:
+    GossipAdapter(GossipSpec spec, const FaultScenario& scenario, std::uint64_t seed);
+
+    BackendKind kind() const override { return BackendKind::Gossip; }
+
+    /// The underlying network, for IP-core deployment (apps::deploy_pi &
+    /// co. attach their cores here before run_until).
+    GossipNetwork& network() { return net_; }
+
+    /// Replays `trace` through a TraceDriver until it completes or
+    /// `limit` rounds elapse.
+    RunReport run(const TrafficTrace& trace, Round limit) override;
+
+    /// App-driven execution: run until `done()` or `limit` rounds — the
+    /// attached-IpCore flavour of the Interconnect contract.
+    RunReport run_until(const std::function<bool()>& done, Round limit);
+
+private:
+    GossipSpec spec_;
+    GossipNetwork net_;
+    std::uint64_t seed_;
+};
+
+/// --- Shared bus (Sec. 4.1.4 baseline) ----------------------------------
+
+struct BusSpec {
+    std::size_t modules{25};
+    Technology tech{Technology::cmos_025um()};
+};
+
+class BusAdapter final : public Interconnect {
+public:
+    /// The bus is a single point of failure: it is rolled dead with
+    /// probability `scenario.p_links` (the whole medium is one link).
+    BusAdapter(BusSpec spec, const FaultScenario& scenario, std::uint64_t seed);
+
+    BackendKind kind() const override { return BackendKind::Bus; }
+    SharedBus& bus() { return bus_; }
+
+    RunReport run(const TrafficTrace& trace, Round limit) override;
+
+private:
+    BusSpec spec_;
+    SharedBus bus_;
+    std::uint64_t seed_;
+};
+
+/// --- Deterministic XY routing (Ch. 1 strawman) -------------------------
+
+struct XySpec {
+    Topology mesh{Topology::mesh(5, 5)};
+    std::vector<TileId> protect{};
+    Technology tech{Technology::cmos_025um()};
+};
+
+class XyAdapter final : public Interconnect {
+public:
+    XyAdapter(XySpec spec, const FaultScenario& scenario, std::uint64_t seed);
+
+    BackendKind kind() const override { return BackendKind::Xy; }
+    const CrashState& crashes() const { return crashes_; }
+
+    RunReport run(const TrafficTrace& trace, Round limit) override;
+
+private:
+    XySpec spec_;
+    CrashState crashes_;
+    std::uint64_t seed_;
+};
+
+/// --- Wormhole-routed mesh ----------------------------------------------
+
+struct WormholeSpec {
+    std::size_t width{5};
+    std::size_t height{5};
+    wormhole::Config config{};
+    std::vector<TileId> protect{};
+    /// Wire bits per packet (flits share it equally) for the energy model.
+    double packet_bits{256.0};
+    Technology tech{Technology::cmos_025um()};
+};
+
+class WormholeAdapter final : public Interconnect {
+public:
+    WormholeAdapter(WormholeSpec spec, const FaultScenario& scenario,
+                    std::uint64_t seed);
+
+    BackendKind kind() const override { return BackendKind::Wormhole; }
+
+    RunReport run(const TrafficTrace& trace, Round limit) override;
+
+private:
+    WormholeSpec spec_;
+    CrashState crashes_;
+    std::uint64_t seed_;
+};
+
+/// --- Deflection (hot-potato) routing -----------------------------------
+
+struct DeflectionSpec {
+    std::size_t width{5};
+    std::size_t height{5};
+    deflection::Config config{};
+    std::vector<TileId> protect{};
+    Technology tech{Technology::cmos_025um()};
+};
+
+class DeflectionAdapter final : public Interconnect {
+public:
+    DeflectionAdapter(DeflectionSpec spec, const FaultScenario& scenario,
+                      std::uint64_t seed);
+
+    BackendKind kind() const override { return BackendKind::Deflection; }
+
+    RunReport run(const TrafficTrace& trace, Round limit) override;
+
+private:
+    DeflectionSpec spec_;
+    FaultScenario scenario_;
+    std::uint64_t seed_;
+};
+
+/// Variant-free factory for the uniform construction shape
+/// (kind + FaultScenario + seed, defaults for everything else); benches
+/// with backend-specific needs construct the adapters directly.
+std::unique_ptr<Interconnect> make_interconnect(BackendKind kind,
+                                                const FaultScenario& scenario,
+                                                std::uint64_t seed);
+
+} // namespace snoc

@@ -1,0 +1,170 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+
+namespace snoc {
+
+double SweepPoint::value(std::string_view axis) const {
+    for (const auto& c : coords)
+        if (c.name == axis) return c.value;
+    SNOC_EXPECT(false && "unknown sweep axis");
+    return 0.0;
+}
+
+std::size_t SweepPoint::index_of(std::string_view axis) const {
+    for (const auto& c : coords)
+        if (c.name == axis) return c.index;
+    SNOC_EXPECT(false && "unknown sweep axis");
+    return 0;
+}
+
+std::string SweepPoint::label() const {
+    std::string out;
+    for (const auto& c : coords) {
+        if (!out.empty()) out += ' ';
+        out += c.name + '=' + format_number(c.value, 4);
+    }
+    return out;
+}
+
+CellStats aggregate(const std::vector<RunReport>& reports) {
+    CellStats stats;
+    if (reports.empty()) return stats;
+    Accumulator rounds, seconds, transmissions, bits, deliveries, joules;
+    std::size_t completed = 0;
+    for (const RunReport& r : reports) {
+        stats.attempts += r.attempts;
+        if (!r.completed) continue;
+        ++completed;
+        rounds.add(static_cast<double>(r.rounds));
+        seconds.add(r.seconds);
+        transmissions.add(static_cast<double>(r.transmissions));
+        bits.add(static_cast<double>(r.bits));
+        deliveries.add(static_cast<double>(r.deliveries));
+        joules.add(r.joules);
+    }
+    stats.completion_rate =
+        static_cast<double>(completed) / static_cast<double>(reports.size());
+    if (completed > 0) {
+        stats.rounds = rounds.mean();
+        stats.seconds = seconds.mean();
+        stats.transmissions = transmissions.mean();
+        stats.bits = bits.mean();
+        stats.deliveries = deliveries.mean();
+        stats.joules = joules.mean();
+    }
+    return stats;
+}
+
+ScenarioRunner::ScenarioRunner(ExperimentSpec spec) : spec_(std::move(spec)) {
+    SNOC_EXPECT(spec_.max_attempts >= 1);
+    const bool has_trial = static_cast<bool>(spec_.trial);
+    const bool has_backend =
+        static_cast<bool>(spec_.backend) && static_cast<bool>(spec_.trace);
+    SNOC_EXPECT(has_trial != has_backend &&
+                "set exactly one of trial or backend+trace");
+    for (const auto& axis : spec_.axes) SNOC_EXPECT(!axis.values.empty());
+}
+
+std::vector<SweepPoint> ScenarioRunner::cells() const {
+    std::size_t n = 1;
+    for (const auto& axis : spec_.axes) n *= axis.values.size();
+    std::vector<SweepPoint> points;
+    points.reserve(n);
+    for (std::size_t cell = 0; cell < n; ++cell) {
+        SweepPoint p;
+        p.coords.resize(spec_.axes.size());
+        // Row-major: the first axis varies slowest.
+        std::size_t rem = cell;
+        for (std::size_t a = spec_.axes.size(); a-- > 0;) {
+            const auto& axis = spec_.axes[a];
+            const std::size_t i = rem % axis.values.size();
+            rem /= axis.values.size();
+            p.coords[a] = {axis.name, i, axis.values[i]};
+        }
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+RunReport ScenarioRunner::run_trial(const SweepPoint& point,
+                                    std::size_t repeat) const {
+    const std::uint64_t seed0 =
+        spec_.base_seed + static_cast<std::uint64_t>(repeat);
+    RunReport report;
+    for (std::size_t attempt = 0; attempt < spec_.max_attempts; ++attempt) {
+        const std::uint64_t seed =
+            seed0 + static_cast<std::uint64_t>(attempt) * spec_.retry_seed_stride;
+        if (spec_.trial) {
+            report = spec_.trial(point, seed);
+        } else {
+            auto backend = spec_.backend(point, seed);
+            SNOC_ENSURE(backend != nullptr);
+            report = backend->run(spec_.trace(point), spec_.max_rounds);
+        }
+        report.seed = seed;
+        report.attempts = attempt + 1;
+        if (report.completed) break;
+    }
+    return report;
+}
+
+std::vector<CellResult> ScenarioRunner::run() {
+    const auto points = cells();
+    const std::size_t n_trials = points.size() * spec_.repeats;
+
+    // Flatten (cell, repeat) onto the trial index so the whole sweep
+    // shares one fan-out; results land in deterministic slots.
+    const auto reports = run_trials(
+        n_trials,
+        [&](std::uint64_t i) {
+            const std::size_t cell = static_cast<std::size_t>(i) / spec_.repeats;
+            const std::size_t repeat = static_cast<std::size_t>(i) % spec_.repeats;
+            return run_trial(points[cell], repeat);
+        },
+        spec_.jobs);
+
+    std::vector<CellResult> results;
+    results.reserve(points.size());
+    for (std::size_t c = 0; c < points.size(); ++c) {
+        CellResult cell;
+        cell.point = points[c];
+        cell.reports.assign(reports.begin() + static_cast<std::ptrdiff_t>(c * spec_.repeats),
+                            reports.begin() +
+                                static_cast<std::ptrdiff_t>((c + 1) * spec_.repeats));
+        cell.stats = aggregate(cell.reports);
+        results.push_back(std::move(cell));
+    }
+    return results;
+}
+
+Table ScenarioRunner::summary_table(const std::vector<CellResult>& cells) {
+    std::vector<std::string> headers;
+    if (!cells.empty())
+        for (const auto& c : cells.front().point.coords) headers.push_back(c.name);
+    for (const char* h : {"completion [%]", "rounds", "latency [s]",
+                          "transmissions", "bits", "energy [J]", "attempts"})
+        headers.emplace_back(h);
+    Table table(headers);
+    for (const auto& cell : cells) {
+        std::vector<std::string> row;
+        for (const auto& c : cell.point.coords)
+            row.push_back(format_number(c.value, 4));
+        const CellStats& s = cell.stats;
+        row.push_back(format_number(100.0 * s.completion_rate, 1));
+        row.push_back(format_number(s.rounds, 1));
+        row.push_back(format_sci(s.seconds, 2));
+        row.push_back(format_number(s.transmissions, 0));
+        row.push_back(format_number(s.bits, 0));
+        row.push_back(format_sci(s.joules, 2));
+        row.push_back(std::to_string(s.attempts));
+        table.add_row(row);
+    }
+    return table;
+}
+
+} // namespace snoc

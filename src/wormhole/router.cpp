@@ -262,6 +262,7 @@ void Network::step() {
             const TileId next = port_neighbour(m.tile, m.out_port);
             const std::size_t in_at_next = input_port_from(topo_, next, m.tile);
             routers_[next].in_vcs[in_at_next][m.out_vc].buffer.push_back(flit);
+            ++flit_hops_;
         }
         if (was_tail) {
             // The worm has fully left this VC: release the route lock and

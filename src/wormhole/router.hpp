@@ -87,6 +87,9 @@ public:
 
     std::size_t cycle() const { return cycle_; }
     std::size_t delivered() const { return delivered_; }
+    /// Total link traversals performed by flits (ejections excluded) —
+    /// the wire-traffic measure the unified RunReport's energy model uses.
+    std::size_t flit_hops() const { return flit_hops_; }
     std::size_t injected() const { return records_.size(); }
     /// Packets injected but not delivered (in flight or blocked).
     std::size_t outstanding() const { return records_.size() - delivered_; }
@@ -134,6 +137,7 @@ private:
     std::size_t cycle_{0};
     std::uint32_t next_packet_{0};
     std::size_t delivered_{0};
+    std::size_t flit_hops_{0};
     std::vector<PacketRecord> records_;
     SampleSet latencies_;
     // Pending injections per tile (packets waiting for a free local VC).

@@ -70,5 +70,35 @@ TEST(Cli, LastValueWins) {
     EXPECT_EQ(args.get_u64("seed", 0), 2u);
 }
 
+TEST(BenchOptions, DefaultsWhenNoFlags) {
+    const auto opt = parse_bench_options(make({}), 12);
+    EXPECT_FALSE(opt.csv);
+    EXPECT_FALSE(opt.json);
+    EXPECT_EQ(opt.repeats, 12u);
+    EXPECT_GE(opt.jobs, 1u);
+    EXPECT_EQ(opt.seed, 0u);
+}
+
+TEST(BenchOptions, ParsesTheUniformFlagSet) {
+    const auto opt = parse_bench_options(
+        make({"--csv", "--repeats=7", "--jobs=3", "--seed=42"}), 12);
+    EXPECT_TRUE(opt.csv);
+    EXPECT_FALSE(opt.json);
+    EXPECT_EQ(opt.repeats, 7u);
+    EXPECT_EQ(opt.jobs, 3u);
+    EXPECT_EQ(opt.seed, 42u);
+}
+
+TEST(BenchOptions, JsonFlag) {
+    const auto opt = parse_bench_options(make({"--json"}), 1);
+    EXPECT_TRUE(opt.json);
+    EXPECT_FALSE(opt.csv);
+}
+
+TEST(BenchOptions, ZeroRepeatsFallsBackToDefault) {
+    const auto opt = parse_bench_options(make({"--repeats=0"}), 9);
+    EXPECT_EQ(opt.repeats, 9u);
+}
+
 } // namespace
 } // namespace snoc

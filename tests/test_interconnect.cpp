@@ -1,0 +1,209 @@
+// The unified Interconnect adapters (sim/backends.hpp) must be zero-cost
+// wrappers: a run through an adapter is metric-for-metric identical to
+// driving the underlying backend by hand with the same seed, because the
+// adapters reproduce the benches' exact construction order and RNG
+// derivation.  These are the backend-parity tests the refactor rests on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/trace_app.hpp"
+#include "bus/bus.hpp"
+#include "bus/xy_router.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "fault/injector.hpp"
+#include "sim/backends.hpp"
+
+namespace snoc {
+namespace {
+
+TrafficTrace corner_trace() {
+    TrafficTrace trace;
+    TrafficPhase phase;
+    phase.messages.push_back({0, 24, 256});
+    phase.messages.push_back({4, 20, 256});
+    phase.messages.push_back({20, 4, 256});
+    phase.messages.push_back({24, 0, 256});
+    trace.phases.push_back(phase);
+    return trace;
+}
+
+TEST(GossipAdapter, MatchesDirectNetworkRun) {
+    const auto trace = corner_trace();
+    FaultScenario scenario;
+    scenario.p_tiles = 0.1;
+    GossipConfig config;
+    config.forward_p = 0.5;
+    config.default_ttl = 40;
+
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        // By hand, exactly as the old ablation bench did.
+        GossipNetwork net(Topology::mesh(5, 5), config, scenario, seed);
+        for (TileId t : {0u, 4u, 20u, 24u}) net.protect(t);
+        apps::TraceDriver driver(net, trace);
+        const auto direct =
+            net.run_until([&driver] { return driver.complete(); }, 1000);
+
+        GossipSpec spec;
+        spec.topology = Topology::mesh(5, 5);
+        spec.config = config;
+        spec.protect = {0, 4, 20, 24};
+        GossipAdapter adapter(std::move(spec), scenario, seed);
+        const RunReport report = adapter.run(trace, 1000);
+
+        EXPECT_EQ(report.completed, direct.completed) << seed;
+        EXPECT_EQ(report.rounds, direct.rounds) << seed;
+        EXPECT_DOUBLE_EQ(report.seconds, direct.elapsed_seconds) << seed;
+        EXPECT_EQ(report.transmissions, net.metrics().packets_sent) << seed;
+        EXPECT_EQ(report.bits, net.metrics().bits_sent) << seed;
+        EXPECT_EQ(report.deliveries, driver.delivered_messages()) << seed;
+        EXPECT_EQ(report.metrics.deliveries, net.metrics().deliveries) << seed;
+        EXPECT_EQ(report.seed, seed);
+        EXPECT_EQ(adapter.kind(), BackendKind::Gossip);
+    }
+}
+
+TEST(GossipAdapter, DrainMatchesManualDrain) {
+    GossipConfig config;
+    config.forward_p = 0.75;
+    const auto trace = corner_trace();
+
+    GossipNetwork net(Topology::mesh(5, 5), config, FaultScenario::none(), 7);
+    apps::TraceDriver driver(net, trace);
+    (void)net.run_until([&driver] { return driver.complete(); }, 1000);
+    net.drain();
+
+    GossipSpec spec;
+    spec.config = config;
+    spec.drain = true;
+    GossipAdapter adapter(std::move(spec), FaultScenario::none(), 7);
+    const RunReport report = adapter.run(trace, 1000);
+
+    EXPECT_EQ(report.bits, net.metrics().bits_sent);
+    EXPECT_EQ(report.transmissions, net.metrics().packets_sent);
+}
+
+TEST(GossipAdapter, ExactCrashesMatchForcedNetwork) {
+    GossipConfig config;
+    config.forward_p = 0.5;
+    GossipNetwork net(Topology::mesh(5, 5), config, FaultScenario::none(), 3);
+    net.protect(12);
+    net.force_exact_tile_crashes(4);
+    const auto direct = net.run_until([] { return false; }, 30);
+
+    GossipSpec spec;
+    spec.config = config;
+    spec.protect = {12};
+    spec.exact_tile_crashes = 4;
+    GossipAdapter adapter(std::move(spec), FaultScenario::none(), 3);
+    const RunReport report =
+        adapter.run_until([] { return false; }, 30);
+
+    EXPECT_EQ(report.completed, direct.completed);
+    EXPECT_EQ(report.transmissions, net.metrics().packets_sent);
+    EXPECT_EQ(report.bits, net.metrics().bits_sent);
+}
+
+TEST(BusAdapter, MatchesDirectBusRun) {
+    const auto trace = corner_trace();
+    const auto tech = Technology::cmos_025um();
+    SharedBus bus(25, tech);
+    const BusRunResult direct = bus.run(trace);
+
+    BusAdapter adapter(BusSpec{25, tech}, FaultScenario::none(), 0);
+    const RunReport report = adapter.run(trace, 0);
+
+    EXPECT_TRUE(report.completed);
+    EXPECT_DOUBLE_EQ(report.seconds, direct.seconds);
+    EXPECT_DOUBLE_EQ(report.joules, direct.joules);
+    EXPECT_EQ(report.transmissions, direct.transfers);
+    EXPECT_EQ(report.bits, direct.bits);
+    EXPECT_EQ(report.deliveries, trace.message_count());
+    EXPECT_EQ(report.dropped, 0u);
+}
+
+TEST(BusAdapter, LinkCrashKillsTheBus) {
+    FaultScenario scenario;
+    scenario.p_links = 1.0; // certain crash: the medium is one link.
+    BusAdapter adapter(BusSpec{}, scenario, 11);
+    const RunReport report = adapter.run(corner_trace(), 0);
+    EXPECT_FALSE(report.completed);
+    EXPECT_EQ(report.deliveries, 0u);
+    EXPECT_EQ(report.dropped, corner_trace().message_count());
+}
+
+TEST(XyAdapter, MatchesDirectXyRun) {
+    const auto mesh = Topology::mesh(5, 5);
+    const auto trace = corner_trace();
+    FaultScenario scenario;
+    scenario.p_tiles = 0.15;
+    const std::vector<TileId> endpoints{0, 4, 20, 24};
+
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        // By hand, exactly as the old ablation bench did.
+        RngPool pool(seed);
+        FaultInjector injector(scenario, pool);
+        const auto crashes = injector.roll_crashes(mesh, endpoints);
+        const XyRunResult direct = run_xy_trace(mesh, trace, crashes);
+
+        XyAdapter adapter(XySpec{mesh, endpoints}, scenario, seed);
+        const RunReport report = adapter.run(trace, 0);
+
+        EXPECT_EQ(adapter.crashes().dead_tile_count(), crashes.dead_tile_count())
+            << seed;
+        EXPECT_EQ(report.deliveries, direct.delivered) << seed;
+        EXPECT_EQ(report.dropped, direct.lost) << seed;
+        EXPECT_EQ(report.transmissions, direct.hops) << seed;
+        EXPECT_EQ(report.bits, direct.bits) << seed;
+        EXPECT_EQ(report.completed, direct.lost == 0) << seed;
+    }
+}
+
+TEST(WormholeAdapter, DeliversHealthyTrace) {
+    WormholeAdapter adapter(WormholeSpec{}, FaultScenario::none(), 0);
+    const RunReport report = adapter.run(corner_trace(), 10000);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.deliveries, 4u);
+    EXPECT_EQ(report.dropped, 0u);
+    EXPECT_GT(report.transmissions, 0u);
+    EXPECT_GT(report.seconds, 0.0);
+    EXPECT_GT(report.joules, 0.0);
+}
+
+TEST(DeflectionAdapter, DeliversHealthyTrace) {
+    DeflectionAdapter adapter(DeflectionSpec{}, FaultScenario::none(), 0);
+    const RunReport report = adapter.run(corner_trace(), 10000);
+    EXPECT_TRUE(report.completed);
+    EXPECT_EQ(report.deliveries, 4u);
+    // Each corner-to-corner message needs at least the Manhattan distance.
+    EXPECT_GE(report.transmissions, 4u * 8u);
+    EXPECT_GT(report.bits, 0u);
+}
+
+TEST(Factory, BuildsEveryBackendKind) {
+    for (const BackendKind kind :
+         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
+          BackendKind::Wormhole, BackendKind::Deflection}) {
+        const auto backend = make_interconnect(kind, FaultScenario::none(), 1);
+        ASSERT_NE(backend, nullptr);
+        EXPECT_EQ(backend->kind(), kind);
+        EXPECT_FALSE(backend->name().empty());
+    }
+}
+
+TEST(Factory, BackendsRunTheSameTrace) {
+    const auto trace = corner_trace();
+    for (const BackendKind kind :
+         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
+          BackendKind::Wormhole, BackendKind::Deflection}) {
+        const auto backend = make_interconnect(kind, FaultScenario::none(), 1);
+        const RunReport report = backend->run(trace, 10000);
+        EXPECT_TRUE(report.completed) << to_string(kind);
+        EXPECT_EQ(report.messages, 4u) << to_string(kind);
+        EXPECT_EQ(report.deliveries, 4u) << to_string(kind);
+    }
+}
+
+} // namespace
+} // namespace snoc

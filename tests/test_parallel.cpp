@@ -85,8 +85,8 @@ TEST(RunTrials, AppTrialsAreBitIdenticalAcrossJobCounts) {
     ASSERT_EQ(serial.size(), parallel.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
         EXPECT_EQ(serial[i].completed, parallel[i].completed) << i;
-        EXPECT_EQ(serial[i].latency_rounds, parallel[i].latency_rounds) << i;
-        EXPECT_EQ(serial[i].packets, parallel[i].packets) << i;
+        EXPECT_EQ(serial[i].rounds, parallel[i].rounds) << i;
+        EXPECT_EQ(serial[i].transmissions, parallel[i].transmissions) << i;
         EXPECT_EQ(serial[i].bits, parallel[i].bits) << i;
         EXPECT_DOUBLE_EQ(serial[i].seconds, parallel[i].seconds) << i;
     }
@@ -96,25 +96,25 @@ TEST(AverageRuns, ZeroRepeatsIsSafe) {
     // Used to divide by zero (NaN completion rate); now a well-defined
     // empty average.
     const auto avg = bench::average_runs(
-        [](std::uint64_t) { return bench::AppRun{}; }, 0);
+        [](std::uint64_t) { return RunReport{}; }, 0);
     EXPECT_EQ(avg.completion_rate, 0.0);
-    EXPECT_EQ(avg.latency_rounds, 0.0);
-    EXPECT_EQ(avg.packets, 0.0);
+    EXPECT_EQ(avg.rounds, 0.0);
+    EXPECT_EQ(avg.transmissions, 0.0);
 }
 
 TEST(AverageRuns, CountsOnlyCompletedRuns) {
     const auto avg = bench::average_runs(
         [](std::uint64_t seed) {
-            bench::AppRun r;
+            RunReport r;
             r.completed = seed % 2 == 0;
-            r.latency_rounds = 10;
-            r.packets = 100;
+            r.rounds = 10;
+            r.transmissions = 100;
             return r;
         },
         8, 2);
     EXPECT_DOUBLE_EQ(avg.completion_rate, 0.5);
-    EXPECT_DOUBLE_EQ(avg.latency_rounds, 10.0);
-    EXPECT_DOUBLE_EQ(avg.packets, 100.0);
+    EXPECT_DOUBLE_EQ(avg.rounds, 10.0);
+    EXPECT_DOUBLE_EQ(avg.transmissions, 100.0);
 }
 
 TEST(AverageRuns, SameMeansForAnyJobCount) {
@@ -124,8 +124,8 @@ TEST(AverageRuns, SameMeansForAnyJobCount) {
     };
     const auto serial = bench::average_runs(trial, 4, 1);
     const auto parallel = bench::average_runs(trial, 4, 4);
-    EXPECT_DOUBLE_EQ(serial.latency_rounds, parallel.latency_rounds);
-    EXPECT_DOUBLE_EQ(serial.packets, parallel.packets);
+    EXPECT_DOUBLE_EQ(serial.rounds, parallel.rounds);
+    EXPECT_DOUBLE_EQ(serial.transmissions, parallel.transmissions);
     EXPECT_DOUBLE_EQ(serial.bits, parallel.bits);
     EXPECT_DOUBLE_EQ(serial.completion_rate, parallel.completion_rate);
 }

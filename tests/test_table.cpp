@@ -46,6 +46,38 @@ TEST(Table, CsvEscapesSpecials) {
     EXPECT_NE(text.find("\"with,comma\",\"quote\"\"inside\"\n"), std::string::npos);
 }
 
+TEST(Table, JsonIsArrayOfObjectsKeyedByHeader) {
+    Table t({"p", "latency"});
+    t.add_row({"0.5", "7"});
+    t.add_row({"1", "4"});
+    std::ostringstream os;
+    t.print_json(os);
+    EXPECT_EQ(os.str(),
+              "[\n"
+              " {\"p\": \"0.5\", \"latency\": \"7\"},\n"
+              " {\"p\": \"1\", \"latency\": \"4\"}\n"
+              "]\n");
+}
+
+TEST(Table, JsonEscapesSpecials) {
+    Table t({"name \"quoted\""});
+    t.add_row({"back\\slash"});
+    t.add_row({"line\nbreak\ttab"});
+    std::ostringstream os;
+    t.print_json(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("\"name \\\"quoted\\\"\""), std::string::npos);
+    EXPECT_NE(text.find("\"back\\\\slash\""), std::string::npos);
+    EXPECT_NE(text.find("\"line\\nbreak\\ttab\""), std::string::npos);
+}
+
+TEST(Table, JsonOfEmptyTableIsEmptyArray) {
+    Table t({"only", "headers"});
+    std::ostringstream os;
+    t.print_json(os);
+    EXPECT_EQ(os.str(), "[\n]\n");
+}
+
 TEST(FormatNumber, TrimsTrailingZeros) {
     EXPECT_EQ(format_number(1.5), "1.5");
     EXPECT_EQ(format_number(2.0), "2");
