@@ -16,6 +16,7 @@
 
 #include "apps/fft2d_app.hpp"
 #include "apps/master_slave_pi.hpp"
+#include "check/invariant_auditor.hpp"
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
@@ -53,17 +54,20 @@ inline GossipConfig config_with_p(double p, std::uint16_t ttl = 30) {
 /// Master-Slave pi on a 5x5 mesh (Fig. 4-2 deployment), through the
 /// unified GossipAdapter.  Latency is the completion round; packets/bits
 /// include the post-completion TTL drain (the energy keeps burning until
-/// every rumor dies).
+/// every rumor dies).  Pass an InvariantAuditor (src/check/) to have the
+/// run conservation-audited per round — tests/test_check.cpp does.
 inline RunReport run_pi_once(const GossipConfig& config, const FaultScenario& scenario,
                              std::size_t exact_tile_crashes, std::uint64_t seed,
                              bool duplicate_slaves = true, Round max_rounds = 3000,
-                             bool direct_addressing = false) {
+                             bool direct_addressing = false,
+                             check::InvariantAuditor* auditor = nullptr) {
     GossipSpec spec;
     spec.topology = Topology::mesh(5, 5);
     spec.config = config;
     spec.exact_tile_crashes = exact_tile_crashes;
     spec.drain = true;
     GossipAdapter net(std::move(spec), scenario, seed);
+    net.set_auditor(auditor);
     apps::PiDeployment d;
     d.duplicate_slaves = duplicate_slaves;
     d.direct_addressing = direct_addressing;
@@ -80,13 +84,15 @@ inline RunReport run_pi_once(const GossipConfig& config, const FaultScenario& sc
 /// Parallel 2-D FFT on a 4x4 mesh (Fig. 4-3 deployment).
 inline RunReport run_fft_once(const GossipConfig& config, const FaultScenario& scenario,
                               std::size_t exact_tile_crashes, std::uint64_t seed,
-                              Round max_rounds = 3000) {
+                              Round max_rounds = 3000,
+                              check::InvariantAuditor* auditor = nullptr) {
     GossipSpec spec;
     spec.topology = Topology::mesh(4, 4);
     spec.config = config;
     spec.exact_tile_crashes = exact_tile_crashes;
     spec.drain = true;
     GossipAdapter net(std::move(spec), scenario, seed);
+    net.set_auditor(auditor);
     apps::FftDeployment d;
     d.duplicate_workers = true;
     auto& root = apps::deploy_fft2d(net.network(), d, seed + 1);

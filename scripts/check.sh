@@ -1,34 +1,63 @@
 #!/usr/bin/env bash
-# Tier-1 check: configure + build + full ctest, honoring SNOC_SANITIZE.
+# Tier-1 check: lint + configure + build + full ctest, honoring SNOC_SANITIZE.
 #
-#   scripts/check.sh                 # plain build in build/
+#   scripts/check.sh                        # plain build in build/
 #   SNOC_SANITIZE=thread scripts/check.sh   # TSan build in build-thread/
+#   SNOC_SANITIZE=matrix scripts/check.sh   # address, undefined, thread in turn
+#   SNOC_CHECK_LEVEL=2 scripts/check.sh     # per-round ledger audits everywhere
 #
-# Ends with an explicit pass over the interconnect/scenario labels — the
-# backend-parity and runner-determinism suites this repo's refactors rest
-# on — so a sanitizer run can target just them with CHECK_LABELS.
+# Ends with an explicit pass over the interconnect/scenario/check labels —
+# the backend-parity, runner-determinism and invariant-auditor suites this
+# repo's refactors rest on — so a sanitizer run can target just them with
+# CHECK_LABELS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZE="${SNOC_SANITIZE:-}"
-if [[ -n "${SANITIZE}" ]]; then
-    BUILD_DIR="build-${SANITIZE}"
-    CONFIGURE_ARGS=(-DSNOC_SANITIZE="${SANITIZE}")
+# Static analysis first: the determinism linter is fast and failing it
+# should not cost a build; clang-tidy rides along when installed (see
+# scripts/lint.sh — it skips gracefully when the compile database does
+# not exist yet, i.e. before the first configure).
+if [[ -f "${CHECK_BUILD_DIR:-build}/compile_commands.json" ]]; then
+    scripts/lint.sh "${CHECK_BUILD_DIR:-build}"
 else
-    BUILD_DIR="build"
-    CONFIGURE_ARGS=()
+    python3 scripts/lint_determinism.py
 fi
 
-JOBS="$(nproc 2>/dev/null || echo 4)"
+run_one() {
+    local sanitize="$1"
+    local build_dir configure_args=()
+    if [[ -n "${sanitize}" ]]; then
+        build_dir="build-${sanitize}"
+        configure_args+=(-DSNOC_SANITIZE="${sanitize}")
+    else
+        build_dir="build"
+    fi
+    if [[ -n "${SNOC_CHECK_LEVEL:-}" ]]; then
+        configure_args+=(-DSNOC_CHECK_LEVEL="${SNOC_CHECK_LEVEL}")
+    fi
 
-cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    "${CONFIGURE_ARGS[@]+"${CONFIGURE_ARGS[@]}"}"
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
+    local jobs
+    jobs="$(nproc 2>/dev/null || echo 4)"
 
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+    cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        "${configure_args[@]+"${configure_args[@]}"}"
+    cmake --build "${build_dir}" -j "${jobs}"
 
-# The unified-interconnect suites, runnable on their own via
-# CHECK_LABELS='interconnect|scenario' (the default below).
-LABELS="${CHECK_LABELS:-interconnect|scenario}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L "${LABELS}"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+    # The unified-interconnect + invariant-auditor suites, runnable on
+    # their own via CHECK_LABELS='interconnect|scenario|check' (default).
+    local labels="${CHECK_LABELS:-interconnect|scenario|check}"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L "${labels}"
+}
+
+SANITIZE="${SNOC_SANITIZE:-}"
+if [[ "${SANITIZE}" == "matrix" ]]; then
+    for s in address undefined thread; do
+        echo "== sanitizer: ${s} =="
+        run_one "${s}"
+    done
+else
+    run_one "${SANITIZE}"
+fi

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: determinism lint (always) + clang-tidy
+# (when installed; the container ships gcc only, CI installs clang-tidy).
+#
+#   scripts/lint.sh [build-dir]
+#
+# The build dir is only needed for clang-tidy (compile_commands.json);
+# configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== determinism lint =="
+python3 scripts/lint_determinism.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+        echo "clang-tidy: no ${BUILD_DIR}/compile_commands.json - configure first" >&2
+        exit 1
+    fi
+    echo "== clang-tidy =="
+    # First-party translation units only; checks come from .clang-tidy.
+    mapfile -t sources < <(find src bench examples -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -quiet -p "${BUILD_DIR}" "${sources[@]}"
+    else
+        clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}"
+    fi
+else
+    echo "clang-tidy not installed - skipping (CI runs it)" >&2
+fi
+
+echo "lint: OK"

@@ -1,0 +1,96 @@
+// The conservation ledger: every message copy the simulator ever makes,
+// bucketed by fate.  The paper's central claim — gossip delivers w.h.p.
+// despite drops from CRC failures, TTL expiry, buffer overflow and
+// crashed tiles — is only checkable if every copy's fate is accounted
+// for; a simulator bug that leaks or double-counts copies corrupts every
+// reproduced figure.  The ledger states the bookkeeping as two exact
+// balance laws over the engine's drop taxonomy (see NetworkMetrics):
+//
+//   wire law    every copy put on a link is, at any round boundary,
+//               exactly one of: still in flight, sunk into a crashed
+//               tile, dropped at the port (forced overflow or in-buffer
+//               capacity), killed by FEC/CRC, ignored as a duplicate,
+//               or accepted into a send buffer:
+//
+//                 transmitted == in_flight + crash_drops
+//                              + port_overflow_drops + fec_uncorrectable
+//                              + crc_drops + duplicates + accepted
+//
+//   buffer law  every copy that entered a send buffer (injected at the
+//               source or accepted off the wire) is exactly one of:
+//               garbage-collected at TTL 0, evicted on overflow, or
+//               still buffered:
+//
+//                 injected + accepted == ttl_expired + sendbuf_evictions
+//                                      + buffered
+//
+// GossipNetwork::ledger() fills one from live engine state; the
+// InvariantAuditor (src/check/invariant_auditor.hpp) verifies the laws
+// per round and at end of run.  Header-only and dependency-free so
+// snoc_core can build ledgers without linking the auditor library.
+//
+// Caveat: SendBuffer::clear() forgets copies without a fate and would
+// unbalance the buffer law; nothing in the engine calls it mid-run (it
+// exists for test fixtures).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace snoc::check {
+
+struct ConservationLedger {
+    // --- sources -----------------------------------------------------------
+    std::size_t injected{0};     ///< messages created by IP cores (inserted).
+    std::size_t transmitted{0};  ///< link transmissions (packets_sent).
+
+    // --- wire fates --------------------------------------------------------
+    std::size_t in_flight{0};           ///< enqueued, not yet received.
+    std::size_t crash_drops{0};         ///< received by a crashed tile: silence.
+    std::size_t port_overflow_drops{0}; ///< forced p_overflow + in-buffer capacity.
+    std::size_t fec_uncorrectable{0};   ///< multi-bit upsets SECDED cannot fix.
+    std::size_t crc_drops{0};           ///< scrambled packets the CRC caught.
+    std::size_t duplicates{0};          ///< re-received known messages.
+    std::size_t accepted{0};            ///< merged into a send buffer off the wire.
+
+    // --- buffer fates ------------------------------------------------------
+    std::size_t ttl_expired{0};       ///< garbage-collected at TTL 0.
+    std::size_t sendbuf_evictions{0}; ///< oldest-out overflow evictions.
+    std::size_t buffered{0};          ///< still held in some send buffer.
+
+    /// transmitted minus the sum of wire fates (0 when balanced; positive
+    /// means copies leaked, negative means copies were double-counted).
+    long long wire_imbalance() const {
+        return static_cast<long long>(transmitted) -
+               static_cast<long long>(in_flight + crash_drops + port_overflow_drops +
+                                      fec_uncorrectable + crc_drops + duplicates +
+                                      accepted);
+    }
+
+    /// (injected + accepted) minus the sum of buffer fates.
+    long long buffer_imbalance() const {
+        return static_cast<long long>(injected + accepted) -
+               static_cast<long long>(ttl_expired + sendbuf_evictions + buffered);
+    }
+
+    bool balanced() const { return wire_imbalance() == 0 && buffer_imbalance() == 0; }
+
+    std::string to_string() const {
+        return "ledger{injected=" + std::to_string(injected) +
+               " transmitted=" + std::to_string(transmitted) +
+               " in_flight=" + std::to_string(in_flight) +
+               " crash=" + std::to_string(crash_drops) +
+               " port_overflow=" + std::to_string(port_overflow_drops) +
+               " fec_unc=" + std::to_string(fec_uncorrectable) +
+               " crc=" + std::to_string(crc_drops) +
+               " dup=" + std::to_string(duplicates) +
+               " accepted=" + std::to_string(accepted) +
+               " ttl_expired=" + std::to_string(ttl_expired) +
+               " evictions=" + std::to_string(sendbuf_evictions) +
+               " buffered=" + std::to_string(buffered) +
+               " wire_imbalance=" + std::to_string(wire_imbalance()) +
+               " buffer_imbalance=" + std::to_string(buffer_imbalance()) + "}";
+    }
+};
+
+} // namespace snoc::check

@@ -2,10 +2,34 @@
 // (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations throw so
 // tests can assert on them and simulations fail loudly instead of
 // propagating garbage.
+//
+// Checks are *leveled* so the cost can be chosen per build
+// (-DSNOC_CHECK_LEVEL=<n> at configure time, see the cache variable in
+// the top-level CMakeLists.txt):
+//
+//   level 0  every check compiles out entirely — the perf build.  The
+//            condition still has to parse (if constexpr discards it), so
+//            checks cannot rot silently.
+//   level 1  (default) API contracts (SNOC_EXPECT / SNOC_ENSURE), the
+//            per-round hot-path protocol checks, and the adapters'
+//            end-of-run conservation self-audits (see src/check/).
+//   level 2  expensive per-round invariant sweeps — full-ledger audits
+//            on every gossip round even without an attached
+//            InvariantAuditor.  For debugging, not for figure runs.
+//
+// SNOC_CHECK(level, cond) is the general form; SNOC_EXPECT / SNOC_ENSURE
+// remain as the level-1 pre/postcondition spellings.  Hot-path checks
+// (anything executed per message per round) must use SNOC_CHECK so a
+// level-0 build really is check-free — the historical always-on macros
+// in per-round paths were the motivation for the levels.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+
+#ifndef SNOC_CHECK_LEVEL
+#define SNOC_CHECK_LEVEL 1
+#endif
 
 namespace snoc {
 
@@ -25,16 +49,31 @@ namespace detail {
 
 } // namespace snoc
 
-// Preconditions on function arguments / object state on entry.
-#define SNOC_EXPECT(cond)                                                         \
+// Leveled invariant check: active when the build's SNOC_CHECK_LEVEL is at
+// least `level`; discarded by `if constexpr` otherwise (the condition is
+// parsed but never evaluated, so a level-0 build pays nothing).
+#define SNOC_CHECK(level, cond)                                                   \
     do {                                                                          \
-        if (!(cond)) ::snoc::detail::contract_fail("precondition", #cond,         \
-                                                   __FILE__, __LINE__);           \
+        if constexpr (SNOC_CHECK_LEVEL >= (level)) {                              \
+            if (!(cond)) ::snoc::detail::contract_fail("invariant", #cond,        \
+                                                       __FILE__, __LINE__);       \
+        }                                                                         \
     } while (false)
 
-// Postconditions / invariants on exit.
+// Preconditions on function arguments / object state on entry (level 1).
+#define SNOC_EXPECT(cond)                                                         \
+    do {                                                                          \
+        if constexpr (SNOC_CHECK_LEVEL >= 1) {                                    \
+            if (!(cond)) ::snoc::detail::contract_fail("precondition", #cond,     \
+                                                       __FILE__, __LINE__);       \
+        }                                                                         \
+    } while (false)
+
+// Postconditions / invariants on exit (level 1).
 #define SNOC_ENSURE(cond)                                                         \
     do {                                                                          \
-        if (!(cond)) ::snoc::detail::contract_fail("postcondition", #cond,        \
-                                                   __FILE__, __LINE__);           \
+        if constexpr (SNOC_CHECK_LEVEL >= 1) {                                    \
+            if (!(cond)) ::snoc::detail::contract_fail("postcondition", #cond,    \
+                                                       __FILE__, __LINE__);       \
+        }                                                                         \
     } while (false)

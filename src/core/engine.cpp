@@ -198,6 +198,9 @@ void GossipNetwork::step() {
     metrics_.packets_per_round.push_back(packets_this_round_);
     ++round_;
     metrics_.rounds = round_;
+    // A level-2 build re-verifies the conservation laws after every round,
+    // even without an attached InvariantAuditor (compiled out otherwise).
+    SNOC_CHECK(2, ledger().balanced());
 }
 
 void GossipNetwork::receive_phase() {
@@ -210,7 +213,10 @@ void GossipNetwork::receive_phase() {
     arrivals_scratch_.clear();
     std::swap(arrivals_scratch_, bucket);
     for (auto& [dest, arrival] : arrivals_scratch_) {
-        if (crash_state_.dead_tiles[dest]) continue; // delivered into silence
+        if (crash_state_.dead_tiles[dest]) { // delivered into silence
+            ++metrics_.crash_drops;
+            continue;
+        }
         if (!tile_active_this_round(dest)) {
             // The destination's slower clock domain has not reached this
             // round yet; the packet waits in the port buffer.
@@ -222,6 +228,7 @@ void GossipNetwork::receive_phase() {
         // the packet never makes it out of the port buffer.
         if (injector_.overflow_drop()) {
             ++metrics_.overflow_drops;
+            ++metrics_.port_overflow_drops;
             trace(TraceEventKind::OverflowDrop, dest);
             continue;
         }
@@ -229,6 +236,7 @@ void GossipNetwork::receive_phase() {
         // in_buffer_capacity packets per round across its ports.
         if (tile.inbox_backlog >= config_.in_buffer_capacity) {
             ++metrics_.overflow_drops;
+            ++metrics_.port_overflow_drops;
             trace(TraceEventKind::OverflowDrop, dest);
             continue;
         }
@@ -283,7 +291,12 @@ void GossipNetwork::deliver_and_insert(TileId tile_id, Message message) {
     // The tile keeps relaying even when it is the destination: the rumor
     // lives until its TTL expires, which is what gives later tiles their
     // copies (Fig. 3-3: tiles 13-16 hear the message after the consumer).
-    if (message.ttl > 0) tile.send_buffer.insert(std::move(message));
+    // A received copy always carries TTL >= 1 (ageing strips zeros before
+    // forwarding), so the ledger counts every non-duplicate receive as
+    // accepted; if that ever stopped holding, the copy would vanish
+    // without a fate and the wire law would flag the leak.
+    if (message.ttl > 0 && tile.send_buffer.insert(std::move(message)))
+        ++metrics_.packets_accepted;
 }
 
 void GossipNetwork::compute_phase() {
@@ -454,6 +467,34 @@ std::size_t GossipNetwork::tiles_knowing(const MessageId& id) {
 const SendBuffer& GossipNetwork::send_buffer(TileId t) const {
     SNOC_EXPECT(t < tiles_.size());
     return tiles_[t].send_buffer;
+}
+
+std::size_t GossipNetwork::in_flight_packets() const {
+    std::size_t n = 0;
+    for (const auto& bucket : in_flight_) n += bucket.size();
+    return n;
+}
+
+check::ConservationLedger GossipNetwork::ledger() const {
+    check::ConservationLedger ledger;
+    ledger.injected = metrics_.messages_created;
+    ledger.transmitted = metrics_.packets_sent;
+    ledger.in_flight = in_flight_packets();
+    ledger.crash_drops = metrics_.crash_drops;
+    ledger.port_overflow_drops = metrics_.port_overflow_drops;
+    ledger.fec_uncorrectable = metrics_.fec_uncorrectable;
+    ledger.crc_drops = metrics_.crc_drops;
+    ledger.duplicates = metrics_.duplicates_ignored;
+    ledger.accepted = metrics_.packets_accepted;
+    ledger.ttl_expired = metrics_.ttl_expired;
+    // Read eviction counts straight off the buffers rather than from
+    // metrics_.overflow_drops: the metric folds eviction deltas in at the
+    // next age phase, so it can trail the buffers by part of a round.
+    for (const auto& tile : tiles_) {
+        ledger.sendbuf_evictions += tile.send_buffer.overflow_drops();
+        ledger.buffered += tile.send_buffer.size();
+    }
+    return ledger;
 }
 
 } // namespace snoc

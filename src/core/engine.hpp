@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/ledger.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/gossip_config.hpp"
@@ -115,6 +116,14 @@ public:
     /// the spread curve of Fig. 3-1.
     std::size_t tiles_knowing(const MessageId& id);
     const SendBuffer& send_buffer(TileId t) const;
+
+    /// Packets enqueued on links but not yet received (all ring buckets).
+    std::size_t in_flight_packets() const;
+
+    /// Snapshot the conservation ledger (check/ledger.hpp) from live
+    /// engine state.  Exact at any round boundary; the InvariantAuditor
+    /// verifies its two balance laws per round and at end of run.
+    check::ConservationLedger ledger() const;
 
 private:
     /// One packet in flight.  All clean transmissions of a message in a

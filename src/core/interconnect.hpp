@@ -32,6 +32,10 @@
 
 namespace snoc {
 
+namespace check {
+class InvariantAuditor;
+}
+
 /// The backends the factory in sim/backends.hpp can build.  Diversity
 /// architectures (Ch. 5) are gossip-backed and register through their own
 /// factory in diversity/architecture.hpp.
@@ -70,6 +74,9 @@ struct RunReport {
     double joules{0.0};           ///< wire energy (Eq. 3, Technology-weighted).
     std::uint64_t seed{0};        ///< seed this run was constructed from.
     std::size_t attempts{1};      ///< tries the retry policy spent (>= 1).
+    std::size_t audit_violations{0}; ///< invariant violations the attached
+                                     ///< auditor recorded during this run
+                                     ///< (0 when no auditor was attached).
     NetworkMetrics metrics{};     ///< full gossip counters, when applicable.
 };
 
@@ -90,6 +97,17 @@ public:
     /// (a trial owns its backend, exactly as the determinism contract of
     /// common/parallel.hpp requires).
     virtual RunReport run(const TrafficTrace& trace, Round limit) = 0;
+
+    /// Attach a runtime invariant auditor (src/check/).  The auditor is a
+    /// pure observer — adapters call into it at round boundaries and on
+    /// report emission, and stamp RunReport::audit_violations; attaching
+    /// one never changes simulation behaviour.  Not owned; must outlive
+    /// the runs it audits.  nullptr detaches.
+    void set_auditor(check::InvariantAuditor* auditor) { auditor_ = auditor; }
+    check::InvariantAuditor* auditor() const { return auditor_; }
+
+private:
+    check::InvariantAuditor* auditor_{nullptr};
 };
 
 } // namespace snoc

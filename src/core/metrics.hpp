@@ -19,6 +19,15 @@ struct NetworkMetrics {
     std::size_t upsets_undetected{0}; ///< corrupted packets the CRC missed.
     std::size_t overflow_drops{0};    ///< forced p_overflow + capacity drops.
     std::size_t ttl_expired{0};       ///< messages garbage-collected at TTL 0.
+    // Conservation-ledger taxonomy (see check/ledger.hpp): these three
+    // complete the per-copy fate accounting so the InvariantAuditor can
+    // verify injected == delivered + dropped(...) + in-flight exactly.
+    std::size_t crash_drops{0};         ///< transmissions sunk into dead tiles.
+    std::size_t port_overflow_drops{0}; ///< the receive-side slice of
+                                        ///< overflow_drops (the rest are
+                                        ///< send-buffer evictions).
+    std::size_t packets_accepted{0};    ///< wire copies merged into a send
+                                        ///< buffer (non-duplicate receives).
     std::size_t skew_deferrals{0};    ///< arrivals pushed a round by clock skew.
     std::size_t fec_corrected{0};     ///< SECDED words repaired at receivers.
     std::size_t fec_uncorrectable{0}; ///< packets lost to multi-bit upsets.

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "apps/trace_app.hpp"
+#include "check/invariant_auditor.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
@@ -25,7 +26,19 @@ GossipAdapter::GossipAdapter(GossipSpec spec, const FaultScenario& scenario,
 RunReport GossipAdapter::run_until(const std::function<bool()>& done, Round limit) {
     RunReport report;
     report.seed = seed_;
-    const auto r = net_.run_until(done, limit);
+    check::InvariantAuditor* aud = auditor();
+    const std::size_t audit_before = aud ? aud->violation_count() : 0;
+    if (aud) aud->begin_run("gossip seed=" + std::to_string(seed_));
+    // The auditor piggybacks on the completion predicate, which the engine
+    // evaluates at every round boundary — exactly where the conservation
+    // ledger is exact.
+    const auto r = aud ? net_.run_until(
+                             [&] {
+                                 aud->check_round(net_);
+                                 return done();
+                             },
+                             limit)
+                       : net_.run_until(done, limit);
     report.completed = r.completed;
     report.rounds = r.rounds;
     report.seconds = r.elapsed_seconds;
@@ -38,10 +51,19 @@ RunReport GossipAdapter::run_until(const std::function<bool()>& done, Round limi
     report.dropped = m.ttl_expired;
     report.joules = static_cast<double>(m.bits_sent) * spec_.tech.link_ebit_joules;
     report.metrics = m;
+    if (aud) {
+        aud->check_final(net_);
+        aud->check_report(report, kind());
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
+    // End-of-run conservation self-audit, auditor or not.
+    SNOC_CHECK(1, net_.ledger().balanced());
     return report;
 }
 
 RunReport GossipAdapter::run(const TrafficTrace& trace, Round limit) {
+    check::InvariantAuditor* aud = auditor();
+    const std::size_t audit_before = aud ? aud->violation_count() : 0;
     apps::TraceDriver driver(net_, trace);
     RunReport report =
         run_until([&driver] { return driver.complete(); }, limit);
@@ -51,6 +73,12 @@ RunReport GossipAdapter::run(const TrafficTrace& trace, Round limit) {
     report.messages = trace.message_count();
     report.deliveries = driver.delivered_messages();
     report.dropped = report.messages - std::min(report.deliveries, report.messages);
+    SNOC_CHECK(1, report.deliveries <= report.messages);
+    SNOC_CHECK(1, report.deliveries + report.dropped == report.messages);
+    if (aud) {
+        aud->check_report(report, kind(), &trace, limit);
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
     return report;
 }
 
@@ -67,7 +95,7 @@ BusAdapter::BusAdapter(BusSpec spec, const FaultScenario& scenario,
     }
 }
 
-RunReport BusAdapter::run(const TrafficTrace& trace, Round /*limit*/) {
+RunReport BusAdapter::run(const TrafficTrace& trace, Round limit) {
     const BusRunResult r = bus_.run(trace);
     RunReport report;
     report.seed = seed_;
@@ -79,6 +107,14 @@ RunReport BusAdapter::run(const TrafficTrace& trace, Round /*limit*/) {
     report.deliveries = r.completed ? r.transfers : 0;
     report.dropped = report.messages - report.deliveries;
     report.joules = r.joules;
+    SNOC_CHECK(1, report.deliveries <= report.messages);
+    SNOC_CHECK(1, report.deliveries + report.dropped == report.messages);
+    if (auto* aud = auditor()) {
+        const std::size_t audit_before = aud->violation_count();
+        aud->begin_run("bus seed=" + std::to_string(seed_));
+        aud->check_report(report, kind(), &trace, limit);
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
     return report;
 }
 
@@ -92,7 +128,7 @@ XyAdapter::XyAdapter(XySpec spec, const FaultScenario& scenario, std::uint64_t s
     crashes_ = injector.roll_crashes(spec_.mesh, spec_.protect);
 }
 
-RunReport XyAdapter::run(const TrafficTrace& trace, Round /*limit*/) {
+RunReport XyAdapter::run(const TrafficTrace& trace, Round limit) {
     const XyRunResult r = run_xy_trace(spec_.mesh, trace, crashes_);
     RunReport report;
     report.seed = seed_;
@@ -110,6 +146,17 @@ RunReport XyAdapter::run(const TrafficTrace& trace, Round /*limit*/) {
     report.seconds =
         static_cast<double>(r.rounds) * s_bits / spec_.tech.link_frequency_hz;
     report.joules = static_cast<double>(r.bits) * spec_.tech.link_ebit_joules;
+    SNOC_CHECK(1, report.deliveries <= report.messages);
+    SNOC_CHECK(1, report.deliveries + report.dropped == report.messages);
+    if (auto* aud = auditor()) {
+        const std::size_t audit_before = aud->violation_count();
+        aud->begin_run("xy seed=" + std::to_string(seed_));
+        // XY replays the whole trace analytically and does not honour a
+        // round budget, so the budget check is skipped (limit = 0).
+        aud->check_report(report, kind(), &trace, 0);
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
+    (void)limit;
     return report;
 }
 
@@ -162,6 +209,15 @@ RunReport WormholeAdapter::run(const TrafficTrace& trace, Round limit) {
     report.seconds = static_cast<double>(net.cycle()) * flit_bits /
                      spec_.tech.link_frequency_hz;
     report.joules = static_cast<double>(report.bits) * spec_.tech.link_ebit_joules;
+    SNOC_CHECK(1, report.deliveries <= report.messages);
+    SNOC_CHECK(1, report.deliveries + report.dropped == report.messages);
+    if (auto* aud = auditor()) {
+        const std::size_t audit_before = aud->violation_count();
+        aud->begin_run("wormhole seed=" + std::to_string(seed_));
+        aud->check_wormhole(net);
+        aud->check_report(report, kind(), &trace, limit);
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
     return report;
 }
 
@@ -217,6 +273,15 @@ RunReport DeflectionAdapter::run(const TrafficTrace& trace, Round limit) {
     report.seconds =
         static_cast<double>(net.cycle()) * s_bits / spec_.tech.link_frequency_hz;
     report.joules = static_cast<double>(report.bits) * spec_.tech.link_ebit_joules;
+    SNOC_CHECK(1, report.deliveries <= report.messages);
+    SNOC_CHECK(1, report.deliveries + report.dropped == report.messages);
+    if (auto* aud = auditor()) {
+        const std::size_t audit_before = aud->violation_count();
+        aud->begin_run("deflection seed=" + std::to_string(seed_));
+        aud->check_deflection(net);
+        aud->check_report(report, kind(), &trace, limit);
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
     return report;
 }
 

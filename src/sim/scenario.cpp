@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant_auditor.hpp"
 #include "common/expect.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
@@ -38,6 +39,7 @@ CellStats aggregate(const std::vector<RunReport>& reports) {
     std::size_t completed = 0;
     for (const RunReport& r : reports) {
         stats.attempts += r.attempts;
+        stats.audit_violations += r.audit_violations;
         if (!r.completed) continue;
         ++completed;
         rounds.add(static_cast<double>(r.rounds));
@@ -104,6 +106,11 @@ RunReport ScenarioRunner::run_trial(const SweepPoint& point,
         } else {
             auto backend = spec_.backend(point, seed);
             SNOC_ENSURE(backend != nullptr);
+            // Per-trial auditor: trials run in parallel, so the auditor
+            // must be private to this trial; its violation count lands in
+            // report.audit_violations (stamped by the adapter).
+            check::InvariantAuditor auditor;
+            if (spec_.audit) backend->set_auditor(&auditor);
             report = backend->run(spec_.trace(point), spec_.max_rounds);
         }
         report.seed = seed;

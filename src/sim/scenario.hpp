@@ -70,6 +70,9 @@ struct CellStats {
     double deliveries{0.0};
     double joules{0.0};
     std::size_t attempts{0}; ///< total attempts spent across all repeats.
+    /// Invariant violations recorded by per-trial auditors, summed over
+    /// every repeat (completed or not).  Stays 0 unless spec.audit is set.
+    std::size_t audit_violations{0};
 };
 
 CellStats aggregate(const std::vector<RunReport>& reports);
@@ -99,6 +102,13 @@ struct ExperimentSpec {
     std::uint64_t retry_seed_stride{100};
 
     std::size_t jobs{0}; ///< trial fan-out workers; 0 = default_jobs().
+
+    /// Attach a fresh InvariantAuditor to every backend-flavour trial
+    /// (each trial owns its own auditor, so parallel trials never share
+    /// one) and report violation counts through
+    /// RunReport::audit_violations / CellStats::audit_violations.  No-op
+    /// for the `trial` flavour, which owns its backend construction.
+    bool audit{false};
 
     /// Arbitrary trial body: must derive all randomness from `seed`.
     std::function<RunReport(const SweepPoint&, std::uint64_t seed)> trial;

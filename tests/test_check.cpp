@@ -1,0 +1,317 @@
+// The invariant auditor's own test suite (ctest label: check).
+//
+// Positive half: every backend, run under the auditor on the scenario
+// shapes the figures actually use (corner traffic, the Fig. 4-4 pi / FFT
+// deployments, the Fig. 4-6 tuned-TTL unicast, the Fig. 5-3 diversity
+// architectures), must produce zero violations — the conservation laws
+// hold on real runs, fault injection and all.
+//
+// Negative half: the auditor must *catch* what it claims to catch.  We
+// feed it a leaked ledger, an over-capacity buffer, a self-inconsistent
+// RunReport and tampered metrics, and assert each one is flagged — a
+// checker nobody has ever seen fail is not evidence of anything.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/trace_app.hpp"
+#include "bench_util.hpp"
+#include "check/invariant_auditor.hpp"
+#include "check/ledger.hpp"
+#include "common/expect.hpp"
+#include "diversity/architecture.hpp"
+#include "sim/backends.hpp"
+#include "sim/scenario.hpp"
+
+namespace snoc {
+namespace {
+
+TrafficTrace corner_trace() {
+    TrafficTrace trace;
+    TrafficPhase phase;
+    phase.messages.push_back({0, 24, 256});
+    phase.messages.push_back({4, 20, 256});
+    phase.messages.push_back({20, 4, 256});
+    phase.messages.push_back({24, 0, 256});
+    trace.phases.push_back(phase);
+    return trace;
+}
+
+// --- Positive: all five backends audit clean ---------------------------
+
+// Adapters with the trace endpoints protected, so crash scenarios stay
+// well-formed for every backend (deflection refuses dead sources).
+std::unique_ptr<Interconnect> make_protected(BackendKind kind,
+                                             const FaultScenario& scenario,
+                                             std::uint64_t seed) {
+    const std::vector<TileId> corners{0, 4, 20, 24};
+    switch (kind) {
+    case BackendKind::Gossip: {
+        GossipSpec spec;
+        spec.protect = corners;
+        return std::make_unique<GossipAdapter>(std::move(spec), scenario, seed);
+    }
+    case BackendKind::Bus:
+        return std::make_unique<BusAdapter>(BusSpec{}, scenario, seed);
+    case BackendKind::Xy: {
+        XySpec spec;
+        spec.protect = corners;
+        return std::make_unique<XyAdapter>(std::move(spec), scenario, seed);
+    }
+    case BackendKind::Wormhole: {
+        WormholeSpec spec;
+        spec.protect = corners;
+        return std::make_unique<WormholeAdapter>(std::move(spec), scenario, seed);
+    }
+    case BackendKind::Deflection: {
+        DeflectionSpec spec;
+        spec.protect = corners;
+        return std::make_unique<DeflectionAdapter>(std::move(spec), scenario,
+                                                   seed);
+    }
+    }
+    return nullptr;
+}
+
+TEST(AuditParity, AllBackendsCleanOnCornerTrace) {
+    const auto trace = corner_trace();
+    FaultScenario scenario;
+    scenario.p_tiles = 0.1;
+    scenario.p_upset = 0.01;
+    for (const BackendKind kind :
+         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
+          BackendKind::Wormhole, BackendKind::Deflection}) {
+        for (std::uint64_t seed = 0; seed < 3; ++seed) {
+            check::InvariantAuditor auditor;
+            auto backend = make_protected(kind, scenario, seed);
+            backend->set_auditor(&auditor);
+            const RunReport report = backend->run(trace, 3000);
+            EXPECT_TRUE(auditor.clean())
+                << to_string(kind) << " seed " << seed << ": "
+                << auditor.summary();
+            EXPECT_EQ(report.audit_violations, 0u)
+                << to_string(kind) << " seed " << seed;
+        }
+        // Fault-free flavour must complete and still audit clean.
+        check::InvariantAuditor auditor;
+        auto backend = make_interconnect(kind, FaultScenario::none(), 1);
+        backend->set_auditor(&auditor);
+        const RunReport report = backend->run(trace, 3000);
+        EXPECT_TRUE(report.completed) << to_string(kind);
+        EXPECT_TRUE(auditor.clean()) << to_string(kind) << ": "
+                                     << auditor.summary();
+    }
+}
+
+TEST(AuditParity, AuditingDoesNotChangeResults) {
+    const auto trace = corner_trace();
+    FaultScenario scenario;
+    scenario.p_tiles = 0.1;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        auto plain = make_interconnect(BackendKind::Gossip, scenario, seed);
+        const RunReport a = plain->run(trace, 1000);
+
+        check::InvariantAuditor auditor;
+        auto audited = make_interconnect(BackendKind::Gossip, scenario, seed);
+        audited->set_auditor(&auditor);
+        const RunReport b = audited->run(trace, 1000);
+
+        EXPECT_EQ(a.completed, b.completed) << seed;
+        EXPECT_EQ(a.rounds, b.rounds) << seed;
+        EXPECT_EQ(a.transmissions, b.transmissions) << seed;
+        EXPECT_EQ(a.bits, b.bits) << seed;
+        EXPECT_EQ(a.deliveries, b.deliveries) << seed;
+        EXPECT_TRUE(auditor.clean()) << auditor.summary();
+    }
+}
+
+// --- Positive: the figure workloads audit clean ------------------------
+
+// Fig. 4-4 shape: pi and FFT deployments under exact tile crashes plus
+// data upsets — the workload that exercises CRC drops, crash sinks, TTL
+// expiry and the drain all at once.
+TEST(AuditFigures, PiDeploymentWithFaults) {
+    FaultScenario scenario;
+    scenario.p_upset = 0.01;
+    scenario.p_overflow = 0.01;
+    check::InvariantAuditor auditor;
+    const RunReport r = bench::run_pi_once(bench::config_with_p(0.5),
+                                           scenario, /*exact_tile_crashes=*/2,
+                                           /*seed=*/3, true, 3000, false,
+                                           &auditor);
+    EXPECT_GT(auditor.rounds_audited(), 0u);
+    EXPECT_TRUE(auditor.clean()) << auditor.summary();
+    EXPECT_EQ(r.audit_violations, 0u);
+}
+
+TEST(AuditFigures, FftDeploymentWithFaults) {
+    FaultScenario scenario;
+    scenario.p_upset = 0.005;
+    scenario.sigma_synchr = 0.1;
+    check::InvariantAuditor auditor;
+    const RunReport r = bench::run_fft_once(bench::config_with_p(0.6),
+                                            scenario, /*exact_tile_crashes=*/1,
+                                            /*seed=*/5, 3000, &auditor);
+    EXPECT_GT(auditor.rounds_audited(), 0u);
+    EXPECT_TRUE(auditor.clean()) << auditor.summary();
+    EXPECT_EQ(r.audit_violations, 0u);
+}
+
+// Fig. 4-6 shape: tuned (short) TTL, stop-spread-on-delivery, direct
+// addressing — the configuration where rumors die young and the
+// stop-spread GC path is hot.
+TEST(AuditFigures, TunedTtlUnicast) {
+    auto config = bench::config_with_p(0.5, /*ttl=*/8);
+    config.stop_spread_on_delivery = true;
+    check::InvariantAuditor auditor;
+    (void)bench::run_pi_once(config, FaultScenario::none(), 0, /*seed=*/1,
+                             /*duplicate_slaves=*/false, 3000,
+                             /*direct_addressing=*/true, &auditor);
+    EXPECT_GT(auditor.rounds_audited(), 0u);
+    EXPECT_TRUE(auditor.clean()) << auditor.summary();
+}
+
+// Fig. 5-3 shape: the diversity architectures through ScenarioRunner's
+// declarative audit flag — per-trial auditors, violations aggregated.
+TEST(AuditFigures, DiversityArchitecturesViaScenarioRunner) {
+    constexpr diversity::ArchitectureKind kKinds[] = {
+        diversity::ArchitectureKind::FlatNoc,
+        diversity::ArchitectureKind::HierarchicalNoc,
+        diversity::ArchitectureKind::CentralRouterMesh,
+        diversity::ArchitectureKind::BusConnectedNocs};
+    ExperimentSpec spec;
+    spec.name = "check fig5_3";
+    spec.axes = {{"arch", {0, 1, 2, 3}}};
+    spec.repeats = 1;
+    spec.max_rounds = 20000;
+    spec.audit = true;
+    spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
+        return diversity::make_interconnect(kKinds[pt.index_of("arch")],
+                                            bench::config_with_p(0.75, 40),
+                                            FaultScenario::none(), seed);
+    };
+    spec.trace = [&](const SweepPoint& pt) {
+        const auto arch =
+            diversity::make_architecture(kKinds[pt.index_of("arch")]);
+        return diversity::beamforming_trace_for(arch, /*frames=*/2);
+    };
+    const auto cells = ScenarioRunner(spec).run();
+    ASSERT_EQ(cells.size(), 4u);
+    for (const CellResult& cell : cells) {
+        EXPECT_EQ(cell.stats.audit_violations, 0u) << cell.point.label();
+        for (const RunReport& r : cell.reports)
+            EXPECT_EQ(r.audit_violations, 0u) << cell.point.label();
+    }
+}
+
+TEST(AuditFigures, ScenarioRunnerAuditFlagCoversRetries) {
+    ExperimentSpec spec;
+    spec.name = "check gossip sweep";
+    spec.axes = {{"p", {0.3, 0.6}}};
+    spec.repeats = 2;
+    spec.max_attempts = 3;
+    spec.audit = true;
+    spec.backend = [](const SweepPoint& pt, std::uint64_t seed) {
+        GossipSpec g;
+        g.config = bench::config_with_p(pt.value("p"), /*ttl=*/12);
+        return std::make_unique<GossipAdapter>(std::move(g),
+                                               FaultScenario::none(), seed);
+    };
+    spec.trace = [](const SweepPoint&) { return corner_trace(); };
+    for (const CellResult& cell : ScenarioRunner(spec).run())
+        EXPECT_EQ(cell.stats.audit_violations, 0u) << cell.point.label();
+}
+
+// --- Negative: the auditor detects what it claims to -------------------
+
+TEST(AuditDetects, LeakedWireCopy) {
+    // A real run's ledger, then a copy leaks: one transmitted packet
+    // vanishes without a recorded fate.
+    GossipNetwork net(Topology::mesh(5, 5), bench::config_with_p(0.5),
+                      FaultScenario::none(), 11);
+    apps::TraceDriver driver(net, corner_trace());
+    (void)net.run_until([&driver] { return driver.complete(); }, 500);
+    check::ConservationLedger ledger = net.ledger();
+    EXPECT_TRUE(ledger.balanced());
+    ledger.accepted -= 1; // the leak: an accepted copy unaccounted for.
+
+    check::InvariantAuditor auditor;
+    auditor.check_conservation(ledger);
+    ASSERT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations().front().invariant, "wire-conservation");
+    EXPECT_THROW(auditor.throw_if_dirty(), ContractViolation);
+}
+
+TEST(AuditDetects, BufferLeak) {
+    check::ConservationLedger ledger;
+    ledger.injected = 10;
+    ledger.transmitted = 5; // wire law balanced: all 5 accepted.
+    ledger.accepted = 5;
+    ledger.ttl_expired = 9;
+    ledger.buffered = 4; // 15 in, 13 accounted: two copies leaked.
+    check::InvariantAuditor auditor;
+    auditor.check_conservation(ledger);
+    ASSERT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations().front().invariant, "buffer-conservation");
+}
+
+TEST(AuditDetects, BufferOverrun) {
+    check::InvariantAuditor auditor;
+    auditor.check_occupancy(/*tile=*/7, /*size=*/9, /*capacity=*/8);
+    ASSERT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations().front().invariant, "occupancy");
+    auditor.reset();
+    auditor.check_occupancy(7, 8, 8); // at capacity is legal.
+    EXPECT_TRUE(auditor.clean());
+}
+
+TEST(AuditDetects, InconsistentRunReport) {
+    const auto trace = corner_trace();
+    RunReport report;
+    report.messages = trace.message_count();
+    report.deliveries = report.messages + 1; // more delivered than offered.
+    report.dropped = 0;
+    report.completed = true;
+    check::InvariantAuditor auditor;
+    auditor.check_report(report, BackendKind::Xy, &trace, 0);
+    EXPECT_FALSE(auditor.clean());
+
+    auditor.reset();
+    RunReport budget;
+    budget.messages = trace.message_count();
+    budget.deliveries = budget.messages;
+    budget.rounds = 501; // over the budget it was given.
+    budget.completed = true;
+    auditor.check_report(budget, BackendKind::Wormhole, &trace, 500);
+    ASSERT_FALSE(auditor.clean());
+    EXPECT_EQ(auditor.violations().front().invariant, "report-budget");
+}
+
+TEST(AuditDetects, TamperedMetricsHistograms) {
+    GossipNetwork net(Topology::mesh(5, 5), bench::config_with_p(0.5),
+                      FaultScenario::none(), 2);
+    apps::TraceDriver driver(net, corner_trace());
+    (void)net.run_until([&driver] { return driver.complete(); }, 500);
+
+    NetworkMetrics tampered = net.metrics();
+    tampered.packets_sent += 1; // per-link histogram no longer sums up.
+    check::InvariantAuditor auditor;
+    auditor.check_metrics(tampered, /*include_round_histogram=*/true);
+    EXPECT_FALSE(auditor.clean()) << "histogram tamper went unnoticed";
+}
+
+TEST(AuditDetects, SummaryNamesTheBrokenInvariant) {
+    check::InvariantAuditor auditor;
+    auditor.begin_run("negative");
+    auditor.check_occupancy(3, 10, 4);
+    const std::string s = auditor.summary();
+    EXPECT_NE(s.find("occupancy"), std::string::npos) << s;
+    EXPECT_NE(s.find("negative"), std::string::npos) << s;
+    EXPECT_EQ(auditor.violation_count(), 1u);
+    auditor.reset();
+    EXPECT_TRUE(auditor.clean());
+    EXPECT_EQ(auditor.violation_count(), 0u);
+}
+
+} // namespace
+} // namespace snoc
