@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     xy_spec.repeats = opt.repeats;
     xy_spec.base_seed = opt.seed;
     xy_spec.jobs = opt.jobs;
+    xy_spec.telemetry = bench::tag_telemetry(opt.telemetry, "_xy");
     xy_spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
         return std::make_unique<XyAdapter>(XySpec{mesh, endpoints},
                                            scenario_for(pt.value("p_tiles")), seed);
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
     gossip_spec.base_seed = opt.seed;
     gossip_spec.jobs = opt.jobs;
     gossip_spec.max_rounds = 1000;
+    gossip_spec.telemetry = bench::tag_telemetry(opt.telemetry, "_gossip");
     gossip_spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
         GossipSpec spec;
         spec.topology = mesh;

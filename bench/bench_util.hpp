@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,12 +26,40 @@
 #include "energy/energy.hpp"
 #include "sim/backends.hpp"
 #include "sim/scenario.hpp"
+#include "telemetry/prof.hpp"
 
 namespace snoc::bench {
 
-/// Parse the uniform bench flag set (--csv/--json/--repeats/--jobs/--seed).
+/// Parse the uniform bench flag set (--csv/--json/--repeats/--jobs/--seed
+/// plus the telemetry exports and --prof).  --prof arms the SNOC_PROF
+/// wall-clock scopes and prints the merged per-phase profile to stderr at
+/// exit — the hook lives here rather than in cli.cpp because snoc_common
+/// sits below the telemetry layer.
 inline BenchOptions options(int argc, char** argv, std::size_t default_repeats = 1) {
-    return parse_bench_options(argc, argv, default_repeats);
+    BenchOptions parsed = parse_bench_options(argc, argv, default_repeats);
+    if (parsed.prof) {
+        prof::set_enabled(true);
+        std::atexit([] { std::cerr << prof::report(); });
+    }
+    return parsed;
+}
+
+/// Insert a tag before each export path's extension ("run.jsonl" ->
+/// "run_fft.jsonl") — benches that run several sweeps off one flag set use
+/// this to keep the sweeps' artifacts apart.
+inline TelemetryOptions tag_telemetry(const TelemetryOptions& options,
+                                      const std::string& tag) {
+    const auto add = [&tag](std::string path) {
+        if (path.empty()) return path;
+        const auto dot = path.find_last_of('.');
+        if (dot == std::string::npos) return path + tag;
+        return path.substr(0, dot) + tag + path.substr(dot);
+    };
+    TelemetryOptions out = options;
+    out.trace_jsonl_out = add(out.trace_jsonl_out);
+    out.chrome_out = add(out.chrome_out);
+    out.heatmap_out = add(out.heatmap_out);
+    return out;
 }
 
 inline void emit(const Table& table, const BenchOptions& options,
@@ -60,7 +89,8 @@ inline RunReport run_pi_once(const GossipConfig& config, const FaultScenario& sc
                              std::size_t exact_tile_crashes, std::uint64_t seed,
                              bool duplicate_slaves = true, Round max_rounds = 3000,
                              bool direct_addressing = false,
-                             check::InvariantAuditor* auditor = nullptr) {
+                             check::InvariantAuditor* auditor = nullptr,
+                             TraceSink* sink = nullptr) {
     GossipSpec spec;
     spec.topology = Topology::mesh(5, 5);
     spec.config = config;
@@ -68,6 +98,7 @@ inline RunReport run_pi_once(const GossipConfig& config, const FaultScenario& sc
     spec.drain = true;
     GossipAdapter net(std::move(spec), scenario, seed);
     net.set_auditor(auditor);
+    net.set_trace_sink(sink);
     apps::PiDeployment d;
     d.duplicate_slaves = duplicate_slaves;
     d.direct_addressing = direct_addressing;
@@ -85,7 +116,8 @@ inline RunReport run_pi_once(const GossipConfig& config, const FaultScenario& sc
 inline RunReport run_fft_once(const GossipConfig& config, const FaultScenario& scenario,
                               std::size_t exact_tile_crashes, std::uint64_t seed,
                               Round max_rounds = 3000,
-                              check::InvariantAuditor* auditor = nullptr) {
+                              check::InvariantAuditor* auditor = nullptr,
+                              TraceSink* sink = nullptr) {
     GossipSpec spec;
     spec.topology = Topology::mesh(4, 4);
     spec.config = config;
@@ -93,6 +125,7 @@ inline RunReport run_fft_once(const GossipConfig& config, const FaultScenario& s
     spec.drain = true;
     GossipAdapter net(std::move(spec), scenario, seed);
     net.set_auditor(auditor);
+    net.set_trace_sink(sink);
     apps::FftDeployment d;
     d.duplicate_workers = true;
     auto& root = apps::deploy_fft2d(net.network(), d, seed + 1);

@@ -46,5 +46,35 @@ int main(int argc, char** argv) {
               << " (paper: < 20)\n";
     std::cout << "Pittel S_n = log2(n) + ln(n) = "
               << format_number(analytic::pittel_rounds(kNodes), 2) << " rounds\n";
+
+    // The figure itself is analytic (no engine, nothing to trace), so the
+    // telemetry flags run a seeded engine-backed companion: the same
+    // one-source rumor spreading, realised as a tile-0 scatter on a 5x5
+    // gossip mesh.  This is the small traced run CI exercises.
+    if (opt.telemetry.enabled()) {
+        ExperimentSpec spec;
+        spec.name = "fig3_1 traced companion";
+        spec.base_seed = opt.seed;
+        spec.jobs = 1;
+        spec.telemetry = opt.telemetry;
+        spec.backend = [](const SweepPoint&, std::uint64_t seed) {
+            GossipSpec gs;
+            gs.config = bench::config_with_p(0.5, 12);
+            gs.drain = true;
+            return std::make_unique<GossipAdapter>(std::move(gs),
+                                                   FaultScenario::none(), seed);
+        };
+        spec.trace = [](const SweepPoint&) {
+            TrafficTrace trace;
+            TrafficPhase phase;
+            for (TileId t = 1; t < 25; ++t)
+                phase.messages.push_back({0, t, 256});
+            trace.phases.push_back(std::move(phase));
+            return trace;
+        };
+        const auto traced = ScenarioRunner(std::move(spec)).run();
+        bench::emit(ScenarioRunner::telemetry_table(traced), opt,
+                    "Fig. 3-1 traced companion (tile-0 scatter, 5x5 gossip)");
+    }
     return all_reached < 20 ? 0 : 1;
 }

@@ -29,13 +29,17 @@ int main(int argc, char** argv) {
         spec.repeats = opt.repeats;
         spec.base_seed = opt.seed;
         spec.jobs = opt.jobs;
-        spec.trial = [is_fft](const SweepPoint& pt, std::uint64_t seed) {
+        // The app passes share one flag set; tag their artifacts apart.
+        spec.telemetry = bench::tag_telemetry(opt.telemetry, is_fft ? "_fft" : "_pi");
+        spec.traced_trial = [is_fft](const SweepPoint& pt, std::uint64_t seed,
+                                     TraceSink* sink) {
             const auto config = bench::config_with_p(pt.value("p"), 30);
             const auto crashes = static_cast<std::size_t>(pt.value("crashes"));
             return is_fft ? bench::run_fft_once(config, FaultScenario::none(),
-                                                crashes, seed)
+                                                crashes, seed, 3000, nullptr, sink)
                           : bench::run_pi_once(config, FaultScenario::none(),
-                                               crashes, seed);
+                                               crashes, seed, true, 3000, false,
+                                               nullptr, sink);
         };
         const auto cells = ScenarioRunner(spec).run();
 

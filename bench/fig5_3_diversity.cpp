@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     spec.base_seed = opt.seed;
     spec.jobs = opt.jobs;
     spec.max_rounds = 20000;
+    spec.telemetry = opt.telemetry;
     spec.backend = [&](const SweepPoint& pt, std::uint64_t seed) {
         return diversity::make_interconnect(kKinds[pt.index_of("arch")],
                                             bench::config_with_p(0.75, 40),

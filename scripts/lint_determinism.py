@@ -17,6 +17,12 @@ src/ and bench/ for the known offenders:
     * std::unordered_map / std::unordered_set members or locals - each
       declaration must appear in scripts/determinism_allowlist.txt with a
       one-line justification (membership/lookup-only, never iterated, ...)
+    * chrono clock reads (steady_clock / system_clock /
+      high_resolution_clock) - wall time must never feed a sim-visible
+      value, but *measuring the simulator itself* (SNOC_PROF scopes, bench
+      harness timing) is legitimate; each file doing so must carry a
+      `relpath:wall_clock` allowlist entry justifying that the readings
+      only ever flow into reports, never into simulation state
 
   hard errors derived from the above:
     * range-for iteration over an identifier that was declared unordered
@@ -34,7 +40,7 @@ import re
 import sys
 from pathlib import Path
 
-SCAN_DIRS = ("src", "bench")
+SCAN_DIRS = ("src", "bench", "tools")
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 
 # (regex, message) pairs that are always errors in simulator code.
@@ -51,6 +57,11 @@ HARD_PATTERNS = [
 # seeds the member in its initializer list - allowlistable for that case.
 MT19937_DECL = re.compile(
     r"\bmt19937(?:_64)?\s+(\w+)\s*;|\bmt19937(?:_64)?\s*\(\s*\)")
+
+# Chrono clock reads: allowlistable per file (key `relpath:wall_clock`)
+# for code that times the simulator itself rather than the simulation.
+CHRONO_CLOCK = re.compile(
+    r"\bstd::chrono::(?:steady|system|high_resolution)_clock\b")
 
 UNORDERED_DECL = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;=]*?>\s*(\w+)\s*[;{(]")
@@ -145,6 +156,14 @@ def lint_file(path: Path, rel: str, allow: set[str]) -> list[str]:
                     f"{rel}:{lineno}: error: default-constructed mt19937 '{name}': "
                     f"unseeded PRNG; seed it from the trial seed (or allowlist "
                     f"'{key}' if the constructor's initializer list seeds it)")
+        if CHRONO_CLOCK.search(line):
+            key = f"{rel}:wall_clock"
+            if key not in allow:
+                problems.append(
+                    f"{rel}:{lineno}: error: chrono clock read: wall time in "
+                    f"simulator code; if this only ever measures the simulator "
+                    f"(profiling/benchmark harness) and never feeds simulation "
+                    f"state, allowlist '{key}' with that justification")
         for m in UNORDERED_DECL.finditer(line):
             name = m.group(1)
             unordered_names.add(name)

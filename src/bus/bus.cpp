@@ -7,6 +7,22 @@
 
 namespace snoc {
 
+namespace {
+
+void emit(TraceSink* sink, Round round, TraceEventKind kind, TileId tile,
+          TileId peer, MessageId id) {
+    if (!sink) return;
+    TraceEvent event;
+    event.round = round;
+    event.kind = kind;
+    event.tile = tile;
+    event.peer = peer;
+    event.message = id;
+    sink->record(event);
+}
+
+} // namespace
+
 SharedBus::SharedBus(std::size_t modules, Technology tech)
     : modules_(modules), tech_(tech) {
     SNOC_EXPECT(modules > 0);
@@ -15,16 +31,39 @@ SharedBus::SharedBus(std::size_t modules, Technology tech)
 
 BusRunResult SharedBus::run(const TrafficTrace& trace) {
     BusRunResult result;
-    if (!alive_) return result; // completed == false
+    // Message ids for tracing: origin = source module, sequence = that
+    // module's injection count, mirroring the gossip engine's scheme.
+    std::vector<std::uint32_t> next_sequence(modules_, 0);
+    if (!alive_) {
+        // completed == false; every offered message sinks into the dead
+        // medium (the single point of failure made visible in the trace).
+        for (std::size_t p = 0; p < trace.phases.size(); ++p) {
+            for (const auto& m : trace.phases[p].messages) {
+                const MessageId id{m.src, next_sequence[m.src]++};
+                const auto round = static_cast<Round>(p);
+                emit(trace_, round, TraceEventKind::MessageCreated, m.src,
+                     kNoTile, id);
+                emit(trace_, round, TraceEventKind::CrashDrop, m.src, kNoTile,
+                     id);
+            }
+        }
+        return result;
+    }
 
     RoundRobinArbiter arbiter(modules_);
-    for (const auto& phase : trace.phases) {
+    for (std::size_t p = 0; p < trace.phases.size(); ++p) {
+        const auto& phase = trace.phases[p];
+        const auto round = static_cast<Round>(p);
         // Per-module FIFO of pending transfers for this phase.
-        std::vector<std::deque<const LogicalMessage*>> pending(modules_);
+        std::vector<std::deque<std::pair<const LogicalMessage*, MessageId>>>
+            pending(modules_);
         std::size_t remaining = 0;
         for (const auto& m : phase.messages) {
             SNOC_EXPECT(m.src < modules_);
-            pending[m.src].push_back(&m);
+            const MessageId id{m.src, next_sequence[m.src]++};
+            pending[m.src].emplace_back(&m, id);
+            emit(trace_, round, TraceEventKind::MessageCreated, m.src, kNoTile,
+                 id);
             ++remaining;
         }
         std::vector<std::size_t> waited(modules_, 0);
@@ -34,13 +73,15 @@ BusRunResult SharedBus::run(const TrafficTrace& trace) {
                 requests[i] = !pending[i].empty();
             const auto winner = arbiter.grant(requests);
             SNOC_EXPECT(winner.has_value());
-            const LogicalMessage* m = pending[*winner].front();
+            const auto [m, id] = pending[*winner].front();
             pending[*winner].pop_front();
             --remaining;
 
             result.seconds += static_cast<double>(m->bits) / tech_.bus_frequency_hz;
             result.bits += m->bits;
             ++result.transfers;
+            emit(trace_, round, TraceEventKind::Transmitted, m->src, m->dst, id);
+            emit(trace_, round, TraceEventKind::Delivered, m->dst, kNoTile, id);
             for (std::size_t i = 0; i < modules_; ++i)
                 if (i != *winner && requests[i]) ++waited[i];
         }

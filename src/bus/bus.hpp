@@ -15,6 +15,7 @@
 #include "bus/arbiter.hpp"
 #include "energy/energy.hpp"
 #include "noc/traffic.hpp"
+#include "sim/trace.hpp"
 
 namespace snoc {
 
@@ -39,10 +40,16 @@ public:
     /// Execute a traffic trace; per-phase barrier, arbitrated serial order.
     BusRunResult run(const TrafficTrace& trace);
 
+    /// Attach a flight recorder (not owned; nullptr detaches).  Events use
+    /// the phase index as the round and synthesize per-source message ids;
+    /// a crashed bus reports every message as created then crash-dropped.
+    void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
 private:
     std::size_t modules_;
     Technology tech_;
     bool alive_{true};
+    TraceSink* trace_{nullptr};
 };
 
 } // namespace snoc

@@ -21,6 +21,18 @@ void Network::apply_crashes(const CrashState& crashes) {
     dead_ = crashes.dead_tiles;
 }
 
+void Network::trace_event(TraceEventKind kind, TileId tile, TileId peer,
+                          const PacketRecord& rec) {
+    if (!trace_) return;
+    TraceEvent event;
+    event.round = static_cast<Round>(cycle_);
+    event.kind = kind;
+    event.tile = tile;
+    event.peer = peer;
+    event.message = MessageId{rec.source, rec.id};
+    trace_->record(event);
+}
+
 std::uint32_t Network::inject(TileId source, TileId destination) {
     SNOC_EXPECT(source < topo_.node_count());
     SNOC_EXPECT(destination < topo_.node_count());
@@ -30,6 +42,7 @@ std::uint32_t Network::inject(TileId source, TileId destination) {
     records_.push_back(PacketRecord{id, source, destination, cycle_, std::nullopt,
                                     0, false});
     flying_.push_back({id, source});
+    trace_event(TraceEventKind::MessageCreated, source, kNoTile, records_.back());
     return id;
 }
 
@@ -80,6 +93,7 @@ void Network::step() {
                 if (rec.hops >= config_.max_hops) {
                     rec.dropped = true;
                     ++dropped_;
+                    trace_event(TraceEventKind::TtlExpired, tile, kNoTile, rec);
                 } else {
                     next.push_back({flying_[idx].id, tile});
                 }
@@ -88,14 +102,17 @@ void Network::step() {
             port_used[*chosen] = true;
             const TileId to = nbrs[*chosen];
             ++rec.hops;
+            trace_event(TraceEventKind::Transmitted, tile, to, rec);
             if (to == rec.destination) {
                 rec.delivered_cycle = cycle_;
                 latencies_.add(static_cast<double>(cycle_ - rec.injected_cycle + 1));
                 hops_.add(static_cast<double>(rec.hops));
                 ++delivered_;
+                trace_event(TraceEventKind::Delivered, to, kNoTile, rec);
             } else if (rec.hops >= config_.max_hops) {
                 rec.dropped = true; // livelock guard
                 ++dropped_;
+                trace_event(TraceEventKind::TtlExpired, to, kNoTile, rec);
             } else {
                 next.push_back({flying_[idx].id, to});
             }

@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "noc/topology.hpp"
+#include "sim/trace.hpp"
 
 namespace snoc::deflection {
 
@@ -56,6 +57,12 @@ public:
     const SampleSet& latencies() const { return latencies_; }
     const SampleSet& hop_counts() const { return hops_; }
 
+    /// Attach a flight recorder (not owned; nullptr detaches).  Rounds are
+    /// cycles; one Transmitted per link traversal (a walled-in stall burns
+    /// hop budget without one), Delivered on arrival, TtlExpired when the
+    /// hop budget — deflection's TTL analogue — runs out.
+    void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
 private:
     struct Moving {
         std::uint32_t id{0};
@@ -73,6 +80,10 @@ private:
     std::size_t dropped_{0};
     SampleSet latencies_;
     SampleSet hops_;
+    TraceSink* trace_{nullptr};
+
+    void trace_event(TraceEventKind kind, TileId tile, TileId peer,
+                     const PacketRecord& rec);
 };
 
 } // namespace snoc::deflection

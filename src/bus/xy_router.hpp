@@ -11,6 +11,7 @@
 #include "fault/injector.hpp"
 #include "noc/topology.hpp"
 #include "noc/traffic.hpp"
+#include "sim/trace.hpp"
 
 namespace snoc {
 
@@ -27,7 +28,11 @@ struct XyRunResult {
 
 /// Realise a trace on an XY-routed mesh with a fixed crash pattern.
 /// Messages are independent; a phase costs its longest surviving path.
+/// When `sink` is attached, each message emits MessageCreated and either
+/// per-hop Transmitted + Delivered (surviving path) or a single CrashDrop
+/// at the first dead tile/link — lost paths emit no Transmitted events,
+/// mirroring XyRunResult::hops, which only counts delivered paths.
 XyRunResult run_xy_trace(const Topology& mesh, const TrafficTrace& trace,
-                         const CrashState& crashes);
+                         const CrashState& crashes, TraceSink* sink = nullptr);
 
 } // namespace snoc

@@ -80,6 +80,13 @@ BenchOptions parse_bench_options(const CliArgs& args, std::size_t default_repeat
         repeats > 0 ? static_cast<std::size_t>(repeats) : default_repeats;
     options.jobs = resolve_jobs(args);
     options.seed = args.get_u64("seed", 0);
+    options.telemetry.trace_jsonl_out = args.get_string("trace-out", "");
+    options.telemetry.chrome_out = args.get_string("chrome-out", "");
+    options.telemetry.heatmap_out = args.get_string("heatmap-out", "");
+    options.telemetry.manifest = args.has("manifest");
+    options.telemetry.grid_width =
+        static_cast<std::size_t>(args.get_u64("grid-width", 0));
+    options.prof = args.has("prof");
     return options;
 }
 

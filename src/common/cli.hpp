@@ -48,9 +48,29 @@ private:
 /// hardware concurrency.  Always >= 1; `--jobs 1` forces serial runs.
 std::size_t resolve_jobs(const CliArgs& args);
 
+/// Telemetry export destinations (plain paths — this lives below the
+/// telemetry layer so BenchOptions and ExperimentSpec can carry it
+/// without a layering inversion).  Empty path = that exporter is off;
+/// with everything off, tracing never attaches a sink and costs nothing.
+struct TelemetryOptions {
+    std::string trace_jsonl_out; ///< --trace-out: JSONL event dump.
+    std::string chrome_out;      ///< --chrome-out: Chrome trace_event JSON.
+    std::string heatmap_out;     ///< --heatmap-out: per-tile CSV (+ .links.csv).
+    bool manifest{false};        ///< --manifest: write run manifests next to
+                                 ///< every exported artifact.
+    std::size_t grid_width{0};   ///< --grid-width: adds x,y heatmap columns.
+
+    bool enabled() const {
+        return !trace_jsonl_out.empty() || !chrome_out.empty() ||
+               !heatmap_out.empty();
+    }
+};
+
 /// The uniform flag set every bench binary accepts, parsed in exactly one
 /// place: --csv | --json (table output format), --repeats=N, --jobs=N,
-/// --seed=N.  Benches with extra flags construct CliArgs themselves and
+/// --seed=N, plus the telemetry/profiling flags (--trace-out=PATH,
+/// --chrome-out=PATH, --heatmap-out=PATH, --grid-width=N, --manifest,
+/// --prof).  Benches with extra flags construct CliArgs themselves and
 /// call the CliArgs overload.
 struct BenchOptions {
     bool csv{false};
@@ -58,6 +78,8 @@ struct BenchOptions {
     std::size_t repeats{1};   ///< --repeats, else the bench's default (> 0).
     std::size_t jobs{1};      ///< resolved worker count (resolve_jobs).
     std::uint64_t seed{0};    ///< --seed base seed for the sweep.
+    TelemetryOptions telemetry; ///< export destinations, off by default.
+    bool prof{false};         ///< --prof: simulator wall-clock profile report.
 };
 
 BenchOptions parse_bench_options(const CliArgs& args, std::size_t default_repeats);

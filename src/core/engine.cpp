@@ -5,6 +5,7 @@
 
 #include "common/expect.hpp"
 #include "noc/fec.hpp"
+#include "telemetry/prof.hpp"
 
 namespace snoc {
 
@@ -28,9 +29,12 @@ public:
         m.ttl = ttl_override != 0 ? ttl_override : net_.config_.default_ttl;
         m.payload = std::move(payload);
         const MessageId id = m.id;
-        if (t.send_buffer.insert(std::move(m))) {
+        MessageId evicted{kNoTile, 0};
+        if (t.send_buffer.insert(std::move(m), net_.trace_ ? &evicted : nullptr)) {
             ++net_.metrics_.messages_created;
             net_.trace(TraceEventKind::MessageCreated, tile_, kNoTile, id);
+            if (evicted.origin != kNoTile)
+                net_.trace(TraceEventKind::BufferEvicted, tile_, kNoTile, evicted);
         }
     }
 
@@ -45,9 +49,12 @@ public:
         m.tag = tag;
         m.ttl = ttl_override != 0 ? ttl_override : net_.config_.default_ttl;
         m.payload = std::move(payload);
-        if (t.send_buffer.insert(std::move(m))) {
+        MessageId evicted{kNoTile, 0};
+        if (t.send_buffer.insert(std::move(m), net_.trace_ ? &evicted : nullptr)) {
             ++net_.metrics_.messages_created;
             net_.trace(TraceEventKind::MessageCreated, tile_, kNoTile, id);
+            if (evicted.origin != kNoTile)
+                net_.trace(TraceEventKind::BufferEvicted, tile_, kNoTile, evicted);
         }
     }
 
@@ -190,10 +197,22 @@ void GossipNetwork::step() {
     // after ageing so freshly created messages are not aged in their own
     // creation round.  A copy therefore carries a strictly smaller TTL at
     // every hop and every rumor dies out deterministically.
-    receive_phase();
-    age_phase();
-    compute_phase();
-    forward_phase();
+    {
+        SNOC_PROF("engine/receive");
+        receive_phase();
+    }
+    {
+        SNOC_PROF("engine/age");
+        age_phase();
+    }
+    {
+        SNOC_PROF("engine/compute");
+        compute_phase();
+    }
+    {
+        SNOC_PROF("engine/forward");
+        forward_phase();
+    }
     advance_clocks();
     metrics_.packets_per_round.push_back(packets_this_round_);
     ++round_;
@@ -215,6 +234,7 @@ void GossipNetwork::receive_phase() {
     for (auto& [dest, arrival] : arrivals_scratch_) {
         if (crash_state_.dead_tiles[dest]) { // delivered into silence
             ++metrics_.crash_drops;
+            trace(TraceEventKind::CrashDrop, dest);
             continue;
         }
         if (!tile_active_this_round(dest)) {
@@ -272,6 +292,7 @@ void GossipNetwork::receive_phase() {
 }
 
 void GossipNetwork::deliver_and_insert(TileId tile_id, Message message) {
+    SNOC_PROF("engine/deliver");
     auto& tile = tiles_[tile_id];
     if (tile.send_buffer.knows(message.id)) {
         ++metrics_.duplicates_ignored;
@@ -295,8 +316,16 @@ void GossipNetwork::deliver_and_insert(TileId tile_id, Message message) {
     // forwarding), so the ledger counts every non-duplicate receive as
     // accepted; if that ever stopped holding, the copy would vanish
     // without a fate and the wire law would flag the leak.
-    if (message.ttl > 0 && tile.send_buffer.insert(std::move(message)))
-        ++metrics_.packets_accepted;
+    if (message.ttl > 0) {
+        const MessageId id = message.id;
+        MessageId evicted{kNoTile, 0};
+        if (tile.send_buffer.insert(std::move(message), trace_ ? &evicted : nullptr)) {
+            ++metrics_.packets_accepted;
+            trace(TraceEventKind::Accepted, tile_id, kNoTile, id);
+            if (evicted.origin != kNoTile)
+                trace(TraceEventKind::BufferEvicted, tile_id, kNoTile, evicted);
+        }
+    }
 }
 
 void GossipNetwork::compute_phase() {
@@ -350,6 +379,7 @@ void GossipNetwork::forward_phase() {
 
 std::shared_ptr<const std::vector<std::byte>> GossipNetwork::encode_message(
     const Message& m) const {
+    SNOC_PROF("engine/encode");
     Packet p = Packet::encode(m);
     if (config_.link_protection == LinkProtection::SecdedCorrect) {
         auto protected_wire = fec::protect(p.wire());

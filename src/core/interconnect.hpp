@@ -25,12 +25,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/metrics.hpp"
 #include "noc/traffic.hpp"
 
 namespace snoc {
+
+class TraceSink;
 
 namespace check {
 class InvariantAuditor;
@@ -78,6 +81,10 @@ struct RunReport {
                                      ///< auditor recorded during this run
                                      ///< (0 when no auditor was attached).
     NetworkMetrics metrics{};     ///< full gossip counters, when applicable.
+    /// Per-TraceEventKind event totals when the trial ran with telemetry
+    /// attached (ScenarioRunner stamps it; empty otherwise).  Indexed by
+    /// static_cast<size_t>(TraceEventKind).
+    std::vector<std::size_t> trace_counts;
 };
 
 /// A communication backend under test.  Construction is adapter-specific
@@ -106,8 +113,18 @@ public:
     void set_auditor(check::InvariantAuditor* auditor) { auditor_ = auditor; }
     check::InvariantAuditor* auditor() const { return auditor_; }
 
+    /// Attach a trace sink (sim/trace.hpp).  Every backend emits the same
+    /// TraceEvent vocabulary through it — created / transmitted /
+    /// delivered and the drop taxonomy — so one Telemetry recorder can
+    /// watch any backend.  Like the auditor it is a pure observer: not
+    /// owned, must outlive the runs it records, nullptr detaches, and
+    /// with no sink attached tracing costs nothing.
+    void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+    TraceSink* trace_sink() const { return trace_sink_; }
+
 private:
     check::InvariantAuditor* auditor_{nullptr};
+    TraceSink* trace_sink_{nullptr};
 };
 
 } // namespace snoc

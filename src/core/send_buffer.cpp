@@ -10,9 +10,10 @@ SendBuffer::SendBuffer(std::size_t capacity) : capacity_(capacity) {
     SNOC_EXPECT(capacity > 0);
 }
 
-bool SendBuffer::insert(Message message) {
+bool SendBuffer::insert(Message message, MessageId* evicted) {
     if (known_.contains(message.id)) return false;
     if (messages_.size() == capacity_) {
+        if (evicted) *evicted = messages_.front().id;
         messages_.erase(messages_.begin());
         ++overflow_drops_;
     }

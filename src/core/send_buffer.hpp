@@ -20,8 +20,10 @@ public:
     /// Insert unless a message with the same id is already held or was
     /// held before (no resurrection of garbage-collected rumors).
     /// Returns true iff inserted; bumps the overflow counter when the
-    /// oldest entry had to be evicted to make room.
-    bool insert(Message message);
+    /// oldest entry had to be evicted to make room.  When `evicted` is
+    /// non-null the victim's id is written there (for tracing); it is
+    /// left untouched when nothing was evicted.
+    bool insert(Message message, MessageId* evicted = nullptr);
 
     /// True iff this id is currently held *or was ever held* by this tile.
     bool knows(const MessageId& id) const { return known_.contains(id); }

@@ -8,6 +8,7 @@
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
+#include "telemetry/prof.hpp"
 
 namespace snoc {
 
@@ -26,6 +27,9 @@ GossipAdapter::GossipAdapter(GossipSpec spec, const FaultScenario& scenario,
 RunReport GossipAdapter::run_until(const std::function<bool()>& done, Round limit) {
     RunReport report;
     report.seed = seed_;
+    // Don't clobber a sink the spec's customize hook may have attached
+    // directly on the engine.
+    if (trace_sink()) net_.set_trace_sink(trace_sink());
     check::InvariantAuditor* aud = auditor();
     const std::size_t audit_before = aud ? aud->violation_count() : 0;
     if (aud) aud->begin_run("gossip seed=" + std::to_string(seed_));
@@ -34,6 +38,7 @@ RunReport GossipAdapter::run_until(const std::function<bool()>& done, Round limi
     // ledger is exact.
     const auto r = aud ? net_.run_until(
                              [&] {
+                                 SNOC_PROF("engine/audit");
                                  aud->check_round(net_);
                                  return done();
                              },
@@ -52,6 +57,7 @@ RunReport GossipAdapter::run_until(const std::function<bool()>& done, Round limi
     report.joules = static_cast<double>(m.bits_sent) * spec_.tech.link_ebit_joules;
     report.metrics = m;
     if (aud) {
+        SNOC_PROF("engine/audit");
         aud->check_final(net_);
         aud->check_report(report, kind());
         report.audit_violations = aud->violation_count() - audit_before;
@@ -96,6 +102,7 @@ BusAdapter::BusAdapter(BusSpec spec, const FaultScenario& scenario,
 }
 
 RunReport BusAdapter::run(const TrafficTrace& trace, Round limit) {
+    bus_.set_trace_sink(trace_sink());
     const BusRunResult r = bus_.run(trace);
     RunReport report;
     report.seed = seed_;
@@ -129,7 +136,7 @@ XyAdapter::XyAdapter(XySpec spec, const FaultScenario& scenario, std::uint64_t s
 }
 
 RunReport XyAdapter::run(const TrafficTrace& trace, Round limit) {
-    const XyRunResult r = run_xy_trace(spec_.mesh, trace, crashes_);
+    const XyRunResult r = run_xy_trace(spec_.mesh, trace, crashes_, trace_sink());
     RunReport report;
     report.seed = seed_;
     report.completed = r.lost == 0;
@@ -173,6 +180,7 @@ WormholeAdapter::WormholeAdapter(WormholeSpec spec, const FaultScenario& scenari
 
 RunReport WormholeAdapter::run(const TrafficTrace& trace, Round limit) {
     wormhole::Network net(spec_.width, spec_.height, spec_.config);
+    net.set_trace_sink(trace_sink());
     for (TileId t = 0; t < crashes_.dead_tiles.size(); ++t)
         if (crashes_.dead_tiles[t]) net.crash_router(t);
 
@@ -230,6 +238,7 @@ DeflectionAdapter::DeflectionAdapter(DeflectionSpec spec,
 
 RunReport DeflectionAdapter::run(const TrafficTrace& trace, Round limit) {
     deflection::Network net(spec_.width, spec_.height, spec_.config, seed_);
+    net.set_trace_sink(trace_sink());
     {
         RngPool pool(seed_);
         FaultInjector injector(scenario_, pool);

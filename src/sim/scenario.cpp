@@ -1,11 +1,34 @@
 #include "sim/scenario.hpp"
 
 #include <algorithm>
+#include <array>
+#include <string>
 
 #include "check/invariant_auditor.hpp"
 #include "common/expect.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+/// "out/run.jsonl" + (cell 2, repeat 0) -> "out/run_c2_r0.jsonl"; the
+/// configured path is used verbatim when the sweep has a single trial.
+std::string trial_path(const std::string& path, std::size_t cell,
+                       std::size_t repeat, bool single_trial) {
+    if (single_trial) return path;
+    const std::string suffix =
+        "_c" + std::to_string(cell) + "_r" + std::to_string(repeat);
+    const auto slash = path.find_last_of('/');
+    const auto dot = path.find_last_of('.');
+    if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+        return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+} // namespace
 
 namespace snoc {
 
@@ -65,10 +88,15 @@ CellStats aggregate(const std::vector<RunReport>& reports) {
 ScenarioRunner::ScenarioRunner(ExperimentSpec spec) : spec_(std::move(spec)) {
     SNOC_EXPECT(spec_.max_attempts >= 1);
     const bool has_trial = static_cast<bool>(spec_.trial);
+    const bool has_traced = static_cast<bool>(spec_.traced_trial);
     const bool has_backend =
         static_cast<bool>(spec_.backend) && static_cast<bool>(spec_.trace);
-    SNOC_EXPECT(has_trial != has_backend &&
-                "set exactly one of trial or backend+trace");
+    SNOC_EXPECT((has_trial + has_traced + has_backend) == 1 &&
+                "set exactly one of trial, traced_trial or backend+trace");
+    // A plain `trial` body has no way to receive the recorder, so asking
+    // for exports there is a spec bug, not a silent no-op.
+    SNOC_EXPECT((!spec_.telemetry.enabled() || !has_trial) &&
+                "telemetry exports need the traced_trial or backend flavour");
     for (const auto& axis : spec_.axes) SNOC_EXPECT(!axis.values.empty());
 }
 
@@ -93,29 +121,85 @@ std::vector<SweepPoint> ScenarioRunner::cells() const {
     return points;
 }
 
-RunReport ScenarioRunner::run_trial(const SweepPoint& point,
-                                    std::size_t repeat) const {
+RunReport ScenarioRunner::run_trial(const SweepPoint& point, std::size_t cell,
+                                    std::size_t repeat,
+                                    bool single_trial) const {
     const std::uint64_t seed0 =
         spec_.base_seed + static_cast<std::uint64_t>(repeat);
+    const bool record = spec_.telemetry.enabled();
     RunReport report;
+    Telemetry telemetry;
+    std::string backend_name = "custom";
     for (std::size_t attempt = 0; attempt < spec_.max_attempts; ++attempt) {
         const std::uint64_t seed =
             seed0 + static_cast<std::uint64_t>(attempt) * spec_.retry_seed_stride;
+        // A retried attempt starts from a clean recording: artifacts
+        // describe the attempt that produced the reported run, not the
+        // concatenation of every failed try.
+        telemetry.clear();
         if (spec_.trial) {
             report = spec_.trial(point, seed);
+        } else if (spec_.traced_trial) {
+            report = spec_.traced_trial(point, seed, record ? &telemetry : nullptr);
         } else {
             auto backend = spec_.backend(point, seed);
             SNOC_ENSURE(backend != nullptr);
+            backend_name = backend->name();
             // Per-trial auditor: trials run in parallel, so the auditor
             // must be private to this trial; its violation count lands in
             // report.audit_violations (stamped by the adapter).
             check::InvariantAuditor auditor;
             if (spec_.audit) backend->set_auditor(&auditor);
+            if (record) backend->set_trace_sink(&telemetry);
             report = backend->run(spec_.trace(point), spec_.max_rounds);
         }
         report.seed = seed;
         report.attempts = attempt + 1;
         if (report.completed) break;
+    }
+    if (!record) return report;
+
+    const auto& totals = telemetry.totals();
+    report.trace_counts.assign(totals.begin(), totals.end());
+
+    const auto& t = spec_.telemetry;
+    std::vector<std::string> artifacts;
+    if (!t.trace_jsonl_out.empty()) {
+        const auto path = trial_path(t.trace_jsonl_out, cell, repeat, single_trial);
+        write_jsonl(telemetry, path);
+        artifacts.push_back(path);
+    }
+    if (!t.chrome_out.empty()) {
+        const auto path = trial_path(t.chrome_out, cell, repeat, single_trial);
+        write_chrome_trace(telemetry, path);
+        artifacts.push_back(path);
+    }
+    if (!t.heatmap_out.empty()) {
+        const auto path = trial_path(t.heatmap_out, cell, repeat, single_trial);
+        write_heatmap_csv(telemetry, path, t.grid_width);
+        artifacts.push_back(path);
+        const auto links = path + ".links.csv";
+        write_link_csv(telemetry, links);
+        artifacts.push_back(links);
+    }
+    if (t.manifest && !artifacts.empty()) {
+        RunManifest manifest;
+        manifest.program = spec_.name;
+        manifest.experiment = point.label().empty() ? spec_.name : point.label();
+        manifest.backend = backend_name;
+        manifest.base_seed = report.seed;
+        manifest.repeats = spec_.repeats;
+        manifest.jobs = spec_.jobs;
+        for (const auto& c : point.coords)
+            manifest.config.emplace_back(c.name, format_number(c.value, 6));
+        manifest.config.emplace_back("cell", std::to_string(cell));
+        manifest.config.emplace_back("repeat", std::to_string(repeat));
+        manifest.config.emplace_back("max_rounds",
+                                     std::to_string(spec_.max_rounds));
+        manifest.config.emplace_back("max_attempts",
+                                     std::to_string(spec_.max_attempts));
+        manifest.artifacts = artifacts;
+        write_manifest(manifest, manifest_path_for(artifacts.front()));
     }
     return report;
 }
@@ -126,12 +210,13 @@ std::vector<CellResult> ScenarioRunner::run() {
 
     // Flatten (cell, repeat) onto the trial index so the whole sweep
     // shares one fan-out; results land in deterministic slots.
+    const bool single_trial = n_trials == 1;
     const auto reports = run_trials(
         n_trials,
         [&](std::uint64_t i) {
             const std::size_t cell = static_cast<std::size_t>(i) / spec_.repeats;
             const std::size_t repeat = static_cast<std::size_t>(i) % spec_.repeats;
-            return run_trial(points[cell], repeat);
+            return run_trial(points[cell], cell, repeat, single_trial);
         },
         spec_.jobs);
 
@@ -169,6 +254,27 @@ Table ScenarioRunner::summary_table(const std::vector<CellResult>& cells) {
         row.push_back(format_number(s.bits, 0));
         row.push_back(format_sci(s.joules, 2));
         row.push_back(std::to_string(s.attempts));
+        table.add_row(row);
+    }
+    return table;
+}
+
+Table ScenarioRunner::telemetry_table(const std::vector<CellResult>& cells) {
+    std::vector<std::string> headers;
+    if (!cells.empty())
+        for (const auto& c : cells.front().point.coords) headers.push_back(c.name);
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k)
+        headers.emplace_back(kTraceEventKindNames[k]);
+    Table table(headers);
+    for (const auto& cell : cells) {
+        std::vector<std::string> row;
+        for (const auto& c : cell.point.coords)
+            row.push_back(format_number(c.value, 4));
+        std::array<std::size_t, kTraceEventKinds> sums{};
+        for (const RunReport& r : cell.reports)
+            for (std::size_t k = 0; k < r.trace_counts.size() && k < sums.size(); ++k)
+                sums[k] += r.trace_counts[k];
+        for (const std::size_t s : sums) row.push_back(std::to_string(s));
         table.add_row(row);
     }
     return table;

@@ -26,9 +26,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/interconnect.hpp"
 #include "noc/traffic.hpp"
+#include "sim/trace.hpp"
 
 namespace snoc {
 
@@ -110,8 +112,27 @@ struct ExperimentSpec {
     /// for the `trial` flavour, which owns its backend construction.
     bool audit{false};
 
+    /// Telemetry exports (see common/cli.hpp).  When any destination is
+    /// set, every trial runs with a private Telemetry recorder attached
+    /// (backend flavour: via set_trace_sink; traced_trial flavour: as the
+    /// sink argument), its per-kind totals land in
+    /// RunReport::trace_counts, and each trial's recording is exported
+    /// under a per-trial name — the exact configured path for a single
+    /// (cell, repeat), with a `_c<cell>_r<repeat>` suffix once the sweep
+    /// has more than one trial.  --manifest adds one run manifest per
+    /// trial next to its artifacts.  Plain-`trial` specs cannot attach a
+    /// sink and assert that telemetry stays off.
+    TelemetryOptions telemetry;
+
     /// Arbitrary trial body: must derive all randomness from `seed`.
     std::function<RunReport(const SweepPoint&, std::uint64_t seed)> trial;
+
+    /// Like `trial`, but observable: the runner's Telemetry recorder (or
+    /// nullptr when telemetry is off) is handed in for the trial to attach
+    /// wherever its engine lives.
+    std::function<RunReport(const SweepPoint&, std::uint64_t seed,
+                            TraceSink* sink)>
+        traced_trial;
 
     /// Declarative flavour: build a fresh backend per trial, run `trace`.
     std::function<std::unique_ptr<Interconnect>(const SweepPoint&,
@@ -138,8 +159,15 @@ public:
     /// their tables from the CellResults directly.
     static Table summary_table(const std::vector<CellResult>& cells);
 
+    /// Cross-trial event aggregation: one row per cell, one column per
+    /// TraceEventKind, values summed over the cell's repeats.  Requires
+    /// the sweep to have run with telemetry attached (trace_counts
+    /// stamped); rows without recordings are all zero.
+    static Table telemetry_table(const std::vector<CellResult>& cells);
+
 private:
-    RunReport run_trial(const SweepPoint& point, std::size_t repeat) const;
+    RunReport run_trial(const SweepPoint& point, std::size_t cell,
+                        std::size_t repeat, bool single_trial) const;
 
     ExperimentSpec spec_;
 };

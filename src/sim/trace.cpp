@@ -7,6 +7,13 @@
 
 namespace snoc {
 
+std::optional<TraceEventKind> trace_kind_from_string(std::string_view name) {
+    for (std::size_t i = 0; i < kTraceEventKinds; ++i)
+        if (name == kTraceEventKindNames[i])
+            return static_cast<TraceEventKind>(i);
+    return std::nullopt;
+}
+
 void CountingSink::record(const TraceEvent& event) {
     ++counts_[static_cast<std::size_t>(event.kind)];
 }

@@ -11,41 +11,65 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <iterator>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace snoc {
 
+/// The single source of truth for event kinds.  Enumerator, wire name and
+/// count are all generated from this table, so adding a kind cannot
+/// desynchronize CountingSink's array, to_string, from_string or any
+/// exporter — extend the list and everything follows.
+#define SNOC_TRACE_EVENT_KIND_LIST(X)                                          \
+    X(MessageCreated, "created")     /* a fresh rumor entered a send buffer */ \
+    X(Transmitted, "transmitted")    /* one link (or bus/flit) traversal */    \
+    X(Accepted, "accepted")          /* received copy merged into a buffer */  \
+    X(Delivered, "delivered")        /* first-time delivery to the dest IP */  \
+    X(CrcDrop, "crc-drop")           /* scrambled packet caught by the CRC */  \
+    X(FecUncorrectable, "fec-drop")  /* multi-bit upset beyond SECDED */       \
+    X(OverflowDrop, "overflow-drop") /* port-buffer overflow (forced/cap) */   \
+    X(DuplicateIgnored, "duplicate") /* re-received known message */           \
+    X(TtlExpired, "ttl-expired")     /* rumor garbage-collected at TTL 0 */    \
+    X(SkewDeferral, "skew-deferral") /* arrival pushed a round by skew */      \
+    X(CrashDrop, "crash-drop")       /* transmission sunk into a dead tile */  \
+    X(BufferEvicted, "buffer-evicted") /* send-buffer overflow eviction */
+
 enum class TraceEventKind : std::uint8_t {
-    MessageCreated,
-    Transmitted,
-    Delivered,
-    CrcDrop,
-    FecUncorrectable,
-    OverflowDrop,
-    DuplicateIgnored,
-    TtlExpired,
-    SkewDeferral,
+#define SNOC_TRACE_EVENT_KIND_ENUM(name, str) name,
+    SNOC_TRACE_EVENT_KIND_LIST(SNOC_TRACE_EVENT_KIND_ENUM)
+#undef SNOC_TRACE_EVENT_KIND_ENUM
 };
 
-inline constexpr std::size_t kTraceEventKinds = 9;
+inline constexpr const char* kTraceEventKindNames[] = {
+#define SNOC_TRACE_EVENT_KIND_NAME(name, str) str,
+    SNOC_TRACE_EVENT_KIND_LIST(SNOC_TRACE_EVENT_KIND_NAME)
+#undef SNOC_TRACE_EVENT_KIND_NAME
+};
+
+inline constexpr std::size_t kTraceEventKinds = std::size(kTraceEventKindNames);
+
+// The one place the count is spelled out, so a stray edit to the X-macro
+// (or a hand-added enumerator bypassing it) fails to compile rather than
+// silently shearing counters off their labels.
+static_assert(kTraceEventKinds == 12,
+              "TraceEventKind changed: update this count and audit every "
+              "exporter/test that enumerates kinds");
+static_assert(static_cast<std::size_t>(TraceEventKind::BufferEvicted) + 1 ==
+                  kTraceEventKinds,
+              "enum and name table fell out of step");
 
 constexpr const char* to_string(TraceEventKind k) {
-    switch (k) {
-    case TraceEventKind::MessageCreated: return "created";
-    case TraceEventKind::Transmitted: return "transmitted";
-    case TraceEventKind::Delivered: return "delivered";
-    case TraceEventKind::CrcDrop: return "crc-drop";
-    case TraceEventKind::FecUncorrectable: return "fec-drop";
-    case TraceEventKind::OverflowDrop: return "overflow-drop";
-    case TraceEventKind::DuplicateIgnored: return "duplicate";
-    case TraceEventKind::TtlExpired: return "ttl-expired";
-    case TraceEventKind::SkewDeferral: return "skew-deferral";
-    }
-    return "?";
+    const auto i = static_cast<std::size_t>(k);
+    return i < kTraceEventKinds ? kTraceEventKindNames[i] : "?";
 }
+
+/// Inverse of to_string, for trace loaders; nullopt on unknown names.
+std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);
 
 struct TraceEvent {
     Round round{0};

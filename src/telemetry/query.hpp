@@ -1,0 +1,47 @@
+// Query engine over a JSONL trace dump — the brains of the snoc_trace
+// CLI, kept in the library so tests can drive it without spawning a
+// process.  Loads the line format written by write_jsonl and answers:
+// per-run summary, per-round table, a single message's lifeline, top-K
+// lossiest tiles/links, and the kind histogram.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace snoc::tracequery {
+
+struct LoadResult {
+    std::vector<TraceEvent> events;
+    std::size_t skipped{0}; ///< malformed / unknown-kind lines ignored.
+};
+
+LoadResult load_jsonl(std::istream& is);
+LoadResult load_jsonl_file(const std::string& path);
+
+/// "5:12" -> MessageId{5, 12}; nullopt on malformed input.
+std::optional<MessageId> parse_message_id(std::string_view text);
+
+/// Kind histogram plus headline totals (events, rounds, tiles, messages,
+/// deliveries, drops) — the counters mirror NetworkMetrics.
+std::string summary(const std::vector<TraceEvent>& events);
+
+/// One line per round: each kind's count that round.
+std::string per_round(const std::vector<TraceEvent>& events);
+
+/// Every event touching one message, in order — its lifeline.
+std::string lifeline(const std::vector<TraceEvent>& events, MessageId id);
+
+/// Tiles ranked by drops sunk at them (crash, overflow, CRC, FEC,
+/// eviction); ties broken by tile id.
+std::string top_tiles(const std::vector<TraceEvent>& events, std::size_t k);
+
+/// Directed links ranked by transmissions carried; ties by (from, to).
+std::string top_links(const std::vector<TraceEvent>& events, std::size_t k);
+
+} // namespace snoc::tracequery

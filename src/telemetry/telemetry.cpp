@@ -1,0 +1,59 @@
+#include "telemetry/telemetry.hpp"
+
+namespace snoc {
+
+void Telemetry::record(const TraceEvent& event) {
+    events_.push_back(event);
+    const auto kind = static_cast<std::size_t>(event.kind);
+    ++totals_[kind];
+    if (per_round_.size() <= event.round)
+        per_round_.resize(static_cast<std::size_t>(event.round) + 1);
+    ++per_round_[event.round][kind];
+    if (event.tile != kNoTile) {
+        if (per_tile_.size() <= event.tile)
+            per_tile_.resize(static_cast<std::size_t>(event.tile) + 1);
+        ++per_tile_[event.tile][kind];
+        if (event.kind == TraceEventKind::Transmitted && event.peer != kNoTile)
+            ++links_[{event.tile, event.peer}];
+    }
+}
+
+void Telemetry::clear() {
+    events_.clear();
+    totals_.fill(0);
+    per_round_.clear();
+    per_tile_.clear();
+    links_.clear();
+}
+
+std::size_t Telemetry::total() const {
+    std::size_t sum = 0;
+    for (const std::size_t c : totals_) sum += c;
+    return sum;
+}
+
+std::vector<long long> Telemetry::in_flight_series() const {
+    // Wire-copy balance per round: every transmission puts one copy in
+    // flight; each receive-side fate (crash sink, port overflow, FEC or
+    // CRC drop, duplicate, accepted merge) takes one out.  Matches the
+    // conservation ledger's wire law, cumulated.
+    std::vector<long long> series(per_round_.size(), 0);
+    long long balance = 0;
+    for (std::size_t r = 0; r < per_round_.size(); ++r) {
+        const KindCounts& c = per_round_[r];
+        const auto at = [&](TraceEventKind k) {
+            return static_cast<long long>(c[static_cast<std::size_t>(k)]);
+        };
+        balance += at(TraceEventKind::Transmitted);
+        balance -= at(TraceEventKind::CrashDrop);
+        balance -= at(TraceEventKind::OverflowDrop);
+        balance -= at(TraceEventKind::FecUncorrectable);
+        balance -= at(TraceEventKind::CrcDrop);
+        balance -= at(TraceEventKind::DuplicateIgnored);
+        balance -= at(TraceEventKind::Accepted);
+        series[r] = balance;
+    }
+    return series;
+}
+
+} // namespace snoc

@@ -1,0 +1,74 @@
+// The Telemetry recorder: a TraceSink that turns the engine's event
+// stream into the three views the exporters and queries need —
+//
+//   * the verbatim event log (JSONL / Chrome-trace export),
+//   * per-round time series (one counter per TraceEventKind per round,
+//     a superset of NetworkMetrics::packets_per_round),
+//   * per-tile and per-link spatial counters (mesh heatmaps).
+//
+// It is backend-agnostic: anything that speaks the TraceSink API (gossip
+// engine, bus, XY, wormhole, deflection) feeds it the same way.  Like
+// every sink it is write-only from the engine's point of view and holds
+// no engine state, so attaching one cannot perturb a simulation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/trace.hpp"
+
+namespace snoc {
+
+class Telemetry final : public TraceSink {
+public:
+    using KindCounts = std::array<std::size_t, kTraceEventKinds>;
+    /// (from, to) -> transmissions over that directed link.  An ordered
+    /// map so iteration (exports, top-K queries) is deterministic.
+    using LinkCounts = std::map<std::pair<TileId, TileId>, std::size_t>;
+
+    void record(const TraceEvent& event) override;
+
+    /// Drop everything recorded so far (retry loops re-record an attempt
+    /// from scratch); cheaper than constructing a fresh recorder because
+    /// the vectors keep their capacity.
+    void clear();
+
+    /// Every event, in emission order.
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    std::size_t count(TraceEventKind kind) const {
+        return totals_[static_cast<std::size_t>(kind)];
+    }
+    const KindCounts& totals() const { return totals_; }
+    std::size_t total() const;
+
+    /// Rounds covered: 1 + the highest round stamped on any event.
+    std::size_t rounds() const { return per_round_.size(); }
+    /// Per-round per-kind counters; index [round][kind].
+    const std::vector<KindCounts>& per_round() const { return per_round_; }
+
+    /// Copies on the wire or in buffers at the end of each round, derived
+    /// from the conservation law: cumulative transmitted+created minus
+    /// every sunk fate (accepted copies later age out via ttl-expired or
+    /// are evicted, so those terminate them too).
+    std::vector<long long> in_flight_series() const;
+
+    /// Per-tile per-kind counters; index [tile][kind].  Sized by the
+    /// highest tile id seen.
+    const std::vector<KindCounts>& per_tile() const { return per_tile_; }
+
+    const LinkCounts& link_transmissions() const { return links_; }
+
+private:
+    std::vector<TraceEvent> events_;
+    KindCounts totals_{};
+    std::vector<KindCounts> per_round_;
+    std::vector<KindCounts> per_tile_;
+    LinkCounts links_;
+};
+
+} // namespace snoc

@@ -29,6 +29,18 @@ Network::Network(std::size_t width, std::size_t height, Config config)
     }
 }
 
+void Network::trace_event(TraceEventKind kind, TileId tile, TileId peer,
+                          std::uint32_t packet) {
+    if (!trace_) return;
+    TraceEvent event;
+    event.round = static_cast<Round>(cycle_);
+    event.kind = kind;
+    event.tile = tile;
+    event.peer = peer;
+    event.message = MessageId{records_[packet].source, packet};
+    trace_->record(event);
+}
+
 std::uint32_t Network::inject(TileId source, TileId destination) {
     SNOC_EXPECT(source < topo_.node_count());
     SNOC_EXPECT(destination < topo_.node_count());
@@ -36,6 +48,7 @@ std::uint32_t Network::inject(TileId source, TileId destination) {
     const std::uint32_t id = next_packet_++;
     records_.push_back(PacketRecord{id, source, destination, cycle_, std::nullopt});
     injection_queues_[source].push_back(id);
+    trace_event(TraceEventKind::MessageCreated, source, kNoTile, id);
     return id;
 }
 
@@ -257,12 +270,15 @@ void Network::step() {
                 rec.delivered_cycle = cycle_;
                 latencies_.add(static_cast<double>(cycle_ - rec.injected_cycle));
                 ++delivered_;
+                trace_event(TraceEventKind::Delivered, m.tile, kNoTile,
+                            flit.packet);
             }
         } else {
             const TileId next = port_neighbour(m.tile, m.out_port);
             const std::size_t in_at_next = input_port_from(topo_, next, m.tile);
             routers_[next].in_vcs[in_at_next][m.out_vc].buffer.push_back(flit);
             ++flit_hops_;
+            trace_event(TraceEventKind::Transmitted, m.tile, next, flit.packet);
         }
         if (was_tail) {
             // The worm has fully left this VC: release the route lock and

@@ -26,6 +26,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/topology.hpp"
+#include "sim/trace.hpp"
 
 namespace snoc::wormhole {
 
@@ -98,6 +99,11 @@ public:
     const SampleSet& latencies() const { return latencies_; }
     const Topology& topology() const { return topo_; }
 
+    /// Attach a flight recorder (not owned; nullptr detaches).  Rounds are
+    /// link cycles; message ids are {source, packet id}; one Transmitted
+    /// per flit hop, one Delivered when the tail flit ejects.
+    void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
 private:
     struct VirtualChannel {
         std::deque<Flit> buffer;
@@ -152,6 +158,10 @@ private:
     // Round-robin arbitration state per (tile, output port incl. eject).
     std::vector<std::vector<std::size_t>> arbiter_last_;
     RngStream rng_;
+    TraceSink* trace_{nullptr};
+
+    void trace_event(TraceEventKind kind, TileId tile, TileId peer,
+                     std::uint32_t packet);
 };
 
 /// Offered-load experiment: Bernoulli packet injection at every tile with

@@ -22,6 +22,7 @@
 #include "diversity/architecture.hpp"
 #include "sim/backends.hpp"
 #include "sim/scenario.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace snoc {
 namespace {
@@ -100,6 +101,48 @@ TEST(AuditParity, AllBackendsCleanOnCornerTrace) {
         EXPECT_TRUE(report.completed) << to_string(kind);
         EXPECT_TRUE(auditor.clean()) << to_string(kind) << ": "
                                      << auditor.summary();
+    }
+}
+
+// Backend parity for the telemetry layer: every backend must speak the
+// same TraceEvent vocabulary through the same sink API.  On the fault-free
+// corner trace the stream is also *quantitatively* consistent: one created
+// and one delivered event per logical message, transmitted events equal to
+// the report's transmission counter, and no loss events at all.
+TEST(AuditParity, AllBackendsEmitConsistentEventStream) {
+    const auto trace = corner_trace();
+    for (const BackendKind kind :
+         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
+          BackendKind::Wormhole, BackendKind::Deflection}) {
+        Telemetry telemetry;
+        auto backend = make_interconnect(kind, FaultScenario::none(), 1);
+        backend->set_trace_sink(&telemetry);
+        const RunReport report = backend->run(trace, 3000);
+        ASSERT_TRUE(report.completed) << to_string(kind);
+        EXPECT_GT(telemetry.total(), 0u) << to_string(kind);
+        EXPECT_EQ(telemetry.count(TraceEventKind::MessageCreated),
+                  trace.message_count())
+            << to_string(kind);
+        EXPECT_EQ(telemetry.count(TraceEventKind::Delivered),
+                  trace.message_count())
+            << to_string(kind);
+        EXPECT_EQ(telemetry.count(TraceEventKind::Transmitted),
+                  report.transmissions)
+            << to_string(kind);
+        // No faults injected, so the loss taxonomy must stay silent.
+        for (const TraceEventKind k :
+             {TraceEventKind::CrcDrop, TraceEventKind::FecUncorrectable,
+              TraceEventKind::CrashDrop}) {
+            EXPECT_EQ(telemetry.count(k), 0u)
+                << to_string(kind) << " emitted " << to_string(k);
+        }
+        // Every event carries an in-range kind (the stream round-trips
+        // through to_string/from_string without falling off the table).
+        for (const TraceEvent& e : telemetry.events()) {
+            const auto name = to_string(e.kind);
+            ASSERT_STRNE(name, "?") << to_string(kind);
+            EXPECT_EQ(trace_kind_from_string(name), e.kind);
+        }
     }
 }
 

@@ -1,0 +1,355 @@
+// The telemetry layer's test suite (ctest label: telemetry).
+//
+// Three layers of guarantees:
+//   * golden output — the exporters are pure functions of a recording, so
+//     a hand-built event sequence must serialise to exactly these bytes
+//     (JSONL, Chrome trace, heatmap/link CSV, manifest);
+//   * determinism — two identically seeded engine runs must export
+//     byte-identical artifacts, and a JSONL dump must load back into the
+//     exact event sequence that produced it;
+//   * parity — the query engine's counters over a dump must equal the
+//     run's own NetworkMetrics, which is what makes `snoc_trace summary`
+//     trustworthy as a post-mortem view of a run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/backends.hpp"
+#include "sim/scenario.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/manifest.hpp"
+#include "telemetry/prof.hpp"
+#include "telemetry/query.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace snoc {
+namespace {
+
+TrafficTrace corner_trace() {
+    TrafficTrace trace;
+    TrafficPhase phase;
+    phase.messages.push_back({0, 24, 256});
+    phase.messages.push_back({4, 20, 256});
+    phase.messages.push_back({20, 4, 256});
+    phase.messages.push_back({24, 0, 256});
+    trace.phases.push_back(phase);
+    return trace;
+}
+
+/// A tiny fixed recording: one message created at tile 0, hopped to tile
+/// 1, delivered there; a second message that dies to the TTL.
+Telemetry fixed_recording() {
+    Telemetry t;
+    t.record({0, TraceEventKind::MessageCreated, 0, kNoTile, {0, 0}});
+    t.record({0, TraceEventKind::Transmitted, 0, 1, {0, 0}});
+    t.record({1, TraceEventKind::Accepted, 1, kNoTile, {0, 0}});
+    t.record({1, TraceEventKind::Delivered, 1, kNoTile, {0, 0}});
+    t.record({1, TraceEventKind::MessageCreated, 3, kNoTile, {3, 7}});
+    t.record({2, TraceEventKind::TtlExpired, 3, kNoTile, {3, 7}});
+    return t;
+}
+
+// --- X-macro table ------------------------------------------------------
+
+TEST(TraceKinds, TableAndStringsAgree) {
+    EXPECT_EQ(kTraceEventKinds, 12u);
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k) {
+        const auto kind = static_cast<TraceEventKind>(k);
+        EXPECT_STREQ(to_string(kind), kTraceEventKindNames[k]);
+        EXPECT_EQ(trace_kind_from_string(kTraceEventKindNames[k]), kind);
+    }
+    EXPECT_FALSE(trace_kind_from_string("not-a-kind").has_value());
+}
+
+// --- Golden output ------------------------------------------------------
+
+TEST(TelemetryGolden, JsonlBytes) {
+    std::ostringstream os;
+    write_jsonl(fixed_recording(), os);
+    EXPECT_EQ(os.str(),
+              "{\"round\":0,\"kind\":\"created\",\"tile\":0,\"msg\":\"0:0\"}\n"
+              "{\"round\":0,\"kind\":\"transmitted\",\"tile\":0,\"peer\":1,"
+              "\"msg\":\"0:0\"}\n"
+              "{\"round\":1,\"kind\":\"accepted\",\"tile\":1,\"msg\":\"0:0\"}\n"
+              "{\"round\":1,\"kind\":\"delivered\",\"tile\":1,\"msg\":\"0:0\"}\n"
+              "{\"round\":1,\"kind\":\"created\",\"tile\":3,\"msg\":\"3:7\"}\n"
+              "{\"round\":2,\"kind\":\"ttl-expired\",\"tile\":3,\"msg\":\"3:7\"}\n");
+}
+
+TEST(TelemetryGolden, HeatmapAndLinkCsv) {
+    std::ostringstream heat;
+    write_heatmap_csv(fixed_recording(), heat, 2);
+    EXPECT_EQ(heat.str(),
+              "tile,x,y,created,transmitted,accepted,delivered,crc-drop,"
+              "fec-drop,overflow-drop,duplicate,ttl-expired,skew-deferral,"
+              "crash-drop,buffer-evicted\n"
+              "0,0,0,1,1,0,0,0,0,0,0,0,0,0,0\n"
+              "1,1,0,0,0,1,1,0,0,0,0,0,0,0,0\n"
+              "2,0,1,0,0,0,0,0,0,0,0,0,0,0,0\n"
+              "3,1,1,1,0,0,0,0,0,0,0,1,0,0,0\n");
+    std::ostringstream links;
+    write_link_csv(fixed_recording(), links);
+    EXPECT_EQ(links.str(), "from,to,transmissions\n0,1,1\n");
+}
+
+TEST(TelemetryGolden, ChromeTraceShape) {
+    std::ostringstream os;
+    write_chrome_trace(fixed_recording(), os);
+    const std::string out = os.str();
+    // Valid trace_event envelope with per-tile tracks and async message
+    // spans; the byte-exactness across identical runs is covered by
+    // TelemetryDeterminism.SeededRunsExportIdenticalArtifacts.
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(out.find("\"cat\":\"msg\""), std::string::npos);
+    // Message 0:0 terminates via Delivered, 3:7 via TtlExpired.
+    EXPECT_NE(out.find("\"outcome\":\"delivered\""), std::string::npos);
+    EXPECT_NE(out.find("\"outcome\":\"ttl-expired\""), std::string::npos);
+}
+
+TEST(TelemetryGolden, ManifestContents) {
+    RunManifest manifest;
+    manifest.program = "test_prog";
+    manifest.experiment = "cell p=0.5";
+    manifest.backend = "gossip";
+    manifest.base_seed = 42;
+    manifest.repeats = 3;
+    manifest.jobs = 2;
+    manifest.config.emplace_back("p", "0.5");
+    manifest.config.emplace_back("ttl", "30");
+    manifest.artifacts.push_back("out/run.jsonl");
+    const std::string json = manifest_json(manifest);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"git_sha\": \""), std::string::npos);
+    EXPECT_NE(json.find("\"check_level\": "), std::string::npos);
+    EXPECT_NE(json.find("\"program\": \"test_prog\""), std::string::npos);
+    EXPECT_NE(json.find("\"backend\": \"gossip\""), std::string::npos);
+    EXPECT_NE(json.find("\"base_seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"p\": \"0.5\""), std::string::npos);
+    EXPECT_NE(json.find("\"ttl\": \"30\""), std::string::npos);
+    EXPECT_NE(json.find("\"out/run.jsonl\""), std::string::npos);
+    EXPECT_STRNE(build_git_sha(), "");
+    EXPECT_EQ(manifest_path_for("out/run.jsonl"), "out/run.manifest.json");
+    EXPECT_EQ(manifest_path_for("dir.v2/run"), "dir.v2/run.manifest.json");
+}
+
+// --- Determinism / round-trip ------------------------------------------
+
+std::string jsonl_of_seeded_run(std::uint64_t seed, RunReport* report = nullptr) {
+    Telemetry telemetry;
+    auto backend = make_interconnect(BackendKind::Gossip, FaultScenario::none(),
+                                     seed);
+    backend->set_trace_sink(&telemetry);
+    const RunReport r = backend->run(corner_trace(), 3000);
+    if (report) *report = r;
+    std::ostringstream os;
+    write_jsonl(telemetry, os);
+    return os.str();
+}
+
+TEST(TelemetryDeterminism, SeededRunsExportIdenticalArtifacts) {
+    Telemetry a, b;
+    for (Telemetry* t : {&a, &b}) {
+        auto backend =
+            make_interconnect(BackendKind::Gossip, FaultScenario::none(), 7);
+        backend->set_trace_sink(t);
+        ASSERT_TRUE(backend->run(corner_trace(), 3000).completed);
+    }
+    const auto bytes_of = [](const Telemetry& t, auto writer) {
+        std::ostringstream os;
+        writer(t, os);
+        return os.str();
+    };
+    const auto jsonl = [](const Telemetry& t, std::ostream& os) {
+        write_jsonl(t, os);
+    };
+    const auto chrome = [](const Telemetry& t, std::ostream& os) {
+        write_chrome_trace(t, os);
+    };
+    const auto heat = [](const Telemetry& t, std::ostream& os) {
+        write_heatmap_csv(t, os, 5);
+    };
+    EXPECT_GT(a.total(), 0u);
+    EXPECT_EQ(bytes_of(a, jsonl), bytes_of(b, jsonl));
+    EXPECT_EQ(bytes_of(a, chrome), bytes_of(b, chrome));
+    EXPECT_EQ(bytes_of(a, heat), bytes_of(b, heat));
+}
+
+TEST(TelemetryDeterminism, JsonlRoundTripsExactly) {
+    Telemetry telemetry;
+    auto backend =
+        make_interconnect(BackendKind::Gossip, FaultScenario::none(), 11);
+    backend->set_trace_sink(&telemetry);
+    ASSERT_TRUE(backend->run(corner_trace(), 3000).completed);
+
+    std::ostringstream os;
+    write_jsonl(telemetry, os);
+    std::istringstream is(os.str());
+    const auto loaded = tracequery::load_jsonl(is);
+    EXPECT_EQ(loaded.skipped, 0u);
+    ASSERT_EQ(loaded.events.size(), telemetry.events().size());
+    for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+        const TraceEvent& in = telemetry.events()[i];
+        const TraceEvent& out = loaded.events[i];
+        EXPECT_EQ(out.round, in.round);
+        EXPECT_EQ(out.kind, in.kind);
+        EXPECT_EQ(out.tile, in.tile);
+        EXPECT_EQ(out.peer, in.peer);
+        EXPECT_EQ(out.message.origin, in.message.origin);
+        EXPECT_EQ(out.message.sequence, in.message.sequence);
+    }
+}
+
+// --- Query/metrics parity ----------------------------------------------
+
+TEST(TraceQuery, SummaryCountersMatchNetworkMetrics) {
+    RunReport report;
+    const std::string dump = jsonl_of_seeded_run(3, &report);
+    std::istringstream is(dump);
+    const auto loaded = tracequery::load_jsonl(is);
+    ASSERT_EQ(loaded.skipped, 0u);
+
+    Telemetry counts;
+    for (const TraceEvent& e : loaded.events) counts.record(e);
+    const NetworkMetrics& m = report.metrics;
+    EXPECT_EQ(counts.count(TraceEventKind::MessageCreated), m.messages_created);
+    EXPECT_EQ(counts.count(TraceEventKind::Transmitted), m.packets_sent);
+    EXPECT_EQ(counts.count(TraceEventKind::Delivered), m.deliveries);
+    EXPECT_EQ(counts.count(TraceEventKind::Accepted), m.packets_accepted);
+    EXPECT_EQ(counts.count(TraceEventKind::DuplicateIgnored),
+              m.duplicates_ignored);
+    EXPECT_EQ(counts.count(TraceEventKind::CrcDrop), m.crc_drops);
+    EXPECT_EQ(counts.count(TraceEventKind::FecUncorrectable),
+              m.fec_uncorrectable);
+    EXPECT_EQ(counts.count(TraceEventKind::TtlExpired), m.ttl_expired);
+    EXPECT_EQ(counts.count(TraceEventKind::CrashDrop), m.crash_drops);
+    EXPECT_EQ(counts.count(TraceEventKind::SkewDeferral), m.skew_deferrals);
+    EXPECT_EQ(counts.count(TraceEventKind::OverflowDrop),
+              m.port_overflow_drops);
+    EXPECT_EQ(counts.count(TraceEventKind::BufferEvicted),
+              m.overflow_drops - m.port_overflow_drops);
+
+    // The summary text carries the same headline numbers.
+    const std::string text = tracequery::summary(loaded.events);
+    EXPECT_NE(text.find("created " + std::to_string(m.messages_created)),
+              std::string::npos);
+    EXPECT_NE(text.find("transmitted " + std::to_string(m.packets_sent)),
+              std::string::npos);
+    EXPECT_NE(text.find("delivered " + std::to_string(m.deliveries)),
+              std::string::npos);
+}
+
+TEST(TraceQuery, LifelineAndTopK) {
+    const std::string dump = jsonl_of_seeded_run(5);
+    std::istringstream is(dump);
+    const auto loaded = tracequery::load_jsonl(is);
+    const auto id = tracequery::parse_message_id("0:0");
+    ASSERT_TRUE(id.has_value());
+    const std::string life = tracequery::lifeline(loaded.events, *id);
+    EXPECT_NE(life.find("created"), std::string::npos);
+    EXPECT_NE(life.find("delivered"), std::string::npos);
+    EXPECT_NE(tracequery::top_links(loaded.events, 3).find("transmissions"),
+              std::string::npos);
+    EXPECT_FALSE(tracequery::parse_message_id("garbage").has_value());
+}
+
+// --- ScenarioRunner integration ----------------------------------------
+
+TEST(ScenarioTelemetry, ExportsPerTrialArtifactsAndManifest) {
+    const std::string dir = ::testing::TempDir();
+    ExperimentSpec spec;
+    spec.name = "telemetry itest";
+    spec.axes = {{"p", {1.0, 0.5}}};
+    spec.repeats = 1;
+    spec.base_seed = 9;
+    spec.jobs = 1;
+    spec.telemetry.trace_jsonl_out = dir + "snoc_itest.jsonl";
+    spec.telemetry.manifest = true;
+    spec.backend = [](const SweepPoint& pt, std::uint64_t seed) {
+        GossipSpec gs;
+        gs.config.forward_p = pt.value("p");
+        return std::make_unique<GossipAdapter>(std::move(gs),
+                                               FaultScenario::none(), seed);
+    };
+    spec.trace = [](const SweepPoint&) { return corner_trace(); };
+    const auto cells = ScenarioRunner(std::move(spec)).run();
+    ASSERT_EQ(cells.size(), 2u);
+
+    for (std::size_t c = 0; c < 2; ++c) {
+        // Two trials in the sweep, so names carry the _c<cell>_r<repeat>
+        // suffix and each artifact has a manifest next to it.
+        const std::string base = dir + "snoc_itest_c" + std::to_string(c) + "_r0";
+        const auto loaded = tracequery::load_jsonl_file(base + ".jsonl");
+        EXPECT_GT(loaded.events.size(), 0u) << base;
+
+        std::ifstream manifest(base + ".manifest.json");
+        ASSERT_TRUE(manifest.good()) << base;
+        std::stringstream buffer;
+        buffer << manifest.rdbuf();
+        EXPECT_NE(buffer.str().find("\"backend\": \"gossip\""),
+                  std::string::npos);
+        EXPECT_NE(buffer.str().find("\"p\": "), std::string::npos);
+
+        // trace_counts mirror the recording that was exported.
+        const RunReport& r = cells[c].reports.front();
+        ASSERT_EQ(r.trace_counts.size(), kTraceEventKinds);
+        Telemetry counts;
+        for (const TraceEvent& e : loaded.events) counts.record(e);
+        for (std::size_t k = 0; k < kTraceEventKinds; ++k)
+            EXPECT_EQ(r.trace_counts[k], counts.totals()[k]) << "kind " << k;
+
+        std::remove((base + ".jsonl").c_str());
+        std::remove((base + ".manifest.json").c_str());
+    }
+
+    // Flooding (p=1) moves at least as many packets as p=0.5.
+    const auto tx = [](const CellResult& cell) {
+        return cell.reports.front()
+            .trace_counts[static_cast<std::size_t>(TraceEventKind::Transmitted)];
+    };
+    EXPECT_GE(tx(cells[0]), tx(cells[1]));
+}
+
+TEST(ScenarioTelemetry, NoSinkLeavesTraceCountsEmpty) {
+    ExperimentSpec spec;
+    spec.name = "telemetry off";
+    spec.base_seed = 1;
+    spec.jobs = 1;
+    spec.backend = [](const SweepPoint&, std::uint64_t seed) {
+        return std::make_unique<GossipAdapter>(GossipSpec{},
+                                               FaultScenario::none(), seed);
+    };
+    spec.trace = [](const SweepPoint&) { return corner_trace(); };
+    const auto cells = ScenarioRunner(std::move(spec)).run();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].reports.front().trace_counts.empty());
+}
+
+// --- Profiling scopes ---------------------------------------------------
+
+TEST(Prof, ScopesRecordOnlyWhenEnabled) {
+    prof::reset();
+    { SNOC_PROF("test/disabled"); }
+    EXPECT_EQ(prof::snapshot().count("test/disabled"), 0u);
+
+    prof::set_enabled(true);
+    { SNOC_PROF("test/enabled"); }
+    { SNOC_PROF("test/enabled"); }
+    prof::set_enabled(false);
+
+    const auto stats = prof::snapshot();
+    ASSERT_EQ(stats.count("test/enabled"), 1u);
+    EXPECT_EQ(stats.at("test/enabled").calls, 2u);
+    EXPECT_GE(stats.at("test/enabled").seconds, 0.0);
+    EXPECT_NE(prof::report().find("test/enabled"), std::string::npos);
+    prof::reset();
+}
+
+} // namespace
+} // namespace snoc

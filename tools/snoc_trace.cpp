@@ -1,0 +1,74 @@
+// snoc_trace — query a JSONL trace dump produced with --trace-out.
+//
+//   snoc_trace summary   run.jsonl            headline counters + kind histogram
+//   snoc_trace rounds    run.jsonl            per-round kind table
+//   snoc_trace lifeline  run.jsonl 5:12       every event touching message 5:12
+//   snoc_trace top-tiles run.jsonl [K]        K lossiest tiles (default 10)
+//   snoc_trace top-links run.jsonl [K]        K busiest directed links (default 10)
+//
+// The heavy lifting lives in src/telemetry/query.{hpp,cpp} so tests can
+// exercise the exact code this binary runs.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "telemetry/query.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr
+        << "usage: snoc_trace <command> <trace.jsonl> [args]\n"
+           "  summary   <trace.jsonl>          counters + kind histogram\n"
+           "  rounds    <trace.jsonl>          per-round kind table\n"
+           "  lifeline  <trace.jsonl> <o:seq>  one message's event history\n"
+           "  top-tiles <trace.jsonl> [K]      lossiest tiles (default 10)\n"
+           "  top-links <trace.jsonl> [K]      busiest links (default 10)\n";
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string command = argv[1];
+    const std::string path = argv[2];
+
+    const auto loaded = snoc::tracequery::load_jsonl_file(path);
+    if (loaded.events.empty() && loaded.skipped == 0) {
+        std::cerr << "snoc_trace: no events loaded from " << path << '\n';
+        return 1;
+    }
+    if (loaded.skipped > 0)
+        std::cerr << "snoc_trace: warning: skipped " << loaded.skipped
+                  << " malformed line(s)\n";
+
+    if (command == "summary") {
+        std::cout << snoc::tracequery::summary(loaded.events);
+        return 0;
+    }
+    if (command == "rounds") {
+        std::cout << snoc::tracequery::per_round(loaded.events);
+        return 0;
+    }
+    if (command == "lifeline") {
+        if (argc < 4) return usage();
+        const auto id = snoc::tracequery::parse_message_id(argv[3]);
+        if (!id) {
+            std::cerr << "snoc_trace: bad message id '" << argv[3]
+                      << "' (want origin:sequence, e.g. 5:12)\n";
+            return 2;
+        }
+        std::cout << snoc::tracequery::lifeline(loaded.events, *id);
+        return 0;
+    }
+    if (command == "top-tiles" || command == "top-links") {
+        std::size_t k = 10;
+        if (argc >= 4) k = static_cast<std::size_t>(std::atoll(argv[3]));
+        std::cout << (command == "top-tiles"
+                          ? snoc::tracequery::top_tiles(loaded.events, k)
+                          : snoc::tracequery::top_links(loaded.events, k));
+        return 0;
+    }
+    return usage();
+}
