@@ -14,14 +14,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# Static analysis first: the determinism linter is fast and failing it
-# should not cost a build; clang-tidy rides along when installed (see
-# scripts/lint.sh — it skips gracefully when the compile database does
-# not exist yet, i.e. before the first configure).
+# Static analysis first: snoc_lint (layering DAG, registry cross-checks,
+# determinism, RNG discipline — see tools/snoc_lint/ and DESIGN.md §11) is
+# fast and failing it should not cost a build; clang-tidy rides along when
+# installed (see scripts/lint.sh — it skips gracefully when the compile
+# database does not exist yet, i.e. before the first configure).
 if [[ -f "${CHECK_BUILD_DIR:-build}/compile_commands.json" ]]; then
     scripts/lint.sh "${CHECK_BUILD_DIR:-build}"
 else
-    python3 scripts/lint_determinism.py
+    python3 tools/snoc_lint
 fi
 
 run_one() {

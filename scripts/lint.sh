@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-# Static-analysis entry point: determinism lint (always) + clang-tidy
-# (when installed; the container ships gcc only, CI installs clang-tidy).
+# Static-analysis entry point: snoc_lint (always; layering, registries,
+# determinism, RNG discipline, header hygiene - see tools/snoc_lint/) +
+# clang-tidy (when installed; the container ships gcc only, CI installs
+# clang-tidy).
 #
 #   scripts/lint.sh [build-dir]
 #
 # The build dir is only needed for clang-tidy (compile_commands.json);
 # configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here).
+#
+# Exit status is nonzero when either snoc_lint or clang-tidy reports
+# findings; clang-tidy warnings are detected from its output because
+# run-clang-tidy historically exits 0 on plain warnings, which let CI
+# pass with real findings.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-echo "== determinism lint =="
-python3 scripts/lint_determinism.py
+echo "== snoc_lint =="
+mkdir -p "$(dirname "${SNOC_LINT_SARIF:-build/snoc_lint.sarif}")"
+python3 tools/snoc_lint --sarif-out "${SNOC_LINT_SARIF:-build/snoc_lint.sarif}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
     if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
@@ -22,10 +30,24 @@ if command -v clang-tidy >/dev/null 2>&1; then
     echo "== clang-tidy =="
     # First-party translation units only; checks come from .clang-tidy.
     mapfile -t sources < <(find src bench examples -name '*.cpp' | sort)
+    tidy_log="$(mktemp)"
+    trap 'rm -f "${tidy_log}"' EXIT
+    tidy_rc=0
     if command -v run-clang-tidy >/dev/null 2>&1; then
-        run-clang-tidy -quiet -p "${BUILD_DIR}" "${sources[@]}"
+        run-clang-tidy -quiet -p "${BUILD_DIR}" "${sources[@]}" \
+            2>&1 | tee "${tidy_log}" || tidy_rc=$?
     else
-        clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}"
+        clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}" \
+            2>&1 | tee "${tidy_log}" || tidy_rc=$?
+    fi
+    # A finding is "file:line:col: warning|error: ... [check-name]".
+    if grep -qE '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' "${tidy_log}"; then
+        echo "lint: clang-tidy reported findings" >&2
+        exit 1
+    fi
+    if [[ ${tidy_rc} -ne 0 ]]; then
+        echo "lint: clang-tidy exited with status ${tidy_rc}" >&2
+        exit "${tidy_rc}"
     fi
 else
     echo "clang-tidy not installed - skipping (CI runs it)" >&2

@@ -1,217 +1,31 @@
 #!/usr/bin/env python3
-"""Determinism linter for the simulator sources.
+"""Compatibility shim: the determinism linter now lives inside snoc_lint
+(tools/snoc_lint/determinism.py) as one checker of the project-wide
+static-analysis suite — shared file walker, shared allowlist format, one
+report, SARIF output.  This entry point keeps `python3
+scripts/lint_determinism.py` (CI muscle memory, old docs) working by
+running exactly the determinism-family checkers.
 
-The repro contract is bit-identical results for a given seed, for any
---jobs value, on any host.  That dies quietly when somebody reaches for a
-wall clock, an OS entropy source, or iterates an unordered container in a
-path whose iteration order can leak into results.  This script scans
-src/ and bench/ for the known offenders:
-
-  hard errors (never allowed in simulator code):
-    * std::rand / srand           - global hidden state, not seedable per-trial
-    * std::random_device          - OS entropy, different every run
-    * time( / clock( / gettimeofday  - wall-clock in a sim-visible value
-    * default-constructed std::mt19937 / mt19937_64 - unseeded PRNG
-
-  allowlisted declarations (fine only when order never escapes):
-    * std::unordered_map / std::unordered_set members or locals - each
-      declaration must appear in scripts/determinism_allowlist.txt with a
-      one-line justification (membership/lookup-only, never iterated, ...)
-    * chrono clock reads (steady_clock / system_clock /
-      high_resolution_clock) - wall time must never feed a sim-visible
-      value, but *measuring the simulator itself* (SNOC_PROF scopes, bench
-      harness timing) is legitimate; each file doing so must carry a
-      `relpath:wall_clock` allowlist entry justifying that the readings
-      only ever flow into reports, never into simulation state
-
-  hard errors derived from the above:
-    * range-for iteration over an identifier that was declared unordered
-      in the same file - iteration order is hash-order, which depends on
-      libstdc++ version and insertion history
-
-Usage:  scripts/lint_determinism.py [--root DIR]
-Exit status: 0 clean, 1 violations found.
+Prefer:  python3 tools/snoc_lint            # the full suite
+         python3 tools/snoc_lint --only determinism,rng,allowlist
 """
 
 from __future__ import annotations
 
-import argparse
-import re
+import importlib.util
 import sys
 from pathlib import Path
 
-SCAN_DIRS = ("src", "bench", "tools")
-EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+TOOL_DIR = Path(__file__).resolve().parent.parent / "tools" / "snoc_lint"
+sys.path.insert(0, str(TOOL_DIR))
 
-# (regex, message) pairs that are always errors in simulator code.
-HARD_PATTERNS = [
-    (re.compile(r"\bstd::rand\b|\bsrand\s*\("),
-     "std::rand/srand: global hidden RNG state; use common/rng.hpp streams"),
-    (re.compile(r"\brandom_device\b"),
-     "std::random_device: OS entropy is never reproducible; derive from the trial seed"),
-    (re.compile(r"(?<![\w.:>])time\s*\(|\bgettimeofday\s*\(|(?<![\w.:>_])clock\s*\(\s*\)"),
-     "wall-clock call: sim-visible time must come from the round/cycle model"),
-]
-
-# `mt19937 rng;` / `mt19937()`: unseeded unless the enclosing constructor
-# seeds the member in its initializer list - allowlistable for that case.
-MT19937_DECL = re.compile(
-    r"\bmt19937(?:_64)?\s+(\w+)\s*;|\bmt19937(?:_64)?\s*\(\s*\)")
-
-# Chrono clock reads: allowlistable per file (key `relpath:wall_clock`)
-# for code that times the simulator itself rather than the simulation.
-CHRONO_CLOCK = re.compile(
-    r"\bstd::chrono::(?:steady|system|high_resolution)_clock\b")
-
-UNORDERED_DECL = re.compile(
-    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;=]*?>\s*(\w+)\s*[;{(]")
-RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;:)]*?:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
-
-
-def strip_comments(text: str) -> str:
-    """Blank out // and /* */ comments and string literals, preserving
-    line structure so reported line numbers stay exact."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line | block | str | chr
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "str"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "chr"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("str", "chr"):
-            quote = '"' if state == "str" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            out.append(c if c == "\n" else " ")
-        i += 1
-    return "".join(out)
-
-
-def load_allowlist(path: Path) -> set[str]:
-    """Entries are `relpath:identifier` followed by free-text justification."""
-    entries: set[str] = set()
-    if not path.exists():
-        return entries
-    for raw in path.read_text().splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        entries.add(line.split()[0])
-    return entries
-
-
-def lint_file(path: Path, rel: str, allow: set[str]) -> list[str]:
-    problems: list[str] = []
-    code = strip_comments(path.read_text(errors="replace"))
-    lines = code.splitlines()
-
-    unordered_names: set[str] = set()
-    for lineno, line in enumerate(lines, 1):
-        for pattern, message in HARD_PATTERNS:
-            if pattern.search(line):
-                problems.append(f"{rel}:{lineno}: error: {message}")
-        for m in MT19937_DECL.finditer(line):
-            name = m.group(1) or "<temporary>"
-            key = f"{rel}:{name}"
-            if key not in allow:
-                problems.append(
-                    f"{rel}:{lineno}: error: default-constructed mt19937 '{name}': "
-                    f"unseeded PRNG; seed it from the trial seed (or allowlist "
-                    f"'{key}' if the constructor's initializer list seeds it)")
-        if CHRONO_CLOCK.search(line):
-            key = f"{rel}:wall_clock"
-            if key not in allow:
-                problems.append(
-                    f"{rel}:{lineno}: error: chrono clock read: wall time in "
-                    f"simulator code; if this only ever measures the simulator "
-                    f"(profiling/benchmark harness) and never feeds simulation "
-                    f"state, allowlist '{key}' with that justification")
-        for m in UNORDERED_DECL.finditer(line):
-            name = m.group(1)
-            unordered_names.add(name)
-            key = f"{rel}:{name}"
-            if key not in allow:
-                problems.append(
-                    f"{rel}:{lineno}: error: unordered container '{name}' is not "
-                    f"allowlisted; add '{key}' to scripts/determinism_allowlist.txt "
-                    "with a justification, or use an ordered/indexed container")
-    # Second pass: iteration over anything declared unordered in this file.
-    # Hash-order iteration is the classic silent determinism leak, so it is
-    # an error even for allowlisted containers.
-    for lineno, line in enumerate(lines, 1):
-        m = RANGE_FOR.search(line)
-        if m and m.group(1) in unordered_names:
-            problems.append(
-                f"{rel}:{lineno}: error: range-for over unordered container "
-                f"'{m.group(1)}': iteration order is hash-order and can leak "
-                "into results; copy into a sorted vector first")
-    return problems
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=None,
-                        help="repository root (default: the script's parent repo)")
-    args = parser.parse_args()
-    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
-    allow = load_allowlist(root / "scripts" / "determinism_allowlist.txt")
-
-    problems: list[str] = []
-    scanned = 0
-    for top in SCAN_DIRS:
-        base = root / top
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in EXTENSIONS:
-                continue
-            scanned += 1
-            problems.extend(lint_file(path, path.relative_to(root).as_posix(), allow))
-
-    for p in problems:
-        print(p)
-    print(f"lint_determinism: scanned {scanned} files, "
-          f"{len(problems)} violation(s)", file=sys.stderr)
-    return 1 if problems else 0
-
+# The CLI lives in the tool's __main__.py; load it under a private name
+# (a plain `import __main__` would resolve to this very script).
+_spec = importlib.util.spec_from_file_location("snoc_lint_cli",
+                                               TOOL_DIR / "__main__.py")
+snoc_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(snoc_lint)
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(snoc_lint.main(
+        ["--only", "determinism,rng,allowlist", *sys.argv[1:]]))

@@ -112,6 +112,8 @@ void InvariantAuditor::check_monotonic(const CounterSnapshot& now) {
         mono(last_.packets_accepted, now.packets_accepted, "packets_accepted");
         mono(last_.fec_uncorrectable, now.fec_uncorrectable, "fec_uncorrectable");
         mono(last_.skew_deferrals, now.skew_deferrals, "skew_deferrals");
+        mono(last_.upsets_undetected, now.upsets_undetected, "upsets_undetected");
+        mono(last_.fec_corrected, now.fec_corrected, "fec_corrected");
     }
     last_ = now;
     have_snapshot_ = true;
@@ -139,6 +141,8 @@ void InvariantAuditor::check_round(const GossipNetwork& net) {
     now.packets_accepted = m.packets_accepted;
     now.fec_uncorrectable = m.fec_uncorrectable;
     now.skew_deferrals = m.skew_deferrals;
+    now.upsets_undetected = m.upsets_undetected;
+    now.fec_corrected = m.fec_corrected;
     check_monotonic(now);
 
     const std::size_t tiles = net.topology().node_count();

@@ -111,7 +111,8 @@ private:
         std::size_t rounds{0}, packets_sent{0}, bits_sent{0}, messages_created{0},
             deliveries{0}, duplicates_ignored{0}, crc_drops{0}, overflow_drops{0},
             ttl_expired{0}, crash_drops{0}, port_overflow_drops{0},
-            packets_accepted{0}, fec_uncorrectable{0}, skew_deferrals{0};
+            packets_accepted{0}, fec_uncorrectable{0}, skew_deferrals{0},
+            upsets_undetected{0}, fec_corrected{0};
     };
     void check_monotonic(const CounterSnapshot& now);
 

@@ -195,4 +195,40 @@ void write_link_csv(const Telemetry& telemetry, const std::string& path) {
     write_link_csv(telemetry, os);
 }
 
+void write_metrics_json(const NetworkMetrics& metrics, std::ostream& os) {
+    bool first = true;
+    const auto field = [&](const char* name, std::size_t value) {
+        os << (first ? "{\n" : ",\n") << "  \"" << name << "\": " << value;
+        first = false;
+    };
+    field("rounds", metrics.rounds);
+    field("packets_sent", metrics.packets_sent);
+    field("bits_sent", metrics.bits_sent);
+    field("messages_created", metrics.messages_created);
+    field("deliveries", metrics.deliveries);
+    field("duplicates_ignored", metrics.duplicates_ignored);
+    field("crc_drops", metrics.crc_drops);
+    field("upsets_undetected", metrics.upsets_undetected);
+    field("overflow_drops", metrics.overflow_drops);
+    field("ttl_expired", metrics.ttl_expired);
+    field("crash_drops", metrics.crash_drops);
+    field("port_overflow_drops", metrics.port_overflow_drops);
+    field("packets_accepted", metrics.packets_accepted);
+    field("skew_deferrals", metrics.skew_deferrals);
+    field("fec_corrected", metrics.fec_corrected);
+    field("fec_uncorrectable", metrics.fec_uncorrectable);
+    // Derived figures, with fixed precision so output stays byte-stable.
+    std::ostringstream derived;
+    derived.setf(std::ios::fixed);
+    derived.precision(6);
+    derived << ",\n  \"link_hotspot_factor\": " << metrics.link_hotspot_factor()
+            << ",\n  \"average_packet_bits\": " << metrics.average_packet_bits();
+    os << derived.str() << "\n}\n";
+}
+
+void write_metrics_json(const NetworkMetrics& metrics, const std::string& path) {
+    auto os = open_or_die(path);
+    write_metrics_json(metrics, os);
+}
+
 } // namespace snoc

@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace snoc {
@@ -38,6 +39,15 @@ void write_heatmap_csv(const Telemetry& telemetry, const std::string& path,
 /// One row per directed link that carried at least one transmission.
 void write_link_csv(const Telemetry& telemetry, std::ostream& os);
 void write_link_csv(const Telemetry& telemetry, const std::string& path);
+
+/// Run-counter summary: one flat JSON object naming every scalar
+/// NetworkMetrics counter (snoc_lint's registry checker holds this
+/// exporter and the invariant auditor in lock-step with metrics.hpp —
+/// adding a counter without exporting it here fails the lint), plus the
+/// derived hotspot/packet-size figures.  Deterministic: fixed key order,
+/// no floats (derived ratios are printed with fixed precision).
+void write_metrics_json(const NetworkMetrics& metrics, std::ostream& os);
+void write_metrics_json(const NetworkMetrics& metrics, const std::string& path);
 
 /// "5:12" <-> MessageId{5, 12} wire spelling used by JSONL and the CLI.
 std::string format_message_id(const MessageId& id);

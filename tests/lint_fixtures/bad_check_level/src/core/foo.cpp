@@ -1,0 +1,6 @@
+#define SNOC_CHECK(level, cond) ((void)(cond))
+namespace snoc {
+void foo(int x) {
+    SNOC_CHECK(3, x >= 0);
+}
+}

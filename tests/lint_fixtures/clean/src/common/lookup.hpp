@@ -1,0 +1,8 @@
+#pragma once
+#include <unordered_set>
+namespace snoc {
+struct Lookup {
+    bool contains(int v) const { return kept_.count(v) != 0; }
+    std::unordered_set<int> kept_;
+};
+}

@@ -1,0 +1,3 @@
+#pragma once
+#include "noc/b.hpp"
+namespace snoc { struct A {}; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "noc/a.hpp"
+namespace snoc { struct B {}; }

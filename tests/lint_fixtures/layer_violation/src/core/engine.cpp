@@ -1,0 +1,3 @@
+// BAD: the engine (layer core) must not see the scenario layer above it.
+#include "sim/backends.hpp"
+namespace snoc { int engine_stub() { return 0; } }

@@ -1,0 +1,3 @@
+#pragma once
+// Stub of the top-layer scenario header the core file wrongly reaches for.
+namespace snoc { struct GossipAdapter; }

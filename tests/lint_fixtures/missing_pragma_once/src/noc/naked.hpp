@@ -1,0 +1,2 @@
+// BAD: no #pragma once.
+namespace snoc { struct Naked {}; }

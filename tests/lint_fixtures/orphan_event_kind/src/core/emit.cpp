@@ -1,0 +1,2 @@
+#include "sim/trace.hpp"
+namespace snoc { TraceEventKind used_emit_site() { return TraceEventKind::Used; } }

@@ -1,0 +1,11 @@
+#pragma once
+// Mini vocabulary header in the real file's shape.  "Orphan" is listed
+// but never emitted anywhere and never referenced by a test.
+#define SNOC_TRACE_EVENT_KIND_LIST(X) \
+    X(Used, "used")                   \
+    X(Orphan, "orphan-kind")
+enum class TraceEventKind {
+#define SNOC_KIND(name, str) name,
+    SNOC_TRACE_EVENT_KIND_LIST(SNOC_KIND)
+#undef SNOC_KIND
+};

@@ -1,0 +1,2 @@
+#include "sim/trace.hpp"
+int main() { return static_cast<int>(snoc::TraceEventKind::Used); }

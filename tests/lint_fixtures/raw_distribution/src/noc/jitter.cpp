@@ -1,0 +1,9 @@
+#include <random>
+// BAD: raw distribution bypasses RngStream's cached-threshold discipline
+// and is implementation-defined across standard libraries.
+namespace snoc {
+int jitter(std::mt19937& gen) {
+    std::uniform_int_distribution<int> dist(0, 3);
+    return dist(gen);
+}
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Self-test for snoc_lint: every fixture tree under tests/lint_fixtures/
+must trip exactly its intended checker(s) — no more, no less — and the
+exit status must match (1 with findings, 0 clean).  Each fixture is a
+miniature repo (src/, scripts/, tests/) with an expect.json naming the
+rule IDs it is built to fire.
+
+Run directly or via ctest (label `lint`):
+
+    python3 tests/lint_fixtures/run_fixture_tests.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURES = Path(__file__).resolve().parent
+TOOL = REPO_ROOT / "tools" / "snoc_lint"
+
+
+def run_fixture(fixture: Path) -> list[str]:
+    expect = json.loads((fixture / "expect.json").read_text())
+    expected_rules = set(expect["rules"])
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), "--root", str(fixture),
+         "--no-baseline", "--format", "json"],
+        capture_output=True, text=True, check=False)
+    failures: list[str] = []
+    if proc.returncode not in (0, 1):
+        return [f"exit status {proc.returncode} (config error?): "
+                f"{proc.stderr.strip()}"]
+    try:
+        findings = json.loads(proc.stdout)["findings"]
+    except (json.JSONDecodeError, KeyError) as err:
+        return [f"unparsable JSON report: {err}"]
+    actual_rules = {f["rule"] for f in findings}
+    if actual_rules != expected_rules:
+        unexpected = sorted(actual_rules - expected_rules)
+        missing = sorted(expected_rules - actual_rules)
+        if unexpected:
+            failures.append(f"unexpected rule(s) fired: {unexpected}")
+        if missing:
+            failures.append(f"expected rule(s) did not fire: {missing}")
+    expected_exit = 1 if expected_rules else 0
+    if proc.returncode != expected_exit:
+        failures.append(
+            f"exit status {proc.returncode}, expected {expected_exit}")
+    return failures
+
+
+def main() -> int:
+    fixtures = sorted(d for d in FIXTURES.iterdir()
+                      if d.is_dir() and (d / "expect.json").exists())
+    if not fixtures:
+        print("no fixtures found", file=sys.stderr)
+        return 1
+    failed = 0
+    for fixture in fixtures:
+        problems = run_fixture(fixture)
+        status = "ok" if not problems else "FAIL"
+        print(f"[{status}] {fixture.name}")
+        for problem in problems:
+            print(f"       {problem}")
+        failed += bool(problems)
+    print(f"{len(fixtures) - failed}/{len(fixtures)} fixtures passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

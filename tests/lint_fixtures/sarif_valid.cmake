@@ -1,0 +1,16 @@
+# ctest helper (see tests/CMakeLists.txt): run snoc_lint with a SARIF
+# sink, then require the artifact to parse as JSON.
+execute_process(
+  COMMAND ${PYTHON} ${SOURCE_DIR}/tools/snoc_lint --root ${SOURCE_DIR}
+          --sarif-out ${OUT}
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "snoc_lint failed (rc=${lint_rc})")
+endif()
+execute_process(
+  COMMAND ${PYTHON} -m json.tool ${OUT}
+  OUTPUT_QUIET
+  RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+  message(FATAL_ERROR "SARIF output is not valid JSON (rc=${json_rc})")
+endif()

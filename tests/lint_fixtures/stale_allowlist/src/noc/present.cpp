@@ -1,0 +1,1 @@
+namespace snoc { int present() { return 1; } }

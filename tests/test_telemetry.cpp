@@ -206,6 +206,50 @@ TEST(TelemetryDeterminism, JsonlRoundTripsExactly) {
     }
 }
 
+// The metrics-summary exporter names every scalar NetworkMetrics counter
+// (snoc_lint's registry checker enforces the lock-step the other way, by
+// scanning the source); golden bytes keep the artifact deterministic.
+TEST(TelemetryGolden, MetricsJsonNamesEveryCounter) {
+    NetworkMetrics m;
+    m.rounds = 3;
+    m.packets_sent = 10;
+    m.bits_sent = 2560;
+    m.messages_created = 4;
+    m.deliveries = 4;
+    std::ostringstream os;
+    write_metrics_json(m, os);
+    const std::string out = os.str();
+    for (const char* counter :
+         {"rounds", "packets_sent", "bits_sent", "messages_created",
+          "deliveries", "duplicates_ignored", "crc_drops", "upsets_undetected",
+          "overflow_drops", "ttl_expired", "crash_drops",
+          "port_overflow_drops", "packets_accepted", "skew_deferrals",
+          "fec_corrected", "fec_uncorrectable", "link_hotspot_factor",
+          "average_packet_bits"}) {
+        EXPECT_NE(out.find('"' + std::string(counter) + "\":"),
+                  std::string::npos)
+            << "counter missing from metrics JSON: " << counter;
+    }
+    EXPECT_EQ(out.substr(0, 2), "{\n");
+    EXPECT_EQ(out.substr(out.size() - 3), "\n}\n");
+    EXPECT_NE(out.find("\"packets_sent\": 10"), std::string::npos);
+    EXPECT_NE(out.find("\"average_packet_bits\": 256.000000"),
+              std::string::npos);
+
+    // Byte-determinism: a real seeded run exports identical bytes twice.
+    std::string dumps[2];
+    for (std::string& dump : dumps) {
+        auto backend =
+            make_interconnect(BackendKind::Gossip, FaultScenario::none(), 7);
+        const RunReport report = backend->run(corner_trace(), 3000);
+        ASSERT_TRUE(report.completed);
+        std::ostringstream run_os;
+        write_metrics_json(report.metrics, run_os);
+        dump = run_os.str();
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
 // --- Query/metrics parity ----------------------------------------------
 
 TEST(TraceQuery, SummaryCountersMatchNetworkMetrics) {

@@ -1,0 +1,136 @@
+"""Layering enforcement: the dependency DAG between source layers.
+
+`scripts/layers.toml` declares named layers (glob-matched file sets) and
+each layer's *direct* dependencies.  A file may include headers from its
+own layer or from any layer in the transitive closure of its layer's
+deps — anything else is an inverted or skipped-layer edge and is flagged.
+Two cycle checks back this up: the declared layer graph itself must be a
+DAG (a cyclic rules file is a config error), and the resolved file-level
+include graph must be acyclic (mutual inclusion is a bug even when the
+layer assignment would permit both edges).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from pathlib import Path
+
+from model import ConfigError, Finding, Project, strongly_connected_components
+
+LAYERS_FILE = "scripts/layers.toml"
+
+
+class LayerConfig:
+    def __init__(self, layers: dict[str, dict]):
+        self.patterns: dict[str, list[str]] = {}
+        self.direct: dict[str, set[str]] = {}
+        self.unrestricted: set[str] = set()
+        for name, spec in layers.items():
+            self.patterns[name] = list(spec.get("paths", []))
+            self.direct[name] = set(spec.get("deps", []))
+            if spec.get("unrestricted", False):
+                self.unrestricted.add(name)
+        for name, deps in self.direct.items():
+            for dep in deps:
+                if dep not in self.patterns:
+                    raise ConfigError(
+                        f"{LAYERS_FILE}: layer '{name}' depends on unknown "
+                        f"layer '{dep}'")
+        # Declared graph must be a DAG before closures mean anything.
+        cycles = strongly_connected_components(
+            {n: {d for d in deps if d != n} for n, deps in self.direct.items()})
+        if cycles:
+            raise ConfigError(
+                f"{LAYERS_FILE}: dependency cycle between layers: "
+                + " <-> ".join(cycles[0]))
+        self.allowed: dict[str, set[str]] = {}
+        for name in self.patterns:
+            seen: set[str] = set()
+            work = list(self.direct[name])
+            while work:
+                dep = work.pop()
+                if dep in seen:
+                    continue
+                seen.add(dep)
+                work.extend(self.direct[dep])
+            seen.add(name)
+            self.allowed[name] = seen
+
+    def layer_of(self, rel: str) -> str | None:
+        """Most-specific match wins: an exact (wildcard-free) pattern beats
+        any glob; among globs, the longest pattern wins."""
+        best: tuple[int, int, str] | None = None
+        for name, patterns in self.patterns.items():
+            for pat in patterns:
+                exact = "*" not in pat and "?" not in pat
+                if exact:
+                    if pat != rel:
+                        continue
+                elif not fnmatch.fnmatchcase(rel, pat.replace("**", "*")):
+                    continue
+                rank = (1 if exact else 0, len(pat), name)
+                if best is None or rank > best:
+                    best = rank
+        return best[2] if best else None
+
+
+def load_config(root: Path) -> LayerConfig | None:
+    path = root / LAYERS_FILE
+    if not path.exists():
+        return None
+    try:
+        data = tomllib.loads(path.read_text())
+    except tomllib.TOMLDecodeError as err:
+        raise ConfigError(f"{LAYERS_FILE}: {err}") from err
+    layers = data.get("layers")
+    if not isinstance(layers, dict) or not layers:
+        raise ConfigError(f"{LAYERS_FILE}: missing [layers.*] tables")
+    return LayerConfig(layers)
+
+
+def check_layering(project: Project) -> list[Finding]:
+    config = load_config(project.root)
+    findings: list[Finding] = []
+
+    # File-level include cycles, independent of layer assignment (and of
+    # whether a rules file exists at all): mutual inclusion is a bug even
+    # when the layer assignment would permit both edges.
+    graph = {rel: {t for _, t in edges}
+             for rel, edges in project.include_graph.items()}
+    for comp in strongly_connected_components(graph):
+        findings.append(Finding(
+            rule="layer-cycle", file=comp[0], line=0,
+            message="include cycle: " + " -> ".join(comp + [comp[0]]),
+            key="cycle:" + ",".join(comp)))
+
+    if config is None:
+        return findings  # fixtures without a rules file skip DAG checks.
+
+    assignment: dict[str, str] = {}
+    for rel in sorted(project.files):
+        layer = config.layer_of(rel)
+        if layer is None:
+            findings.append(Finding(
+                rule="layer-unassigned", file=rel, line=0,
+                message=f"file matches no layer in {LAYERS_FILE}; add it to "
+                        "a layer (or a new one) so the DAG covers it"))
+            continue
+        assignment[rel] = layer
+
+    for rel in sorted(assignment):
+        layer = assignment[rel]
+        if layer in config.unrestricted:
+            continue
+        for line, target in project.include_graph[rel]:
+            target_layer = assignment.get(target)
+            if target_layer is None or target_layer == layer:
+                continue
+            if target_layer not in config.allowed[layer]:
+                findings.append(Finding(
+                    rule="layer-forbidden", file=rel, line=line,
+                    message=f"layer '{layer}' may not include '{target}' "
+                            f"(layer '{target_layer}'); allowed from here: "
+                            + ", ".join(sorted(config.allowed[layer] - {layer})),
+                    key=f"{layer}->{target}"))
+    return findings

@@ -1,0 +1,241 @@
+"""Shared model for all snoc_lint checkers.
+
+One walk of the tree produces `Project`: every first-party source file
+with its comment-stripped text (so regex checkers never fire inside
+comments or string literals) and the resolved first-party include graph
+(so the layering checker and cycle detector see real edges, not guesses).
+Checkers are pure functions Project -> [Finding]; they share this model
+and never re-read the filesystem.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SOURCE_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+SCAN_ROOTS = ("src", "bench", "tools", "tests", "examples")
+
+# Never scanned: deliberately-bad lint fixtures, build trees, VCS metadata.
+EXCLUDED_PARTS = {".git"}
+EXCLUDED_NAMES = {"lint_fixtures"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+@dataclass
+class Finding:
+    """One lint result.  `key` identifies the finding across line-number
+    churn for the baseline file; it defaults to the message, so checkers
+    only set it when the message embeds volatile detail."""
+
+    rule: str
+    file: str  # repo-relative posix path; "" for project-level findings.
+    line: int  # 1-based; 0 when the finding has no single line.
+    message: str
+    key: str = ""
+
+    def identity(self) -> tuple[str, str, str]:
+        return (self.rule, self.file, self.key or self.message)
+
+    def __str__(self) -> str:
+        where = self.file or "<project>"
+        if self.line:
+            where += f":{self.line}"
+        return f"{where}: error: [{self.rule}] {self.message}"
+
+
+class ConfigError(Exception):
+    """Broken lint configuration (layers.toml etc.) - exit 2, not a finding."""
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string/char literals, preserving
+    line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+@dataclass
+class SourceFile:
+    rel: str  # repo-relative posix path.
+    raw: str  # file text as on disk.
+    code: str  # comment/string-stripped text (same line structure).
+    includes: list[tuple[int, str]] = field(default_factory=list)  # (line, spec)
+
+    @property
+    def is_header(self) -> bool:
+        return self.rel.endswith((".hpp", ".h"))
+
+    @property
+    def top(self) -> str:
+        """First path component ("src", "bench", ...)."""
+        return self.rel.split("/", 1)[0]
+
+    def code_lines(self) -> list[str]:
+        return self.code.splitlines()
+
+
+class Project:
+    """The walked tree plus the resolved first-party include graph."""
+
+    def __init__(self, root: Path, scan_roots: tuple[str, ...] = SCAN_ROOTS):
+        self.root = root
+        self.files: dict[str, SourceFile] = {}
+        for top in scan_roots:
+            base = root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in SOURCE_EXTENSIONS:
+                    continue
+                parts = set(path.relative_to(root).parts)
+                if parts & EXCLUDED_PARTS or parts & EXCLUDED_NAMES:
+                    continue
+                rel = path.relative_to(root).as_posix()
+                raw = path.read_text(errors="replace")
+                src = SourceFile(rel=rel, raw=raw, code=strip_comments(raw))
+                # Include specs are string literals, so parse them from the
+                # raw text (the stripper blanks literals out of `code`).
+                for m in INCLUDE_RE.finditer(raw):
+                    line = raw.count("\n", 0, m.start()) + 1
+                    src.includes.append((line, m.group(1)))
+                self.files[rel] = src
+        # rel -> [(line, included rel)] for includes that resolve to a
+        # first-party file; unresolved specs are system headers and skipped.
+        self.include_graph: dict[str, list[tuple[int, str]]] = {}
+        for rel, src in self.files.items():
+            edges = []
+            for line, spec in src.includes:
+                target = self.resolve_include(rel, spec)
+                if target is not None:
+                    edges.append((line, target))
+            self.include_graph[rel] = edges
+
+    def resolve_include(self, from_rel: str, spec: str) -> str | None:
+        """Quoted includes are rooted at src/ (`"common/types.hpp"`), at the
+        including file's directory (`"bench_util.hpp"`), or at bench/ (tests
+        include bench_util.hpp via an include dir)."""
+        from_dir = from_rel.rsplit("/", 1)[0] if "/" in from_rel else ""
+        candidates = [f"src/{spec}", f"{from_dir}/{spec}" if from_dir else spec,
+                      f"bench/{spec}", spec]
+        for cand in candidates:
+            # Normalise "a/./b" or "a/../b" spellings, defensively.
+            norm = []
+            for part in cand.split("/"):
+                if part in ("", "."):
+                    continue
+                if part == "..":
+                    if norm:
+                        norm.pop()
+                    continue
+                norm.append(part)
+            cand = "/".join(norm)
+            if cand in self.files:
+                return cand
+        return None
+
+    def by_top(self, *tops: str) -> list[SourceFile]:
+        return [f for f in self.files.values() if f.top in tops]
+
+
+def strongly_connected_components(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan; returns SCCs with more than one node (the cycles)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: list[tuple[str, iter]] = [(start, iter(sorted(graph.get(start, ()))))]
+        index[start] = low[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in graph:
+                    continue
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(sorted(comp))
+    return sccs

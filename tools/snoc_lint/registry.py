@@ -1,0 +1,121 @@
+"""Registry cross-checks: the X-macro / counter tables that must stay in
+lock-step with the code that feeds them.
+
+* Every `TraceEventKind` in the SNOC_TRACE_EVENT_KIND_LIST X-macro must
+  have at least one emit site (a `TraceEventKind::K` mention in src/
+  outside the vocabulary header and the exporters that merely enumerate
+  kinds) and at least one test reference (enumerator or wire name in
+  tests/) — an orphan kind is dead vocabulary that silently skews every
+  "all kinds" table.
+* Every scalar `NetworkMetrics` counter must be named in the telemetry
+  metrics-summary exporter and in the invariant auditor — a counter
+  missing from either escapes both the artifact record and the
+  self-consistency audit.
+* Every `SNOC_CHECK(level, ...)` level argument must be the literal 0, 1
+  or 2 (the only levels the build system accepts).
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import Finding, Project
+
+TRACE_HEADER = "src/sim/trace.hpp"
+METRICS_HEADER = "src/core/metrics.hpp"
+AUDITOR_SOURCE = "src/check/invariant_auditor.cpp"
+METRICS_EXPORTER = "src/telemetry/export.cpp"
+
+XMACRO_ENTRY = re.compile(r'\bX\(\s*(\w+)\s*,\s*"([^"]+)"\s*\)')
+METRICS_FIELD = re.compile(r"^\s*std::size_t\s+(\w+)\s*\{0\}\s*;", re.MULTILINE)
+SNOC_CHECK_CALL = re.compile(r"\bSNOC_CHECK\(\s*([^,\s][^,]*?)\s*,")
+
+
+def parse_trace_kinds(project: Project) -> list[tuple[str, str]]:
+    header = project.files.get(TRACE_HEADER)
+    if header is None:
+        return []
+    start = header.raw.find("SNOC_TRACE_EVENT_KIND_LIST(X)")
+    if start < 0:
+        return []
+    end = header.raw.find("enum class TraceEventKind", start)
+    region = header.raw[start:end if end > 0 else len(header.raw)]
+    return XMACRO_ENTRY.findall(region)
+
+
+def parse_metrics_counters(project: Project) -> list[str]:
+    header = project.files.get(METRICS_HEADER)
+    if header is None:
+        return []
+    start = header.code.find("struct NetworkMetrics")
+    if start < 0:
+        return []
+    return METRICS_FIELD.findall(header.code[start:])
+
+
+def check_registries(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+
+    kinds = parse_trace_kinds(project)
+    if kinds:
+        # Emit sites: src/ minus the vocabulary header/impl and the
+        # telemetry layer (exporters enumerate every kind by design, so
+        # counting them would make any kind look alive).
+        emit_text = "\n".join(
+            f.code for f in project.by_top("src")
+            if not f.rel.startswith(("src/sim/trace.", "src/telemetry/")))
+        test_code = "\n".join(f.code for f in project.by_top("tests"))
+        test_raw = "\n".join(f.raw for f in project.by_top("tests"))
+        for name, wire in kinds:
+            if f"TraceEventKind::{name}" not in emit_text:
+                findings.append(Finding(
+                    rule="registry-event-emit", file=TRACE_HEADER, line=0,
+                    message=f"TraceEventKind::{name} has no emit site in src/ "
+                            "(outside trace.hpp and the exporters); dead "
+                            "vocabulary skews every all-kinds table",
+                    key=f"emit:{name}"))
+            if (f"TraceEventKind::{name}" not in test_code
+                    and f'"{wire}"' not in test_raw):
+                findings.append(Finding(
+                    rule="registry-event-test", file=TRACE_HEADER, line=0,
+                    message=f"TraceEventKind::{name} (wire \"{wire}\") is "
+                            "never referenced by a test in tests/",
+                    key=f"test:{name}"))
+
+    counters = parse_metrics_counters(project)
+    if counters:
+        exporter = project.files.get(METRICS_EXPORTER)
+        auditor = project.files.get(AUDITOR_SOURCE)
+        for counter in counters:
+            if exporter is not None and \
+                    not re.search(rf"\b{counter}\b", exporter.code):
+                findings.append(Finding(
+                    rule="registry-metrics-telemetry", file=METRICS_HEADER,
+                    line=0,
+                    message=f"NetworkMetrics::{counter} is missing from the "
+                            f"metrics summary exporter ({METRICS_EXPORTER})",
+                    key=f"telemetry:{counter}"))
+            if auditor is not None and \
+                    not re.search(rf"\b{counter}\b", auditor.code):
+                findings.append(Finding(
+                    rule="registry-metrics-audit", file=METRICS_HEADER, line=0,
+                    message=f"NetworkMetrics::{counter} is missing from the "
+                            f"invariant auditor's self-consistency/"
+                            f"monotonicity checks ({AUDITOR_SOURCE})",
+                    key=f"audit:{counter}"))
+
+    define_line = re.compile(r"^\s*#\s*define\b")
+    for src in project.by_top("src", "bench", "tests"):
+        for lineno, line in enumerate(src.code_lines(), 1):
+            if define_line.match(line):  # the macro's own definition.
+                continue
+            for m in SNOC_CHECK_CALL.finditer(line):
+                level = m.group(1).strip()
+                if level not in {"0", "1", "2"}:
+                    findings.append(Finding(
+                        rule="check-level", file=src.rel, line=lineno,
+                        message=f"SNOC_CHECK level '{level}' is not the "
+                                "literal 0, 1 or 2 (the only levels "
+                                "SNOC_CHECK_LEVEL accepts)",
+                        key=f"level:{level}"))
+    return findings
