@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
             opt.repeats,
             [&](std::uint64_t seed) {
                 GossipNetwork net(Topology::mesh(5, 5), bench::config_with_p(0.5, 30),
-                                  FaultScenario::none(), seed);
+                                  FaultScenario::none(), seed,
+                                  bench::engine_select(opt));
                 apps::PiDeployment d;
                 auto& master = apps::deploy_pi(net, d);
                 net.protect(d.master_tile);

@@ -4,6 +4,19 @@
 // full broadcast vs. mesh side (expected ~ diameter + O(log n) at fixed
 // p), packets per tile (expected ~ flat: each tile relays a bounded
 // number of copies per rumor), against Pittel's fully-connected bound.
+//
+// Flags beyond the uniform bench set:
+//   --sides 4,8,256     mesh sides to sweep (default 4,6,8,10,12,16)
+//   --ttl 40            rumor TTL (default 512; small TTLs keep the
+//                       active region a thin wavefront, the sparse
+//                       workload the --engine event executor skips idle
+//                       tiles on — scripts/bench_snapshot.sh drives a
+//                       1000x1000 mesh through it in seconds)
+// Each cell reports wall-clock seconds per trial next to the simulated
+// rounds, so lockstep-vs-event comparisons drop out of two runs; a trial
+// ends when the rumor has reached every tile or died out (quiescence),
+// and the coverage column tells which.
+#include <chrono>
 #include <iostream>
 #include <memory>
 
@@ -21,58 +34,108 @@ public:
     void on_message(const snoc::Message&, snoc::TileContext&) override {}
 };
 
+std::vector<std::size_t> parse_sides(const std::string& csv) {
+    std::vector<std::size_t> sides;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        const auto comma = csv.find(',', pos);
+        const auto token = csv.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        const auto side = static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
+        if (side >= 2) sides.push_back(side);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return sides;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     using namespace snoc;
+    const CliArgs args(argc, argv);
     const auto opt = bench::options(argc, argv, 10);
     constexpr double kP = 0.5;
 
+    std::vector<std::size_t> sides = {4, 6, 8, 10, 12, 16};
+    if (args.has("sides")) sides = parse_sides(args.get_string("sides", ""));
+    const auto ttl = static_cast<std::uint16_t>(args.get_u64("ttl", 512));
+    // A single-trial cell (the mega-mesh configuration) shards its one
+    // network across --jobs strips; multi-trial cells keep one strip and
+    // let the trial fan-out fill the pool instead.
+    const EngineSelect engine =
+        bench::engine_select(opt, opt.repeats == 1 ? opt.jobs : 1);
+    const Round cap = std::max<Round>(2000, 4 * static_cast<Round>(ttl));
+
     struct Trial {
-        bool completed{false};
-        double rounds{0.0}, packets{0.0};
+        bool completed{false}; ///< the rumor reached every tile.
+        double rounds{0.0}, packets{0.0}, coverage{0.0}, wall_s{0.0};
     };
 
-    Table table({"mesh", "tiles", "rounds to reach all", "diameter/p + slack",
-                 "Pittel (full graph)", "packets/tile"});
-    for (std::size_t side : {4u, 6u, 8u, 10u, 12u, 16u}) {
+    Table table({"mesh", "tiles", "rounds", "diameter/p + slack",
+                 "Pittel (full graph)", "packets/tile", "coverage [%]",
+                 "wall [s]"});
+    for (std::size_t side : sides) {
         const auto topo = Topology::mesh(side, side);
         const std::size_t n = topo.node_count();
         const std::size_t diameter = 2 * (side - 1);
         const auto trials = run_trials(
             opt.repeats,
             [&](std::uint64_t seed) {
-                GossipConfig c = bench::config_with_p(kP, 512);
-                GossipNetwork net(topo, c, FaultScenario::none(), seed);
+                GossipConfig c = bench::config_with_p(kP, ttl);
+                GossipNetwork net(topo, c, FaultScenario::none(), seed, engine);
                 net.attach(0, std::make_unique<CornerSource>());
+                // Wall time measures the simulator, never the simulation:
+                // the duration feeds only this report column.  Timing
+                // starts after construction — building the tiles costs
+                // the same under either engine, and the column exists to
+                // compare the engines' round execution.
+                const auto t0 = std::chrono::steady_clock::now();
                 const MessageId rumor{0, 0};
+                // Stop at full coverage or at rumor death (quiescence) —
+                // with a small TTL the broadcast is a travelling wavefront
+                // that dies before reaching the far corner, and the run
+                // should end with it.
                 const auto r = net.run_until(
-                    [&net, &rumor, n]() mutable { return net.tiles_knowing(rumor) == n; },
-                    2000);
+                    [&net, &rumor, n]() mutable {
+                        return net.tiles_knowing(rumor) == n || net.quiescent();
+                    },
+                    cap);
                 Trial out;
-                if (!r.completed) return out;
-                out.completed = true;
+                const std::size_t knowing = net.tiles_knowing(rumor);
+                out.completed = knowing == n;
                 out.rounds = static_cast<double>(r.rounds);
-                out.packets = static_cast<double>(net.metrics().packets_sent) /
-                              static_cast<double>(n) /
-                              static_cast<double>(r.rounds);
+                out.coverage =
+                    100.0 * static_cast<double>(knowing) / static_cast<double>(n);
+                if (r.rounds > 0)
+                    out.packets = static_cast<double>(net.metrics().packets_sent) /
+                                  static_cast<double>(n) /
+                                  static_cast<double>(r.rounds);
+                out.wall_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
                 return out;
             },
             opt.jobs);
-        Accumulator rounds, packets;
+        Accumulator rounds, packets, coverage, wall;
         for (const Trial& t : trials) {
-            if (!t.completed) continue;
             rounds.add(t.rounds);
             packets.add(t.packets);
+            coverage.add(t.coverage);
+            wall.add(t.wall_s);
         }
         table.add_row({std::to_string(side) + "x" + std::to_string(side),
                        std::to_string(n), format_number(rounds.mean(), 1),
                        std::to_string(estimate_ttl(diameter, kP)),
                        format_number(analytic::pittel_rounds(n), 1),
-                       format_number(packets.mean(), 2)});
+                       format_number(packets.mean(), 2),
+                       format_number(coverage.mean(), 1),
+                       format_number(wall.mean(), 3)});
     }
     bench::emit(table, opt,
-                "Ablation: broadcast scalability vs mesh size (p=0.5)");
+                std::string("Ablation: broadcast scalability vs mesh size "
+                            "(p=0.5, engine=") +
+                    to_string(opt.engine) + ")");
     std::cout << "\nReading: rounds grow with the diameter (linear in the\n"
                  "side), per-tile per-round traffic stays flat - the locality\n"
                  "property that makes gossip viable at hundreds of IPs.\n";

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
             opt.repeats,
             [&](std::uint64_t seed) {
                 GossipNetwork net(Topology::mesh(4, 4), bench::config_with_p(p, 40),
-                                  FaultScenario::none(), seed);
+                                  FaultScenario::none(), seed,
+                                  bench::engine_select(opt));
                 auto& output = apps::deploy_mp3(net, cfg);
                 const auto r =
                     net.run_until([&output] { return output.complete(); }, 4000);

@@ -81,6 +81,57 @@ BENCHMARK(BM_GossipRoundReference)
     ->Arg(16)
     ->Unit(benchmark::kMicrosecond);
 
+// Sparse-activity workload: a corner broadcast with a short TTL is a
+// travelling wavefront — a thin band of active tiles crossing an
+// otherwise idle mesh, the shape of the late gossip tail and the low-p
+// fault sweeps.  The lockstep engine pays O(tiles) every round; the
+// event engine pays O(active band).  Run both over the same seeds:
+// the ratio is the sparse speedup scripts/bench_snapshot.sh records.
+void sparse_broadcast_impl(benchmark::State& state, EngineKind kind) {
+    const auto side = static_cast<std::size_t>(state.range(0));
+    GossipConfig c;
+    c.forward_p = 0.5;
+    c.default_ttl = 20; // the rumor dies ~20 rounds in; the mesh does not
+    std::int64_t rounds = 0;
+    for (auto _ : state) {
+        // Construction, bootstrap and teardown are one-time O(tiles)
+        // costs, not round throughput — keep them off the timer.
+        state.PauseTiming();
+        auto net = std::make_unique<GossipNetwork>(Topology::mesh(side, side), c,
+                                                   FaultScenario::none(), 1,
+                                                   EngineSelect{kind, 1});
+        net->attach(0, std::make_unique<BroadcastSource>());
+        net->step();
+        state.ResumeTiming();
+        net->drain(500); // runs to quiescence: full broadcast lifetime
+        rounds += static_cast<std::int64_t>(net->round()) - 1;
+        state.PauseTiming();
+        net.reset();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(rounds); // items/s = simulated rounds/s
+}
+
+void BM_SparseBroadcastLockstep(benchmark::State& state) {
+    sparse_broadcast_impl(state, EngineKind::Lockstep);
+}
+BENCHMARK(BM_SparseBroadcastLockstep)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseBroadcastEvent(benchmark::State& state) {
+    sparse_broadcast_impl(state, EngineKind::Event);
+}
+BENCHMARK(BM_SparseBroadcastEvent)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 /// One self-contained Monte-Carlo trial: a 5x5 broadcast driven to
 /// quiescence, all randomness derived from the trial index.
 std::size_t broadcast_trial(std::uint64_t seed) {

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Engine performance snapshot: runs the sparse-broadcast microbenchmarks
+# (lockstep vs event, ns/round) and the two scalability anchor cells
+# (lockstep 256x256 full broadcast; event 1000x1000 sparse wavefront),
+# then writes BENCH_engine.json — machine info, git SHA, the per-side
+# ns/round table and the headline ratios.  Commit the refreshed snapshot
+# alongside engine-performance changes so regressions show up in review.
+#
+#   scripts/bench_snapshot.sh [build-dir]      # default build/
+#
+# The snapshot asserts the PR's two acceptance figures and exits non-zero
+# if either regresses:
+#   * event >= 5x lockstep rounds/s on the largest sparse cell,
+#   * the event 1000x1000 cell completes in less wall time than the
+#     lockstep 256x256 broadcast.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="BENCH_engine.json"
+
+if [[ ! -x "$BUILD_DIR/bench/perf_microbench" ]]; then
+    echo "bench_snapshot: $BUILD_DIR/bench/perf_microbench missing — build first" >&2
+    exit 1
+fi
+
+MICRO_JSON="$(mktemp)"
+SCAL_LOCKSTEP="$(mktemp)"
+SCAL_EVENT="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$SCAL_LOCKSTEP" "$SCAL_EVENT"' EXIT
+
+"$BUILD_DIR/bench/perf_microbench" \
+    --benchmark_filter=SparseBroadcast \
+    --benchmark_format=json > "$MICRO_JSON"
+
+# Anchor cells: the full 256x256 broadcast is the classic dense workload
+# (everything active until the TTL drain); the 1000x1000 short-TTL
+# wavefront is the sparse one the event engine exists for.
+"$BUILD_DIR/bench/ablation_scalability" \
+    --sides 256 --repeats 1 --engine lockstep --json > "$SCAL_LOCKSTEP"
+"$BUILD_DIR/bench/ablation_scalability" \
+    --sides 1000 --ttl 40 --repeats 1 --engine event --json > "$SCAL_EVENT"
+
+MICRO_JSON="$MICRO_JSON" SCAL_LOCKSTEP="$SCAL_LOCKSTEP" SCAL_EVENT="$SCAL_EVENT" \
+OUT="$OUT" python3 - <<'PY'
+import json, os, platform, re, subprocess, sys
+
+def sh(*cmd):
+    return subprocess.run(cmd, capture_output=True, text=True).stdout.strip()
+
+# perf_microbench appends its plain-text fan-out summary after the
+# benchmark JSON; raw_decode stops at the end of the JSON object.
+with open(os.environ["MICRO_JSON"]) as f:
+    micro, _ = json.JSONDecoder().raw_decode(f.read())
+
+ns_per_round = {"lockstep": {}, "event": {}}
+for b in micro["benchmarks"]:
+    m = re.match(r"BM_SparseBroadcast(Lockstep|Event)/(\d+)", b["name"])
+    if not m:
+        continue
+    engine, side = m.group(1).lower(), int(m.group(2))
+    ns_per_round[engine][side] = 1e9 / b["items_per_second"]
+
+sides = sorted(set(ns_per_round["lockstep"]) & set(ns_per_round["event"]))
+speedup = {s: ns_per_round["lockstep"][s] / ns_per_round["event"][s] for s in sides}
+largest = max(sides)
+
+def wall_cell(path):
+    text = open(os.environ[path]).read()
+    # The table is pretty-printed as a "[" line, row lines, a "]" line —
+    # column names themselves contain brackets ("coverage [%]"), so slice
+    # on whole lines rather than the first bracket characters.
+    start = text.index("\n[\n") + 1
+    end = text.index("\n]", start) + 2
+    rows = json.loads(text[start:end])
+    return {
+        "mesh": rows[0]["mesh"],
+        "rounds": float(rows[0]["rounds"]),
+        "coverage_pct": float(rows[0]["coverage [%]"]),
+        "wall_s": float(rows[0]["wall [s]"]),
+    }
+
+lockstep_cell = wall_cell("SCAL_LOCKSTEP")
+event_cell = wall_cell("SCAL_EVENT")
+
+cpu = ""
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                cpu = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+
+snapshot = {
+    "machine": {
+        "uname": " ".join(platform.uname()),
+        "cpu": cpu,
+        "cores": os.cpu_count(),
+    },
+    "git_sha": sh("git", "rev-parse", "HEAD"),
+    "workload": "sparse corner broadcast, p=0.5, ttl=20 (microbench); "
+                "scalability anchor cells below",
+    "ns_per_round": ns_per_round,
+    "sparse_speedup_event_over_lockstep": speedup,
+    "scalability": {
+        "lockstep_256x256_broadcast": lockstep_cell,
+        "event_1000x1000_sparse": event_cell,
+    },
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+headline = speedup[largest]
+print(f"sparse speedup at {largest}x{largest}: {headline:.1f}x "
+      f"(target >= 5x)")
+print(f"event 1000x1000: {event_cell['wall_s']:.2f}s vs "
+      f"lockstep 256x256: {lockstep_cell['wall_s']:.2f}s")
+ok = headline >= 5.0 and event_cell["wall_s"] < lockstep_cell["wall_s"]
+print(f"wrote {os.environ['OUT']}" + ("" if ok else " (TARGETS MISSED)"))
+sys.exit(0 if ok else 1)
+PY

@@ -12,19 +12,22 @@ public:
 
     void on_round(TileContext& ctx) override {
         auto& s = *state_;
-        if (s.phase >= s.trace.phases.size()) return;
-        if (sent_phase_ == s.phase) return; // already injected for this phase
-        const auto& phase = s.trace.phases[s.phase];
+        // Phase only moves during receive; within the compute phase this
+        // is a stable snapshot even when shards run tiles in parallel.
+        const std::size_t open = s.phase.load(std::memory_order_acquire);
+        if (open >= s.trace.phases.size()) return;
+        if (sent_phase_ == open) return; // already injected for this phase
+        const auto& phase = s.trace.phases[open];
         for (std::size_t i = 0; i < phase.messages.size(); ++i) {
             const auto& m = phase.messages[i];
             if (m.src != tile_) continue;
             // Payload sized to the logical message (rounded up to bytes).
             std::vector<std::byte> payload((m.bits + 7) / 8, std::byte{0xA5});
-            const auto tag = static_cast<std::uint32_t>(
-                kTraceTagBase | (s.phase << 8) | i);
+            const auto tag =
+                static_cast<std::uint32_t>(kTraceTagBase | (open << 8) | i);
             ctx.send(m.dst, tag, std::move(payload));
         }
-        sent_phase_ = s.phase;
+        sent_phase_ = open;
     }
 
     void on_message(const Message& message, TileContext&) override {
@@ -32,17 +35,23 @@ public:
         auto& s = *state_;
         const std::size_t phase = (message.tag >> 8) & 0xFFu;
         const std::size_t index = message.tag & 0xFFu;
-        if (phase != s.phase) return; // stale rumor from an earlier phase
+        // Stale rumor from an earlier phase?  A *first* copy of a phase-k
+        // message can never observe phase > k: the k -> k+1 transition
+        // requires every phase-k message (this one included) counted.
+        if (phase != s.phase.load(std::memory_order_acquire)) return;
         SNOC_EXPECT(phase < s.trace.phases.size());
         SNOC_EXPECT(index < s.trace.phases[phase].messages.size());
         if (s.trace.phases[phase].messages[index].dst != message.destination) return;
         const auto key = phase << 8 | index;
         if (!seen_.insert(key).second) return;
-        ++s.delivered_in_phase;
-        ++s.total_delivered;
-        if (s.delivered_in_phase == s.trace.phases[s.phase].messages.size()) {
-            ++s.phase;
-            s.delivered_in_phase = 0;
+        const std::size_t counted =
+            s.delivered_in_phase.fetch_add(1, std::memory_order_acq_rel) + 1;
+        s.total_delivered.fetch_add(1, std::memory_order_relaxed);
+        if (counted == s.trace.phases[phase].messages.size()) {
+            // Exactly one delivery completes the phase; no phase-(k+1)
+            // traffic can exist yet, so the reset below races with nothing.
+            s.delivered_in_phase.store(0, std::memory_order_relaxed);
+            s.phase.fetch_add(1, std::memory_order_release);
         }
     }
 

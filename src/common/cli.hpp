@@ -11,6 +11,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace snoc {
@@ -66,18 +67,46 @@ struct TelemetryOptions {
     }
 };
 
+/// Which round-execution engine drives a GossipNetwork.  A plain enum
+/// living below the core layer (same reasoning as TelemetryOptions above)
+/// so BenchOptions, ExperimentSpec and GossipSpec can carry the choice
+/// without a layering inversion; core/event_engine.hpp implements it.
+enum class EngineKind : std::uint8_t {
+    Lockstep, ///< reference engine: every tile visited every round.
+    Event,    ///< sparse active-set engine, optionally sharded.
+};
+
+const char* to_string(EngineKind kind);
+/// Parse "lockstep" / "event"; nullopt on anything else.
+std::optional<EngineKind> engine_kind_from_string(std::string_view name);
+
+/// Engine choice plus intra-trial shard workers for one GossipNetwork.
+/// `shards` only matters for the event engine: the mesh is partitioned
+/// into that many contiguous tile strips executed on the shared
+/// ThreadPool.  Results are byte-identical for any shard count.
+struct EngineSelect {
+    EngineKind kind{EngineKind::Lockstep};
+    std::size_t shards{1};
+};
+
+/// `--engine lockstep|event` beats the SNOC_ENGINE environment variable
+/// beats the lockstep default.  ContractViolation on unknown names.
+EngineKind resolve_engine(const CliArgs& args);
+
 /// The uniform flag set every bench binary accepts, parsed in exactly one
 /// place: --csv | --json (table output format), --repeats=N, --jobs=N,
-/// --seed=N, plus the telemetry/profiling flags (--trace-out=PATH,
-/// --chrome-out=PATH, --heatmap-out=PATH, --grid-width=N, --manifest,
-/// --prof).  Benches with extra flags construct CliArgs themselves and
-/// call the CliArgs overload.
+/// --seed=N, --engine=lockstep|event, plus the telemetry/profiling flags
+/// (--trace-out=PATH, --chrome-out=PATH, --heatmap-out=PATH,
+/// --grid-width=N, --manifest, --prof).  Benches with extra flags
+/// construct CliArgs themselves and call the CliArgs overload.
 struct BenchOptions {
     bool csv{false};
     bool json{false};
     std::size_t repeats{1};   ///< --repeats, else the bench's default (> 0).
     std::size_t jobs{1};      ///< resolved worker count (resolve_jobs).
     std::uint64_t seed{0};    ///< --seed base seed for the sweep.
+    /// --engine: which engine gossip-backed runs construct (resolve_engine).
+    EngineKind engine{EngineKind::Lockstep};
     TelemetryOptions telemetry; ///< export destinations, off by default.
     bool prof{false};         ///< --prof: simulator wall-clock profile report.
 };

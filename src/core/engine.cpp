@@ -4,16 +4,21 @@
 #include <optional>
 
 #include "common/expect.hpp"
+#include "core/event_engine.hpp"
 #include "noc/fec.hpp"
 #include "telemetry/prof.hpp"
 
 namespace snoc {
 
 // ---------------------------------------------------------------------------
-// TileContext implementation handed to IP cores.
+// TileContext implementation handed to IP cores.  All side effects of the
+// IP's calls (counters, traces, active-set bookkeeping) flow through the
+// StepSink so the same code serves the lockstep engine (direct sink) and
+// the event engine's parallel shards (per-shard sinks).
 class GossipNetwork::Context final : public TileContext {
 public:
-    Context(GossipNetwork& net, TileId tile) : net_(net), tile_(tile) {}
+    Context(GossipNetwork& net, TileId tile, StepSink& sink)
+        : net_(net), tile_(tile), sink_(sink) {}
 
     TileId tile() const override { return tile_; }
     Round round() const override { return net_.round_; }
@@ -21,26 +26,23 @@ public:
     void send(TileId destination, std::uint32_t tag, std::vector<std::byte> payload,
               std::uint16_t ttl_override) override {
         auto& t = net_.tiles_[tile_];
-        Message m;
-        m.id = MessageId{tile_, t.next_sequence++};
-        m.source = tile_;
-        m.destination = destination;
-        m.tag = tag;
-        m.ttl = ttl_override != 0 ? ttl_override : net_.config_.default_ttl;
-        m.payload = std::move(payload);
-        const MessageId id = m.id;
-        MessageId evicted{kNoTile, 0};
-        if (t.send_buffer.insert(std::move(m), net_.trace_ ? &evicted : nullptr)) {
-            ++net_.metrics_.messages_created;
-            net_.trace(TraceEventKind::MessageCreated, tile_, kNoTile, id);
-            if (evicted.origin != kNoTile)
-                net_.trace(TraceEventKind::BufferEvicted, tile_, kNoTile, evicted);
-        }
+        send_impl(MessageId{tile_, t.next_sequence++}, destination, tag,
+                  std::move(payload), ttl_override);
     }
 
     void send_with_id(MessageId id, TileId destination, std::uint32_t tag,
                       std::vector<std::byte> payload,
                       std::uint16_t ttl_override) override {
+        send_impl(id, destination, tag, std::move(payload), ttl_override);
+    }
+
+    RngStream& rng() override { return net_.app_rng_[tile_]; }
+
+    std::uint16_t default_ttl() const override { return net_.config_.default_ttl; }
+
+private:
+    void send_impl(MessageId id, TileId destination, std::uint32_t tag,
+                   std::vector<std::byte> payload, std::uint16_t ttl_override) {
         auto& t = net_.tiles_[tile_];
         Message m;
         m.id = id;
@@ -50,27 +52,32 @@ public:
         m.ttl = ttl_override != 0 ? ttl_override : net_.config_.default_ttl;
         m.payload = std::move(payload);
         MessageId evicted{kNoTile, 0};
-        if (t.send_buffer.insert(std::move(m), net_.trace_ ? &evicted : nullptr)) {
-            ++net_.metrics_.messages_created;
-            net_.trace(TraceEventKind::MessageCreated, tile_, kNoTile, id);
-            if (evicted.origin != kNoTile)
-                net_.trace(TraceEventKind::BufferEvicted, tile_, kNoTile, evicted);
+        MessageId* evicted_out =
+            (sink_.tracing || sink_.inserted) ? &evicted : nullptr;
+        if (t.send_buffer.insert(std::move(m), evicted_out)) {
+            ++sink_.metrics->messages_created;
+            net_.sink_trace(sink_, TraceEventKind::MessageCreated, tile_, kNoTile, id);
+            if (sink_.inserted) sink_.inserted->push_back(id);
+            if (sink_.activated && t.send_buffer.size() == 1)
+                sink_.activated->push_back(tile_);
+            if (evicted.origin != kNoTile) {
+                ++sink_.evictions;
+                net_.sink_trace(sink_, TraceEventKind::BufferEvicted, tile_, kNoTile,
+                                evicted);
+            }
         }
     }
 
-    RngStream& rng() override { return net_.app_rng_[tile_]; }
-
-    std::uint16_t default_ttl() const override { return net_.config_.default_ttl; }
-
-private:
     GossipNetwork& net_;
     TileId tile_;
+    StepSink& sink_;
 };
 
 // ---------------------------------------------------------------------------
 
 GossipNetwork::GossipNetwork(Topology topology, GossipConfig config,
-                             FaultScenario scenario, std::uint64_t seed)
+                             FaultScenario scenario, std::uint64_t seed,
+                             EngineSelect engine)
     : topology_(std::move(topology)),
       config_(config),
       pool_(seed),
@@ -94,6 +101,46 @@ GossipNetwork::GossipNetwork(Topology topology, GossipConfig config,
     metrics_.packets_by_link.assign(topology_.link_count(), 0);
     crash_state_.dead_tiles.assign(n, false);
     crash_state_.dead_links.assign(topology_.link_count(), false);
+    if (engine.kind == EngineKind::Event)
+        event_ = std::make_unique<EventEngine>(*this, engine.shards);
+}
+
+// Out of line for the unique_ptr<EventEngine> member's deleter.
+GossipNetwork::~GossipNetwork() = default;
+
+EngineKind GossipNetwork::engine_kind() const {
+    return event_ ? EngineKind::Event : EngineKind::Lockstep;
+}
+
+bool GossipNetwork::event_active_set_consistent() const {
+    return event_ ? event_->active_set_consistent() : true;
+}
+
+double GossipNetwork::elapsed_seconds() const {
+    return event_ ? event_->elapsed_seconds() : clocks_.elapsed();
+}
+
+GossipNetwork::StepSink GossipNetwork::direct_sink() {
+    StepSink sink;
+    sink.metrics = &metrics_;
+    sink.direct_trace = trace_;
+    sink.tracing = trace_ != nullptr;
+    return sink;
+}
+
+void GossipNetwork::sink_trace(StepSink& sink, TraceEventKind kind, TileId tile,
+                               TileId peer, MessageId message) {
+    if (!sink.tracing) return;
+    TraceEvent event;
+    event.round = round_;
+    event.kind = kind;
+    event.tile = tile;
+    event.peer = peer;
+    event.message = message;
+    if (sink.trace_buffer)
+        sink.trace_buffer->push_back(event);
+    else
+        sink.direct_trace->record(event);
 }
 
 void GossipNetwork::set_forward_capacity(TileId tile, std::size_t packets_per_round) {
@@ -160,11 +207,15 @@ void GossipNetwork::ensure_started() {
                        ? injector_.roll_exact_tile_crashes(topology_, *forced_exact_crashes_,
                                                            protected_tiles_)
                        : injector_.roll_crashes(topology_, protected_tiles_);
+    StepSink sink = direct_sink();
     for (TileId t = 0; t < tiles_.size(); ++t) {
         if (crash_state_.dead_tiles[t] || !tiles_[t].core) continue;
-        Context ctx(*this, t);
+        Context ctx(*this, t, sink);
         tiles_[t].core->on_start(ctx);
     }
+    // The event engine snapshots post-on_start state (active tiles, core
+    // placement, knower counts, clock regime) exactly once, here.
+    if (event_) event_->bootstrap();
 }
 
 GossipNetwork::RunResult GossipNetwork::run_until(const std::function<bool()>& done,
@@ -174,7 +225,7 @@ GossipNetwork::RunResult GossipNetwork::run_until(const std::function<bool()>& d
     if (done()) { // already satisfied (e.g. empty workload)
         result.completed = true;
         result.rounds = round_;
-        result.elapsed_seconds = clocks_.elapsed();
+        result.elapsed_seconds = elapsed_seconds();
         return result;
     }
     while (round_ < max_rounds) {
@@ -185,12 +236,17 @@ GossipNetwork::RunResult GossipNetwork::run_until(const std::function<bool()>& d
         }
     }
     result.rounds = round_;
-    result.elapsed_seconds = clocks_.elapsed();
+    result.elapsed_seconds = elapsed_seconds();
     return result;
 }
 
 void GossipNetwork::step() {
     ensure_started();
+    if (event_) {
+        SNOC_PROF("engine/event_step");
+        event_->step();
+        return;
+    }
     packets_this_round_ = 0;
     // Fig. 3-4 phase order: receive (CRC filter + dedup) -> TTL decrement
     // and garbage collection -> forward.  The IP's turn (compute) sits
@@ -231,6 +287,7 @@ void GossipNetwork::receive_phase() {
     // capacity across rounds.
     arrivals_scratch_.clear();
     std::swap(arrivals_scratch_, bucket);
+    StepSink deliver_sink = direct_sink();
     for (auto& [dest, arrival] : arrivals_scratch_) {
         if (crash_state_.dead_tiles[dest]) { // delivered into silence
             ++metrics_.crash_drops;
@@ -286,29 +343,35 @@ void GossipNetwork::receive_phase() {
         }
         if (arrival.corrupted && !corrected_this_packet)
             ++metrics_.upsets_undetected;
-        deliver_and_insert(dest, std::move(*decoded));
+        deliver_and_insert(dest, std::move(*decoded), deliver_sink);
     }
     for (auto& tile : tiles_) tile.inbox_backlog = 0;
 }
 
-void GossipNetwork::deliver_and_insert(TileId tile_id, Message message) {
+void GossipNetwork::deliver_and_insert(TileId tile_id, Message message,
+                                       StepSink& sink) {
     SNOC_PROF("engine/deliver");
     auto& tile = tiles_[tile_id];
     if (tile.send_buffer.knows(message.id)) {
-        ++metrics_.duplicates_ignored;
-        trace(TraceEventKind::DuplicateIgnored, tile_id, kNoTile, message.id);
+        ++sink.metrics->duplicates_ignored;
+        sink_trace(sink, TraceEventKind::DuplicateIgnored, tile_id, kNoTile,
+                   message.id);
         return;
     }
     const bool for_me =
         message.destination == tile_id || message.destination == kBroadcast;
     if (for_me && tile.core) {
-        Context ctx(*this, tile_id);
+        Context ctx(*this, tile_id, sink);
         tile.core->on_message(message, ctx);
-        ++metrics_.deliveries;
-        trace(TraceEventKind::Delivered, tile_id, kNoTile, message.id);
+        ++sink.metrics->deliveries;
+        sink_trace(sink, TraceEventKind::Delivered, tile_id, kNoTile, message.id);
     }
-    if (config_.stop_spread_on_delivery && message.destination == tile_id)
-        delivered_unicasts_.insert(message.id);
+    if (config_.stop_spread_on_delivery && message.destination == tile_id) {
+        if (sink.unicasts)
+            sink.unicasts->push_back(message.id);
+        else
+            delivered_unicasts_.insert(message.id);
+    }
     // The tile keeps relaying even when it is the destination: the rumor
     // lives until its TTL expires, which is what gives later tiles their
     // copies (Fig. 3-3: tiles 13-16 hear the message after the consumer).
@@ -319,21 +382,34 @@ void GossipNetwork::deliver_and_insert(TileId tile_id, Message message) {
     if (message.ttl > 0) {
         const MessageId id = message.id;
         MessageId evicted{kNoTile, 0};
-        if (tile.send_buffer.insert(std::move(message), trace_ ? &evicted : nullptr)) {
-            ++metrics_.packets_accepted;
-            trace(TraceEventKind::Accepted, tile_id, kNoTile, id);
-            if (evicted.origin != kNoTile)
-                trace(TraceEventKind::BufferEvicted, tile_id, kNoTile, evicted);
+        MessageId* evicted_out =
+            (sink.tracing || sink.inserted) ? &evicted : nullptr;
+        if (tile.send_buffer.insert(std::move(message), evicted_out)) {
+            ++sink.metrics->packets_accepted;
+            sink_trace(sink, TraceEventKind::Accepted, tile_id, kNoTile, id);
+            if (sink.inserted) sink.inserted->push_back(id);
+            if (sink.activated && tile.send_buffer.size() == 1)
+                sink.activated->push_back(tile_id);
+            if (evicted.origin != kNoTile) {
+                ++sink.evictions;
+                sink_trace(sink, TraceEventKind::BufferEvicted, tile_id, kNoTile,
+                           evicted);
+            }
         }
     }
 }
 
+void GossipNetwork::core_round(TileId t, StepSink& sink) {
+    Context ctx(*this, t, sink);
+    tiles_[t].core->on_round(ctx);
+}
+
 void GossipNetwork::compute_phase() {
+    StepSink sink = direct_sink();
     for (TileId t = 0; t < tiles_.size(); ++t) {
         if (crash_state_.dead_tiles[t] || !tiles_[t].core) continue;
         if (!tile_active_this_round(t)) continue;
-        Context ctx(*this, t);
-        tiles_[t].core->on_round(ctx);
+        core_round(t, sink);
     }
 }
 
@@ -370,7 +446,7 @@ void GossipNetwork::forward_phase() {
                 if (crash_state_.dead_links[links[i]]) continue;
                 if (route_filter_[t] && !route_filter_[t](m, nbrs[i])) continue;
                 if (!wire || config_.reference_encode_path) wire = encode_message(m);
-                enqueue_transmission(t, nbrs[i], links[i], m, wire);
+                enqueue_transmission(t, nbrs[i], links[i], m.id, wire);
                 --budget;
             }
         }
@@ -390,7 +466,7 @@ std::shared_ptr<const std::vector<std::byte>> GossipNetwork::encode_message(
 }
 
 void GossipNetwork::enqueue_transmission(TileId from, TileId to, LinkId link,
-                                         const Message& m,
+                                         MessageId id,
                                          std::shared_ptr<const std::vector<std::byte>> wire) {
     Arrival arrival{std::move(wire), false};
     if (injector_.upset_roll()) {
@@ -407,7 +483,7 @@ void GossipNetwork::enqueue_transmission(TileId from, TileId to, LinkId link,
     metrics_.bits_sent += bits;
     metrics_.bits_sent_by_tile[from] += bits;
     ++metrics_.packets_by_link[link];
-    trace(TraceEventKind::Transmitted, from, to, m.id);
+    trace(TraceEventKind::Transmitted, from, to, id);
 
     // A transmission into a crashed tile still burns bandwidth/energy but
     // is never received; model it by enqueuing (receive_phase drops it).
@@ -418,7 +494,7 @@ void GossipNetwork::enqueue_transmission(TileId from, TileId to, LinkId link,
     if (clocks_.skew(from, to) > clocks_.t_r() / 2.0) {
         ++arrival_round;
         ++metrics_.skew_deferrals;
-        trace(TraceEventKind::SkewDeferral, from, to, m.id);
+        trace(TraceEventKind::SkewDeferral, from, to, id);
     }
     in_flight_[arrival_round % kInFlightRing].emplace_back(to, std::move(arrival));
 }
@@ -453,6 +529,9 @@ void GossipNetwork::advance_clocks() {
 bool GossipNetwork::quiescent() const {
     for (const auto& bucket : in_flight_)
         if (!bucket.empty()) return false;
+    // The event engine answers from its active set in O(shards); falls
+    // back to the full scan before bootstrap (both see empty buffers).
+    if (event_ && event_->bootstrapped()) return event_->no_active_tiles();
     for (const auto& tile : tiles_)
         if (!tile.send_buffer.empty()) return false;
     return true;
@@ -488,6 +567,11 @@ std::size_t GossipNetwork::live_link_count() {
 
 std::size_t GossipNetwork::tiles_knowing(const MessageId& id) {
     ensure_started();
+    // The event engine keeps an exact per-rumor knower count (every
+    // successful send-buffer insert is one new live knower; knows() is
+    // monotone and crashes only roll at start), making the Fig. 3-1
+    // spread predicate O(1) instead of O(N) per round on mega-meshes.
+    if (event_) return event_->tiles_knowing(id);
     std::size_t count = 0;
     for (TileId t = 0; t < tiles_.size(); ++t)
         if (!crash_state_.dead_tiles[t] && tiles_[t].send_buffer.knows(id)) ++count;

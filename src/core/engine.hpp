@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/ledger.hpp"
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/gossip_config.hpp"
@@ -36,10 +37,18 @@
 
 namespace snoc {
 
+class EventEngine;
+
 class GossipNetwork {
 public:
+    /// `engine` picks the round executor: the default lockstep engine
+    /// walks every tile every round; EngineKind::Event delegates rounds
+    /// to the sparse-activity EventEngine (core/event_engine.hpp), which
+    /// produces bit-identical metrics, traces and clocks for any shard
+    /// count (test_engine_equivalence proves it).
     GossipNetwork(Topology topology, GossipConfig config, FaultScenario scenario,
-                  std::uint64_t seed);
+                  std::uint64_t seed, EngineSelect engine = {});
+    ~GossipNetwork();
 
     /// Map an IP core onto a tile.  Must be called before the first round.
     void attach(TileId tile, std::unique_ptr<IpCore> core);
@@ -98,7 +107,14 @@ public:
     const NetworkMetrics& metrics() const { return metrics_; }
     const CrashState& crashes();
     Round round() const { return round_; }
-    double elapsed_seconds() const { return clocks_.elapsed(); }
+    double elapsed_seconds() const;
+    /// Which engine executes rounds (EngineSelect at construction).
+    EngineKind engine_kind() const;
+    /// Event engine only: true iff its active-tile set equals the set of
+    /// live tiles with non-empty send buffers (the invariant that makes
+    /// skipping sound).  Always true under lockstep.  O(N); the
+    /// InvariantAuditor calls it per audited round.
+    bool event_active_set_consistent() const;
 
     bool tile_alive(TileId t);
     std::size_t live_link_count();
@@ -144,6 +160,31 @@ private:
 
     class Context; // TileContext implementation.
 
+    /// Effect sink for one delivery / compute call: where scalar
+    /// counters, trace events and bookkeeping side-effects land.  The
+    /// lockstep engine points it straight at metrics_ / trace_; the event
+    /// engine hands per-shard sinks so parallel shards never write shared
+    /// state (deltas are merged serially, in ascending shard order, at
+    /// phase end — which keeps results byte-identical at any shard
+    /// count).
+    struct StepSink {
+        NetworkMetrics* metrics{nullptr};  ///< scalar counter target.
+        TraceSink* direct_trace{nullptr};  ///< emit here when not buffering.
+        std::vector<TraceEvent>* trace_buffer{nullptr}; ///< shard buffer.
+        bool tracing{false};               ///< any trace destination is on.
+        /// nullptr: stop-spread ids go straight into delivered_unicasts_.
+        std::vector<MessageId>* unicasts{nullptr};
+        /// Event-engine bookkeeping (all nullptr under lockstep): ids
+        /// successfully inserted into send buffers (knower accounting),
+        /// tiles whose buffer went empty -> non-empty (active-set
+        /// maintenance), and how many insertions evicted a victim.
+        std::vector<MessageId>* inserted{nullptr};
+        std::vector<TileId>* activated{nullptr};
+        std::size_t evictions{0};
+    };
+    /// The lockstep sink: counters to metrics_, events to trace_.
+    StepSink direct_sink();
+
     void ensure_started();
     bool tile_active_this_round(TileId t) const;
     void receive_phase();
@@ -151,13 +192,17 @@ private:
     void forward_phase();
     void age_phase();
     void advance_clocks();
-    void deliver_and_insert(TileId tile, Message message);
+    void deliver_and_insert(TileId tile, Message message, StepSink& sink);
+    /// Run `tile`'s IP core hook with a Context wired to `sink`.
+    void core_round(TileId tile, StepSink& sink);
     /// Serialise + CRC (+ optional FEC) a message into a shareable wire image.
     std::shared_ptr<const std::vector<std::byte>> encode_message(const Message& m) const;
-    void enqueue_transmission(TileId from, TileId to, LinkId link, const Message& m,
+    void enqueue_transmission(TileId from, TileId to, LinkId link, MessageId id,
                               std::shared_ptr<const std::vector<std::byte>> wire);
     void trace(TraceEventKind kind, TileId tile, TileId peer = kNoTile,
                MessageId message = MessageId{kNoTile, 0});
+    void sink_trace(StepSink& sink, TraceEventKind kind, TileId tile,
+                    TileId peer = kNoTile, MessageId message = MessageId{kNoTile, 0});
 
     Topology topology_;
     GossipConfig config_;
@@ -193,6 +238,11 @@ private:
     std::size_t packets_this_round_{0};
     std::size_t sendbuf_overflow_snapshot_{0};
     TraceSink* trace_{nullptr};
+    /// Non-null iff constructed with EngineKind::Event; owns the sparse
+    /// round executor, which reaches back in through the friendship below.
+    std::unique_ptr<EventEngine> event_;
+
+    friend class EventEngine;
 };
 
 } // namespace snoc

@@ -17,7 +17,7 @@ namespace snoc {
 GossipAdapter::GossipAdapter(GossipSpec spec, const FaultScenario& scenario,
                              std::uint64_t seed)
     : spec_(std::move(spec)),
-      net_(spec_.topology, spec_.config, scenario, seed),
+      net_(spec_.topology, spec_.config, scenario, seed, spec_.engine),
       seed_(seed) {
     for (TileId t : spec_.protect) net_.protect(t);
     if (spec_.exact_tile_crashes) net_.force_exact_tile_crashes(*spec_.exact_tile_crashes);

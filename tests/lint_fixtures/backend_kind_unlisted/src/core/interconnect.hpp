@@ -1,0 +1,8 @@
+#pragma once
+// Mini backend registry in the real file's shape.  "Valiant" is a new
+// BackendKind the engine-equivalence marker below never picked up.
+enum class BackendKind {
+    Gossip,
+    Bus,
+    Valiant,
+};

@@ -1,0 +1,3 @@
+// engine-equivalence-backends: gossip bus
+#include "core/interconnect.hpp"
+int main() { return static_cast<int>(BackendKind::Gossip); }

@@ -1,18 +1,26 @@
-// The encode-once forward path and the in-flight ring buffer are pure
-// optimisations: for any fixed seed the network must behave exactly as if
-// every transmission serialised its own packet (the reference_encode_path
-// diagnostic knob re-enables that).  These tests run the same scenario
-// with both paths and require NetworkMetrics to match field-for-field —
-// any divergence means the shared wire image leaked a mutation, an RNG
-// draw moved, or a ring bucket aliased a live round.
+// The encode-once forward path, the in-flight ring buffer and the whole
+// event-driven engine are pure optimisations: for any fixed seed the
+// network must behave exactly as if every transmission serialised its own
+// packet (the reference_encode_path diagnostic knob re-enables that) and
+// exactly as if every tile were walked every round (the lockstep engine).
+// These tests run the same scenario through each variant and require
+// NetworkMetrics, per-kind trace counts and elapsed local time to match
+// field-for-field — any divergence means a shared wire image leaked a
+// mutation, an RNG draw moved, a ring bucket aliased a live round, or the
+// event engine's active set skipped a tile that still had work.
+//
+// Backend-level equivalence (every BackendKind run under --engine event,
+// lint-enforced) lives in test_event_engine.cpp.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/master_slave_pi.hpp"
 #include "core/engine.hpp"
+#include "core/event_engine.hpp"
 
 namespace snoc {
 namespace {
@@ -114,11 +122,22 @@ std::vector<Scenario> scenarios() {
     return out;
 }
 
-NetworkMetrics run_scenario(const Scenario& s, std::uint64_t seed,
-                            bool reference_encode) {
+/// Everything a run can observably produce: metrics, per-kind trace
+/// counts, local time and the spread count of the broadcast rumor.
+struct RunOutput {
+    NetworkMetrics metrics;
+    std::array<std::size_t, kTraceEventKinds> trace_counts{};
+    double elapsed{0.0};
+    std::size_t spread{0};
+};
+
+RunOutput run_scenario(const Scenario& s, std::uint64_t seed,
+                       bool reference_encode, EngineSelect engine = {}) {
     GossipConfig config = s.config;
     config.reference_encode_path = reference_encode;
-    GossipNetwork net(Topology::mesh(4, 4), config, s.faults, seed);
+    GossipNetwork net(Topology::mesh(4, 4), config, s.faults, seed, engine);
+    CountingSink counter;
+    net.set_trace_sink(&counter);
     net.attach(0, std::make_unique<BroadcastSource>());
     if (s.unicast_traffic) {
         net.attach(5, std::make_unique<ChattySource>(15));
@@ -134,20 +153,39 @@ NetworkMetrics run_scenario(const Scenario& s, std::uint64_t seed,
     }
     for (int i = 0; i < 40; ++i) net.step();
     net.drain(200);
-    return net.metrics();
+    RunOutput out;
+    out.metrics = net.metrics();
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k)
+        out.trace_counts[k] = counter.count(static_cast<TraceEventKind>(k));
+    out.elapsed = net.elapsed_seconds();
+    out.spread = net.tiles_knowing(MessageId{0, 0}); // the broadcast rumor
+    return out;
 }
 
-NetworkMetrics run_pi_scenario(const Scenario& s, std::uint64_t seed,
-                               bool reference_encode) {
+RunOutput run_pi_scenario(const Scenario& s, std::uint64_t seed,
+                          bool reference_encode, EngineSelect engine = {}) {
     GossipConfig config = s.config;
     config.reference_encode_path = reference_encode;
-    GossipNetwork net(Topology::mesh(5, 5), config, s.faults, seed);
+    GossipNetwork net(Topology::mesh(5, 5), config, s.faults, seed, engine);
+    CountingSink counter;
+    net.set_trace_sink(&counter);
     apps::PiDeployment d;
     auto& master = apps::deploy_pi(net, d);
     net.protect(d.master_tile);
     net.run_until([&master] { return master.done(); }, 2000);
     net.drain();
-    return net.metrics();
+    RunOutput out;
+    out.metrics = net.metrics();
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k)
+        out.trace_counts[k] = counter.count(static_cast<TraceEventKind>(k));
+    out.elapsed = net.elapsed_seconds();
+    return out;
+}
+
+RunOutput run_output(const Scenario& s, std::uint64_t seed,
+                     bool reference_encode, EngineSelect engine = {}) {
+    return s.use_pi_app ? run_pi_scenario(s, seed, reference_encode, engine)
+                        : run_scenario(s, seed, reference_encode, engine);
 }
 
 void expect_metrics_equal(const NetworkMetrics& a, const NetworkMetrics& b,
@@ -170,17 +208,43 @@ void expect_metrics_equal(const NetworkMetrics& a, const NetworkMetrics& b,
     EXPECT_EQ(a.packets_by_link, b.packets_by_link) << label;
 }
 
+void expect_outputs_equal(const RunOutput& a, const RunOutput& b,
+                          const std::string& label) {
+    expect_metrics_equal(a.metrics, b.metrics, label);
+    for (std::size_t k = 0; k < kTraceEventKinds; ++k)
+        EXPECT_EQ(a.trace_counts[k], b.trace_counts[k])
+            << label << " trace kind "
+            << to_string(static_cast<TraceEventKind>(k));
+    EXPECT_EQ(a.elapsed, b.elapsed) << label; // bitwise, not approximate
+    EXPECT_EQ(a.spread, b.spread) << label;
+}
+
 TEST(EngineEquivalence, SharedWireMatchesReferenceEncodePath) {
     for (const Scenario& s : scenarios()) {
         for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
             const auto label = s.name + " seed=" + std::to_string(seed);
-            const auto shared =
-                s.use_pi_app ? run_pi_scenario(s, seed, false)
-                             : run_scenario(s, seed, false);
-            const auto reference =
-                s.use_pi_app ? run_pi_scenario(s, seed, true)
-                             : run_scenario(s, seed, true);
-            expect_metrics_equal(shared, reference, label);
+            const auto shared = run_output(s, seed, false);
+            const auto reference = run_output(s, seed, true);
+            expect_outputs_equal(shared, reference, label);
+        }
+    }
+}
+
+TEST(EngineEquivalence, EventEngineMatchesLockstep) {
+    // The tentpole contract: the sparse-activity engine reproduces the
+    // lockstep engine bit-for-bit — metrics, trace counts, elapsed local
+    // time and the spread curve — at every shard count.
+    for (const Scenario& s : scenarios()) {
+        for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+            const auto lockstep = run_output(s, seed, false);
+            for (std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{8}}) {
+                const auto label = s.name + " seed=" + std::to_string(seed) +
+                                   " shards=" + std::to_string(shards);
+                const auto event = run_output(
+                    s, seed, false, EngineSelect{EngineKind::Event, shards});
+                expect_outputs_equal(lockstep, event, label);
+            }
         }
     }
 }
@@ -190,8 +254,7 @@ TEST(EngineEquivalence, ScenariosActuallyExerciseTheHotPaths) {
     // grid must produce traffic, upsets, skew deferrals and FEC repairs.
     std::size_t packets = 0, crc_drops = 0, skew = 0, fec = 0;
     for (const Scenario& s : scenarios()) {
-        const auto m = s.use_pi_app ? run_pi_scenario(s, 1, false)
-                                    : run_scenario(s, 1, false);
+        const auto m = run_output(s, 1, false).metrics;
         packets += m.packets_sent;
         crc_drops += m.crc_drops;
         skew += m.skew_deferrals;

@@ -13,6 +13,11 @@ lock-step with the code that feeds them.
   self-consistency audit.
 * Every `SNOC_CHECK(level, ...)` level argument must be the literal 0, 1
   or 2 (the only levels the build system accepts).
+* Every `BackendKind` enumerator must appear in an
+  `engine-equivalence-backends:` marker inside tests/ — the marker names
+  the backends the engine-equivalence suites exercise, so a backend
+  registered without joining them escapes the lockstep-vs-event and
+  shard-invariance proofs.
 """
 
 from __future__ import annotations
@@ -25,10 +30,25 @@ TRACE_HEADER = "src/sim/trace.hpp"
 METRICS_HEADER = "src/core/metrics.hpp"
 AUDITOR_SOURCE = "src/check/invariant_auditor.cpp"
 METRICS_EXPORTER = "src/telemetry/export.cpp"
+INTERCONNECT_HEADER = "src/core/interconnect.hpp"
 
 XMACRO_ENTRY = re.compile(r'\bX\(\s*(\w+)\s*,\s*"([^"]+)"\s*\)')
 METRICS_FIELD = re.compile(r"^\s*std::size_t\s+(\w+)\s*\{0\}\s*;", re.MULTILINE)
 SNOC_CHECK_CALL = re.compile(r"\bSNOC_CHECK\(\s*([^,\s][^,]*?)\s*,")
+BACKEND_ENUMERATOR = re.compile(r"^\s*([A-Z]\w*)\s*,", re.MULTILINE)
+EQUIVALENCE_MARKER = re.compile(r"engine-equivalence-backends:\s*([a-z][a-z ]*)")
+
+
+def parse_backend_kinds(project: Project) -> list[str]:
+    header = project.files.get(INTERCONNECT_HEADER)
+    if header is None:
+        return []
+    start = header.code.find("enum class BackendKind")
+    if start < 0:
+        return []
+    end = header.code.find("};", start)
+    region = header.code[start:end if end > 0 else len(header.code)]
+    return BACKEND_ENUMERATOR.findall(region)
 
 
 def parse_trace_kinds(project: Project) -> list[tuple[str, str]]:
@@ -103,6 +123,26 @@ def check_registries(project: Project) -> list[Finding]:
                             f"invariant auditor's self-consistency/"
                             f"monotonicity checks ({AUDITOR_SOURCE})",
                     key=f"audit:{counter}"))
+
+    backends = parse_backend_kinds(project)
+    if backends:
+        # The markers live in comments, so scan raw test text; every
+        # marker found contributes its backend names (several suites may
+        # split coverage between them).
+        covered: set[str] = set()
+        for f in project.by_top("tests"):
+            for m in EQUIVALENCE_MARKER.finditer(f.raw):
+                covered.update(m.group(1).split())
+        for name in backends:
+            if name.lower() not in covered:
+                findings.append(Finding(
+                    rule="registry-backend-equivalence",
+                    file=INTERCONNECT_HEADER, line=0,
+                    message=f"BackendKind::{name} is missing from every "
+                            "engine-equivalence-backends marker in tests/ — "
+                            "extend the engine-equivalence suite to cover the "
+                            "new backend and add it to the marker list",
+                    key=f"backend:{name}"))
 
     define_line = re.compile(r"^\s*#\s*define\b")
     for src in project.by_top("src", "bench", "tests"):

@@ -26,6 +26,8 @@ RULE_DESCRIPTIONS = {
         "NetworkMetrics counter missing from the telemetry summary exporter",
     "registry-metrics-audit":
         "NetworkMetrics counter missing from the invariant auditor",
+    "registry-backend-equivalence":
+        "BackendKind missing from the engine-equivalence test marker",
     "check-level": "SNOC_CHECK level is not the literal 0, 1 or 2",
     "det-rand": "std::rand/srand in simulator code",
     "det-random-device": "std::random_device in simulator code",
