@@ -3,21 +3,28 @@
 # (lockstep vs event, ns/round) and the two scalability anchor cells
 # (lockstep 256x256 full broadcast; event 1000x1000 sparse wavefront),
 # then writes BENCH_engine.json — machine info, git SHA, the per-side
-# ns/round table and the headline ratios.  Commit the refreshed snapshot
-# alongside engine-performance changes so regressions show up in review.
+# ns/round table and the headline ratios.  Also runs the flow-control
+# ablation (xy / wormhole / deflection / store-forward / cut-through /
+# adaptive on the fig4_6 pi workload) and writes BENCH_router.json.
+# Commit the refreshed snapshots alongside engine- or router-performance
+# changes so regressions show up in review.
 #
 #   scripts/bench_snapshot.sh [build-dir]      # default build/
 #
-# The snapshot asserts the PR's two acceptance figures and exits non-zero
-# if either regresses:
+# The snapshot asserts the acceptance figures and exits non-zero if any
+# regresses:
 #   * event >= 5x lockstep rounds/s on the largest sparse cell,
 #   * the event 1000x1000 cell completes in less wall time than the
-#     lockstep 256x256 broadcast.
+#     lockstep 256x256 broadcast,
+#   * cut-through needs fewer cycles than store-and-forward, and the
+#     fault-adaptive policy's faulted completion rate is no worse than
+#     the dimension-ordered schemes'.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="BENCH_engine.json"
+OUT_ROUTER="BENCH_router.json"
 
 if [[ ! -x "$BUILD_DIR/bench/perf_microbench" ]]; then
     echo "bench_snapshot: $BUILD_DIR/bench/perf_microbench missing — build first" >&2
@@ -27,7 +34,67 @@ fi
 MICRO_JSON="$(mktemp)"
 SCAL_LOCKSTEP="$(mktemp)"
 SCAL_EVENT="$(mktemp)"
-trap 'rm -f "$MICRO_JSON" "$SCAL_LOCKSTEP" "$SCAL_EVENT"' EXIT
+ROUTER_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$SCAL_LOCKSTEP" "$SCAL_EVENT" "$ROUTER_JSON"' EXIT
+
+# --- Router snapshot: flow-control schemes on the fig4_6 workload -------
+"$BUILD_DIR/bench/ablation_flow_control" \
+    --repeats 5 --json > "$ROUTER_JSON"
+
+ROUTER_JSON="$ROUTER_JSON" OUT_ROUTER="$OUT_ROUTER" python3 - <<'PY'
+import json, os, platform, subprocess, sys
+
+def sh(*cmd):
+    return subprocess.run(cmd, capture_output=True, text=True).stdout.strip()
+
+text = open(os.environ["ROUTER_JSON"]).read()
+start = text.index("\n[\n") + 1
+end = text.index("\n]", start) + 2
+rows = json.loads(text[start:end])
+
+def cell(backend, faults):
+    for row in rows:
+        if row["backend"] == backend and row["faults"] == faults:
+            return row
+    sys.exit(f"bench_snapshot: no row for {backend}/{faults}")
+
+cpu = ""
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                cpu = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+
+snapshot = {
+    "machine": {
+        "uname": " ".join(platform.uname()),
+        "cpu": cpu,
+        "cores": os.cpu_count(),
+    },
+    "git_sha": sh("git", "rev-parse", "HEAD"),
+    "workload": "fig4_6 Master-Slave pi scatter/gather + corner exchange, "
+                "5 repeats, healthy and p_tiles=0.1",
+    "rows": rows,
+}
+with open(os.environ["OUT_ROUTER"], "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+vct = float(cell("cut-through", "none")["cycles"])
+saf = float(cell("store-forward", "none")["cycles"])
+adaptive_ok = float(cell("adaptive", "p_tiles=0.1")["completion"]) >= \
+    float(cell("store-forward", "p_tiles=0.1")["completion"])
+print(f"cut-through vs store-and-forward cycles: {vct:.0f} vs {saf:.0f}")
+print(f"adaptive faulted completion >= store-forward's: {adaptive_ok}")
+ok = vct < saf and adaptive_ok
+print(f"wrote {os.environ['OUT_ROUTER']}" + ("" if ok else " (TARGETS MISSED)"))
+sys.exit(0 if ok else 1)
+PY
+
+# --- Engine snapshot ----------------------------------------------------
 
 "$BUILD_DIR/bench/perf_microbench" \
     --benchmark_filter=SparseBroadcast \

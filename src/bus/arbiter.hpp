@@ -3,41 +3,34 @@
 // between the components accessing the channel" (Ch. 1).  The rotating
 // priority guarantees starvation freedom: a requester waits at most
 // (n - 1) grants.
+//
+// The mechanism is the arbitration stage of the layered router core
+// (router/arbiter.hpp); this wrapper keeps the bus-facing vocabulary
+// (modules requesting a shared channel) over the same rotating scan.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <vector>
 
-#include "common/expect.hpp"
+#include "router/arbiter.hpp"
 
 namespace snoc {
 
 class RoundRobinArbiter {
 public:
-    explicit RoundRobinArbiter(std::size_t modules) : modules_(modules) {
-        SNOC_EXPECT(modules > 0);
-    }
+    explicit RoundRobinArbiter(std::size_t modules) : rotor_(modules) {}
 
     /// Grant the bus to the requesting module closest (cyclically) after
     /// the previous grant.  Returns nullopt when nobody requests.
     std::optional<std::size_t> grant(const std::vector<bool>& requests) {
-        SNOC_EXPECT(requests.size() == modules_);
-        for (std::size_t i = 0; i < modules_; ++i) {
-            const std::size_t candidate = (last_ + 1 + i) % modules_;
-            if (requests[candidate]) {
-                last_ = candidate;
-                return candidate;
-            }
-        }
-        return std::nullopt;
+        return rotor_.grant(requests);
     }
 
-    std::size_t module_count() const { return modules_; }
+    std::size_t module_count() const { return rotor_.slot_count(); }
 
 private:
-    std::size_t modules_;
-    std::size_t last_{0};
+    router::RotatingArbiter rotor_;
 };
 
 } // namespace snoc

@@ -1,8 +1,11 @@
 #include "bus/broadcast_tree.hpp"
 
+#include <algorithm>
 #include <queue>
 
 #include "common/expect.hpp"
+#include "router/accounting.hpp"
+#include "router/ports.hpp"
 
 namespace snoc {
 
@@ -25,33 +28,63 @@ std::vector<TileId> spanning_tree(const Topology& topo, TileId root) {
 }
 
 TreeBroadcastResult tree_broadcast(const Topology& topo, TileId root,
-                                   const CrashState& crashes) {
+                                   const CrashState& crashes, TraceSink* sink,
+                                   std::size_t bits) {
     SNOC_EXPECT(crashes.dead_tiles.size() == topo.node_count());
     const auto parent = spanning_tree(topo, root);
+
+    // Children lists in ascending tile order (the traversal order the
+    // O(n^2) per-node scan used to produce).
+    std::vector<std::vector<TileId>> children(topo.node_count());
+    for (TileId next = 0; next < topo.node_count(); ++next)
+        if (next != root && parent[next] != kNoTile)
+            children[parent[next]].push_back(next);
+
+    // The shared accounting stage counts transmissions / deliveries /
+    // crash drops and emits the matching trace events; one broadcast is
+    // one message, rounds are tree depths.
+    router::Accounting accounting;
+    accounting.attach(topo);
+    accounting.set_trace_sink(sink);
+    const MessageId id{root, 0};
+
     TreeBroadcastResult result;
-    if (crashes.dead_tiles[root]) return result;
+    if (crashes.dead_tiles[root]) {
+        accounting.created(0, root, id);
+        accounting.crash_drop(0, root, id);
+        result.metrics = accounting.metrics();
+        return result;
+    }
+
+    accounting.created(0, root, id);
+    accounting.delivered(0, root, id);
 
     // BFS down the tree, pruning at dead tiles.
     std::vector<std::size_t> depth(topo.node_count(), 0);
-    std::vector<bool> reached(topo.node_count(), false);
-    reached[root] = true;
-    result.reached = 1;
     std::queue<TileId> frontier;
     frontier.push(root);
     while (!frontier.empty()) {
         const TileId cur = frontier.front();
         frontier.pop();
-        for (TileId next = 0; next < topo.node_count(); ++next) {
-            if (parent[next] != cur || next == cur) continue;
-            ++result.transmissions; // the parent transmits regardless
-            if (crashes.dead_tiles[next]) continue; // subtree lost
-            reached[next] = true;
-            ++result.reached;
+        for (const TileId next : children[cur]) {
+            const auto round = static_cast<Round>(depth[cur] + 1);
+            // The parent transmits regardless of the child's fate.
+            accounting.transmitted(round, cur, next,
+                                   router::link_between(topo, cur, next), id,
+                                   bits);
+            if (crashes.dead_tiles[next]) { // subtree lost
+                accounting.crash_drop(round, next, id);
+                continue;
+            }
+            accounting.delivered(round, next, id);
             depth[next] = depth[cur] + 1;
             result.depth = std::max(result.depth, depth[next]);
             frontier.push(next);
         }
     }
+    result.reached = accounting.metrics().deliveries;
+    result.transmissions = accounting.metrics().packets_sent;
+    result.metrics = accounting.metrics();
     return result;
 }
 

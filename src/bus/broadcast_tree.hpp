@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/metrics.hpp"
 #include "fault/injector.hpp"
 #include "noc/topology.hpp"
+#include "sim/trace.hpp"
 
 namespace snoc {
 
@@ -21,12 +23,21 @@ struct TreeBroadcastResult {
     std::size_t reached{0};        ///< tiles that received the broadcast.
     std::size_t transmissions{0};  ///< link messages spent.
     std::size_t depth{0};          ///< rounds (longest surviving path).
+    /// Full shared-accounting histograms (rounds are tree depths; the one
+    /// broadcast message is MessageId{root, 0}; the root counts as a
+    /// delivery, so metrics.deliveries == reached).
+    NetworkMetrics metrics;
 };
 
 /// Broadcast from `root` along the tree under a crash pattern: a message
 /// crosses a tree edge only if both endpoints are alive, and subtrees
-/// under a dead tile are lost.
+/// under a dead tile are lost.  Counters and events come from the shared
+/// router-core accounting stage: attach `sink` to watch the broadcast as
+/// MessageCreated / Transmitted / Delivered / CrashDrop events, and set
+/// `bits` to the payload size to fill the bit-volume histograms.
 TreeBroadcastResult tree_broadcast(const Topology& topo, TileId root,
-                                   const CrashState& crashes);
+                                   const CrashState& crashes,
+                                   TraceSink* sink = nullptr,
+                                   std::size_t bits = 0);
 
 } // namespace snoc

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/expect.hpp"
+#include "router/accounting.hpp"
+#include "router/policy.hpp"
 
 namespace snoc::deflection {
 
@@ -23,14 +25,8 @@ void Network::apply_crashes(const CrashState& crashes) {
 
 void Network::trace_event(TraceEventKind kind, TileId tile, TileId peer,
                           const PacketRecord& rec) {
-    if (!trace_) return;
-    TraceEvent event;
-    event.round = static_cast<Round>(cycle_);
-    event.kind = kind;
-    event.tile = tile;
-    event.peer = peer;
-    event.message = MessageId{rec.source, rec.id};
-    trace_->record(event);
+    router::emit(trace_, static_cast<Round>(cycle_), kind, tile, peer,
+                 MessageId{rec.source, rec.id});
 }
 
 std::uint32_t Network::inject(TileId source, TileId destination) {
@@ -65,17 +61,18 @@ void Network::step() {
         for (std::size_t i = residents.size(); i > 1; --i)
             std::swap(residents[i - 1],
                       residents[static_cast<std::size_t>(rng_.below(i))]);
+        const router::ProductivePolicy productive;
         for (std::size_t idx : residents) {
             auto& rec = records_[flying_[idx].id];
-            // Preferred (productive) ports: reduce Manhattan distance.
+            // Preferred (productive) ports — the shared routing-policy
+            // stage lists the live Manhattan-reducing ports in ascending
+            // port order; the first one not already taken this cycle wins.
             std::optional<std::size_t> chosen;
-            for (std::size_t p = 0; p < nbrs.size(); ++p) {
-                if (port_used[p] || dead_[nbrs[p]]) continue;
-                if (topo_.manhattan(nbrs[p], rec.destination) <
-                    topo_.manhattan(tile, rec.destination)) {
-                    chosen = p;
-                    break;
-                }
+            for (const std::size_t p : productive.candidates(
+                     topo_, tile, kNoTile, rec.destination, dead_)) {
+                if (port_used[p]) continue;
+                chosen = p;
+                break;
             }
             if (!chosen) {
                 // Deflect: any free live port.

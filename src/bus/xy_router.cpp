@@ -3,46 +3,24 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "router/accounting.hpp"
+#include "router/policy.hpp"
+#include "router/ports.hpp"
 
 namespace snoc {
 
 std::vector<TileId> xy_route(const Topology& mesh, TileId src, TileId dst) {
-    SNOC_EXPECT(mesh.is_grid());
-    SNOC_EXPECT(src < mesh.node_count() && dst < mesh.node_count());
-    std::vector<TileId> path{src};
-    std::size_t x = mesh.x_of(src);
-    std::size_t y = mesh.y_of(src);
-    const std::size_t tx = mesh.x_of(dst);
-    const std::size_t ty = mesh.y_of(dst);
-    while (x != tx) {
-        x += (x < tx) ? 1 : static_cast<std::size_t>(-1);
-        path.push_back(mesh.at(x, y));
-    }
-    while (y != ty) {
-        y += (y < ty) ? 1 : static_cast<std::size_t>(-1);
-        path.push_back(mesh.at(x, y));
-    }
-    return path;
+    return router::dimension_order_path(mesh, src, dst);
 }
 
 namespace {
-
-/// Find the directed link id for hop a->b (must exist in a mesh).
-LinkId link_between(const Topology& mesh, TileId a, TileId b) {
-    const auto& nbrs = mesh.neighbours(a);
-    const auto& links = mesh.out_links(a);
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-        if (nbrs[i] == b) return links[i];
-    SNOC_ENSURE(false && "hop endpoints are not neighbours");
-    return 0;
-}
 
 bool path_alive(const Topology& mesh, const std::vector<TileId>& path,
                 const CrashState& crashes) {
     for (std::size_t i = 0; i < path.size(); ++i) {
         if (crashes.dead_tiles[path[i]]) return false;
         if (i + 1 < path.size() &&
-            crashes.dead_links[link_between(mesh, path[i], path[i + 1])])
+            crashes.dead_links[router::link_between(mesh, path[i], path[i + 1])])
             return false;
     }
     return true;
@@ -55,29 +33,18 @@ TileId first_dead_tile(const Topology& mesh, const std::vector<TileId>& path,
     for (std::size_t i = 0; i < path.size(); ++i) {
         if (crashes.dead_tiles[path[i]]) return path[i];
         if (i + 1 < path.size() &&
-            crashes.dead_links[link_between(mesh, path[i], path[i + 1])])
+            crashes.dead_links[router::link_between(mesh, path[i], path[i + 1])])
             return path[i + 1];
     }
     SNOC_ENSURE(false && "first_dead_tile on a live path");
     return path.back();
 }
 
-void emit(TraceSink* sink, Round round, TraceEventKind kind, TileId tile,
-          TileId peer, MessageId id) {
-    if (!sink) return;
-    TraceEvent event;
-    event.round = round;
-    event.kind = kind;
-    event.tile = tile;
-    event.peer = peer;
-    event.message = id;
-    sink->record(event);
-}
-
 } // namespace
 
 XyRunResult run_xy_trace(const Topology& mesh, const TrafficTrace& trace,
                          const CrashState& crashes, TraceSink* sink) {
+    using router::emit;
     SNOC_EXPECT(crashes.dead_tiles.size() == mesh.node_count());
     SNOC_EXPECT(crashes.dead_links.size() == mesh.link_count());
     XyRunResult result;

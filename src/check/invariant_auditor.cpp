@@ -7,6 +7,7 @@
 #include "bus/deflection.hpp"
 #include "common/expect.hpp"
 #include "core/engine.hpp"
+#include "router/core.hpp"
 #include "wormhole/router.hpp"
 
 namespace snoc::check {
@@ -247,8 +248,72 @@ void InvariantAuditor::check_report(const RunReport& report, BackendKind kind,
         os << "rounds=" << report.rounds << " > budget=" << limit;
         bad("report-budget", os.str());
     }
-    if (kind == BackendKind::Gossip)
+    // Backends that fill the full NetworkMetrics taxonomy (the gossip
+    // engine and the router-core backends, whose shared accounting stage
+    // maintains every histogram) get the structural-consistency laws too.
+    if (kind == BackendKind::Gossip || kind == BackendKind::StoreForward ||
+        kind == BackendKind::CutThrough || kind == BackendKind::Adaptive)
         check_metrics(report.metrics, /*include_round_histogram=*/true);
+}
+
+void InvariantAuditor::check_router(const router::RouterCore& core) {
+    ++rounds_audited_;
+    std::size_t delivered_records = 0;
+    std::size_t dropped_records = 0;
+    for (const auto& rec : core.records()) {
+        if (rec.delivered_cycle && rec.dropped) {
+            std::ostringstream os;
+            os << "packet " << rec.id << " both delivered and dropped";
+            violate("router-fate", os.str());
+        }
+        if (rec.delivered_cycle) {
+            ++delivered_records;
+            if (*rec.delivered_cycle < rec.injected_cycle) {
+                std::ostringstream os;
+                os << "packet " << rec.id << " delivered at cycle "
+                   << *rec.delivered_cycle << " before injection at "
+                   << rec.injected_cycle;
+                violate("router-causality", os.str());
+            }
+        }
+        if (rec.dropped) ++dropped_records;
+        if (rec.hops > core.config().max_hops) {
+            std::ostringstream os;
+            os << "packet " << rec.id << " took " << rec.hops
+               << " hops past the budget " << core.config().max_hops;
+            violate("router-hop-budget", os.str());
+        }
+    }
+    if (delivered_records != core.delivered() ||
+        dropped_records != core.dropped()) {
+        std::ostringstream os;
+        os << "records delivered/dropped=" << delivered_records << "/"
+           << dropped_records << " != counters " << core.delivered() << "/"
+           << core.dropped();
+        violate("router-accounting", os.str());
+    }
+    // Every injected packet has exactly one fate.
+    if (core.delivered() + core.dropped() + core.in_flight() !=
+        core.records().size()) {
+        std::ostringstream os;
+        os << "delivered=" << core.delivered() << " + dropped=" << core.dropped()
+           << " + in_flight=" << core.in_flight()
+           << " != injected=" << core.records().size();
+        violate("router-conservation", os.str());
+    }
+    // The shared accounting stage must agree with the per-packet records.
+    const NetworkMetrics& m = core.metrics();
+    if (m.deliveries != core.delivered() ||
+        m.messages_created != core.records().size() ||
+        m.crash_drops + m.ttl_expired != core.dropped()) {
+        std::ostringstream os;
+        os << "metrics deliveries/created/drops=" << m.deliveries << "/"
+           << m.messages_created << "/" << (m.crash_drops + m.ttl_expired)
+           << " != core " << core.delivered() << "/" << core.records().size()
+           << "/" << core.dropped();
+        violate("router-metrics", os.str());
+    }
+    check_metrics(m, /*include_round_histogram=*/true);
 }
 
 void InvariantAuditor::check_wormhole(const wormhole::Network& net) {

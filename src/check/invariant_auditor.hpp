@@ -44,6 +44,9 @@ class Network;
 namespace deflection {
 class Network;
 }
+namespace router {
+class RouterCore;
+}
 } // namespace snoc
 
 namespace snoc::check {
@@ -90,6 +93,11 @@ public:
     /// Deflection record-vs-counter accounting (delivered/dropped record
     /// flags match the counters; every packet has exactly one fate).
     void check_deflection(const deflection::Network& net);
+
+    /// Router-core record-vs-counter accounting (every packet has exactly
+    /// one fate; causality; the hop budget holds; the shared-accounting
+    /// counters match the per-packet records).
+    void check_router(const router::RouterCore& core);
 
     bool clean() const { return violations_.empty(); }
     const std::vector<Violation>& violations() const { return violations_; }

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -39,26 +40,51 @@ namespace check {
 class InvariantAuditor;
 }
 
-/// The backends the factory in sim/backends.hpp can build.  Diversity
-/// architectures (Ch. 5) are gossip-backed and register through their own
-/// factory in diversity/architecture.hpp.
+/// The backend registry: one row per backend the factory in
+/// sim/backends.hpp can build — X(EnumName, "table-name").  Adding a
+/// backend means adding a row here and an adapter row to
+/// SNOC_BACKEND_ADAPTER_LIST (sim/backends.hpp); the enum, the name
+/// table, the kBackendKinds sweep list, the factory and the lint
+/// registry check all follow from these rows (no parallel switch
+/// statements to keep in sync).  Diversity architectures (Ch. 5) are
+/// gossip-backed and register through their own factory in
+/// diversity/architecture.hpp.
+#define SNOC_BACKEND_KIND_LIST(X)                                              \
+    X(Gossip, "gossip")           /* the paper's stochastic engine */          \
+    X(Bus, "bus")                 /* shared-bus baseline of Sec. 4.1.4 */      \
+    X(Xy, "xy")                   /* dimension-ordered routing strawman */     \
+    X(Wormhole, "wormhole")       /* flit-level wormhole-routed mesh */        \
+    X(Deflection, "deflection")   /* bufferless hot-potato routing */          \
+    X(StoreForward, "store-forward") /* router core, store-and-forward */      \
+    X(CutThrough, "cut-through")  /* router core, virtual cut-through */       \
+    X(Adaptive, "adaptive")       /* router core, fault-adaptive detours */
+
 enum class BackendKind : std::uint8_t {
-    Gossip,     ///< the paper's stochastic communication engine.
-    Bus,        ///< shared-bus baseline of Sec. 4.1.4.
-    Xy,         ///< deterministic dimension-ordered routing (Ch. 1 strawman).
-    Wormhole,   ///< flit-level wormhole-routed mesh.
-    Deflection, ///< bufferless hot-potato routing.
+#define SNOC_BACKEND_KIND_ENUM(name, str) name,
+    SNOC_BACKEND_KIND_LIST(SNOC_BACKEND_KIND_ENUM)
+#undef SNOC_BACKEND_KIND_ENUM
 };
 
+inline constexpr const char* kBackendKindNames[] = {
+#define SNOC_BACKEND_KIND_NAME(name, str) str,
+    SNOC_BACKEND_KIND_LIST(SNOC_BACKEND_KIND_NAME)
+#undef SNOC_BACKEND_KIND_NAME
+};
+
+/// Every BackendKind, in declaration order — the sweep list tests and
+/// benches iterate instead of hand-maintaining their own.
+inline constexpr BackendKind kBackendKinds[] = {
+#define SNOC_BACKEND_KIND_VALUE(name, str) BackendKind::name,
+    SNOC_BACKEND_KIND_LIST(SNOC_BACKEND_KIND_VALUE)
+#undef SNOC_BACKEND_KIND_VALUE
+};
+
+static_assert(std::size(kBackendKinds) == 8,
+              "update the tests' sweep expectations when growing the zoo");
+
 constexpr const char* to_string(BackendKind k) {
-    switch (k) {
-    case BackendKind::Gossip: return "gossip";
-    case BackendKind::Bus: return "bus";
-    case BackendKind::Xy: return "xy";
-    case BackendKind::Wormhole: return "wormhole";
-    case BackendKind::Deflection: return "deflection";
-    }
-    return "?";
+    const auto i = static_cast<std::size_t>(k);
+    return i < std::size(kBackendKindNames) ? kBackendKindNames[i] : "?";
 }
 
 /// One run's measurements, backend-independent.  Fields a backend cannot

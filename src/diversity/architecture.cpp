@@ -171,7 +171,9 @@ std::unique_ptr<Interconnect> make_interconnect(ArchitectureKind kind,
     spec.config = config;
     spec.engine = engine;
     spec.customize = [arch](GossipNetwork& net) { install_architecture(arch, net); };
-    return std::make_unique<GossipAdapter>(std::move(spec), scenario, seed);
+    // Route through the spec-to-adapter table (qualified: unqualified
+    // lookup would stop at this overload set).
+    return snoc::make_interconnect(std::move(spec), scenario, seed);
 }
 
 DiversityResult run_beamforming(ArchitectureKind kind, std::size_t frames,

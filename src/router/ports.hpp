@@ -1,0 +1,46 @@
+// Topology-port helpers shared by every packet-switched router stage.
+//
+// A router's ports are defined by the Topology: output port i of tile t
+// leads to neighbours(t)[i] over out_links(t)[i], and the matching input
+// port at the receiver is the index of t in the receiver's neighbour
+// list.  Every backend used to re-derive these lookups privately; the
+// router core makes them the one shared vocabulary the routing-policy,
+// flow-control and arbitration stages all speak.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+#include "noc/topology.hpp"
+
+namespace snoc::router {
+
+/// Output-port index at `t` leading to neighbour `next`; nullopt when the
+/// tiles are not adjacent.
+inline std::optional<std::size_t> port_to(const Topology& topo, TileId t,
+                                          TileId next) {
+    const auto& nbrs = topo.neighbours(t);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+        if (nbrs[i] == next) return i;
+    return std::nullopt;
+}
+
+/// Input-port index at `to` whose upstream neighbour is `from`
+/// (ContractViolation when they are not adjacent).
+inline std::size_t input_port_from(const Topology& topo, TileId to, TileId from) {
+    const auto port = port_to(topo, to, from);
+    SNOC_ENSURE(port.has_value() && "no input port from neighbour");
+    return *port;
+}
+
+/// Directed link id for the hop a -> b (ContractViolation when the tiles
+/// are not adjacent).
+inline LinkId link_between(const Topology& topo, TileId a, TileId b) {
+    const auto port = port_to(topo, a, b);
+    SNOC_ENSURE(port.has_value() && "hop endpoints are not neighbours");
+    return topo.out_links(a)[*port];
+}
+
+} // namespace snoc::router

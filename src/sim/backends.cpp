@@ -294,22 +294,82 @@ RunReport DeflectionAdapter::run(const TrafficTrace& trace, Round limit) {
     return report;
 }
 
+// --- Layered router core --------------------------------------------------
+
+RouterAdapter::RouterAdapter(BackendKind kind, RouterSpec spec,
+                             const FaultScenario& scenario, std::uint64_t seed)
+    : kind_(kind), spec_(std::move(spec)), seed_(seed) {
+    RngPool pool(seed);
+    FaultInjector injector(scenario, pool);
+    crashes_ =
+        injector.roll_crashes(Topology::mesh(spec_.width, spec_.height), spec_.protect);
+}
+
+RunReport RouterAdapter::run(const TrafficTrace& trace, Round limit) {
+    router::RouterCore core(Topology::mesh(spec_.width, spec_.height), spec_.config);
+    core.set_trace_sink(trace_sink());
+    core.apply_crashes(crashes_);
+
+    RunReport report;
+    report.seed = seed_;
+    report.messages = trace.message_count();
+    bool completed = true;
+    for (const auto& phase : trace.phases) {
+        for (const auto& m : phase.messages) {
+            if (m.src == m.dst) {
+                ++report.deliveries; // local, never enters the network.
+                continue;
+            }
+            // Zero-size trace messages fall back to the spec's packet
+            // size so the bit accounting stays law-abiding.
+            core.inject(m.src, m.dst,
+                        m.bits > 0 ? m.bits
+                                   : static_cast<std::size_t>(spec_.packet_bits));
+        }
+        while (!core.idle() && core.cycle() < limit) core.step();
+        if (!core.idle()) {
+            completed = false; // out of cycle budget.
+            break;
+        }
+    }
+    const NetworkMetrics& m = core.metrics();
+    report.completed = completed && core.dropped() == 0;
+    report.rounds = static_cast<Round>(core.cycle());
+    report.deliveries += core.delivered();
+    report.dropped = report.messages - std::min(report.deliveries, report.messages);
+    report.transmissions = m.packets_sent;
+    report.bits = m.bits_sent;
+    // One flit crosses a link per cycle; a cycle is one flit time.
+    const double flit_bits =
+        spec_.packet_bits / static_cast<double>(spec_.config.flits_per_packet);
+    report.seconds = static_cast<double>(core.cycle()) * flit_bits /
+                     spec_.tech.link_frequency_hz;
+    report.joules = static_cast<double>(report.bits) * spec_.tech.link_ebit_joules;
+    report.metrics = m;
+    SNOC_CHECK(1, report.deliveries <= report.messages);
+    SNOC_CHECK(1, report.deliveries + report.dropped == report.messages);
+    if (auto* aud = auditor()) {
+        const std::size_t audit_before = aud->violation_count();
+        aud->begin_run(std::string(to_string(kind_)) + " seed=" +
+                       std::to_string(seed_));
+        aud->check_router(core);
+        aud->check_report(report, kind(), &trace, limit);
+        report.audit_violations = aud->violation_count() - audit_before;
+    }
+    return report;
+}
+
 // --- Factory --------------------------------------------------------------
 
 std::unique_ptr<Interconnect> make_interconnect(BackendKind kind,
                                                 const FaultScenario& scenario,
                                                 std::uint64_t seed) {
     switch (kind) {
-    case BackendKind::Gossip:
-        return std::make_unique<GossipAdapter>(GossipSpec{}, scenario, seed);
-    case BackendKind::Bus:
-        return std::make_unique<BusAdapter>(BusSpec{}, scenario, seed);
-    case BackendKind::Xy:
-        return std::make_unique<XyAdapter>(XySpec{}, scenario, seed);
-    case BackendKind::Wormhole:
-        return std::make_unique<WormholeAdapter>(WormholeSpec{}, scenario, seed);
-    case BackendKind::Deflection:
-        return std::make_unique<DeflectionAdapter>(DeflectionSpec{}, scenario, seed);
+#define SNOC_BACKEND_ADAPTER_CASE(name, adapter, spec)                         \
+    case BackendKind::name:                                                    \
+        return std::make_unique<adapter>(spec{}, scenario, seed);
+        SNOC_BACKEND_ADAPTER_LIST(SNOC_BACKEND_ADAPTER_CASE)
+#undef SNOC_BACKEND_ADAPTER_CASE
     }
     SNOC_ENSURE(false && "unknown backend kind");
     return nullptr;

@@ -29,6 +29,7 @@
 #include "fault/fault_model.hpp"
 #include "noc/topology.hpp"
 #include "noc/traffic.hpp"
+#include "router/core.hpp"
 #include "wormhole/router.hpp"
 
 namespace snoc {
@@ -179,9 +180,124 @@ private:
     std::uint64_t seed_;
 };
 
+/// --- Layered router core (store-and-forward / cut-through / adaptive) ---
+
+/// Shared spec for the router-core backends.  The three BackendKinds are
+/// fixed stage selections over one core (src/router/): store-and-forward
+/// and virtual cut-through flow control under dimension-order routing,
+/// and cut-through under the fault-adaptive detour policy.
+struct RouterSpec {
+    std::size_t width{5};
+    std::size_t height{5};
+    router::RouterConfig config{};
+    std::vector<TileId> protect{};
+    /// Wire bits per packet for the energy model when a trace message
+    /// carries no size (flits share it equally for the cycle-time model).
+    double packet_bits{256.0};
+    Technology tech{Technology::cmos_025um()};
+};
+
+struct StoreForwardSpec : RouterSpec {
+    StoreForwardSpec() {
+        config.flow = router::FlowControl::StoreAndForward;
+        config.policy = router::PolicyKind::DimensionOrder;
+    }
+};
+
+struct CutThroughSpec : RouterSpec {
+    CutThroughSpec() {
+        config.flow = router::FlowControl::CutThrough;
+        config.policy = router::PolicyKind::DimensionOrder;
+    }
+};
+
+struct AdaptiveSpec : RouterSpec {
+    AdaptiveSpec() {
+        config.flow = router::FlowControl::CutThrough;
+        config.policy = router::PolicyKind::FaultAdaptive;
+    }
+};
+
+/// One adapter serves all three router-core kinds: the spec carries the
+/// stage selection, `kind` only names it for reports and registries.
+class RouterAdapter : public Interconnect {
+public:
+    RouterAdapter(BackendKind kind, RouterSpec spec, const FaultScenario& scenario,
+                  std::uint64_t seed);
+
+    BackendKind kind() const override { return kind_; }
+
+    const CrashState& crashes() const { return crashes_; }
+
+    RunReport run(const TrafficTrace& trace, Round limit) override;
+
+private:
+    BackendKind kind_;
+    RouterSpec spec_;
+    CrashState crashes_;
+    std::uint64_t seed_;
+};
+
+class StoreForwardAdapter final : public RouterAdapter {
+public:
+    StoreForwardAdapter(StoreForwardSpec spec, const FaultScenario& scenario,
+                        std::uint64_t seed)
+        : RouterAdapter(BackendKind::StoreForward, std::move(spec), scenario, seed) {}
+};
+
+class CutThroughAdapter final : public RouterAdapter {
+public:
+    CutThroughAdapter(CutThroughSpec spec, const FaultScenario& scenario,
+                      std::uint64_t seed)
+        : RouterAdapter(BackendKind::CutThrough, std::move(spec), scenario, seed) {}
+};
+
+class AdaptiveAdapter final : public RouterAdapter {
+public:
+    AdaptiveAdapter(AdaptiveSpec spec, const FaultScenario& scenario,
+                    std::uint64_t seed)
+        : RouterAdapter(BackendKind::Adaptive, std::move(spec), scenario, seed) {}
+};
+
+/// The spec-to-adapter table — X(Kind, Adapter, Spec), one row per
+/// BackendKind in SNOC_BACKEND_KIND_LIST order.  The rows generate the
+/// spec-typed make_interconnect overloads below and the default-spec
+/// factory switch in backends.cpp; diversity::make_interconnect routes
+/// its customized GossipSpec through the same overload set.
+#define SNOC_BACKEND_ADAPTER_LIST(X)                                           \
+    X(Gossip, GossipAdapter, GossipSpec)                                       \
+    X(Bus, BusAdapter, BusSpec)                                                \
+    X(Xy, XyAdapter, XySpec)                                                   \
+    X(Wormhole, WormholeAdapter, WormholeSpec)                                 \
+    X(Deflection, DeflectionAdapter, DeflectionSpec)                           \
+    X(StoreForward, StoreForwardAdapter, StoreForwardSpec)                     \
+    X(CutThrough, CutThroughAdapter, CutThroughSpec)                           \
+    X(Adaptive, AdaptiveAdapter, AdaptiveSpec)
+
+// The adapter table must cover the kind registry row for row.
+static_assert([] {
+    std::size_t rows = 0;
+#define SNOC_BACKEND_ADAPTER_COUNT(kind, adapter, spec) ++rows;
+    SNOC_BACKEND_ADAPTER_LIST(SNOC_BACKEND_ADAPTER_COUNT)
+#undef SNOC_BACKEND_ADAPTER_COUNT
+    return rows;
+}() == std::size(kBackendKinds),
+              "every BackendKind needs a SNOC_BACKEND_ADAPTER_LIST row");
+
+/// Spec-typed construction: make_interconnect(SomeSpec{...}, scenario,
+/// seed) picks the right adapter from the table at compile time.
+#define SNOC_BACKEND_ADAPTER_OVERLOAD(kind, adapter, spec)                     \
+    inline std::unique_ptr<Interconnect> make_interconnect(                    \
+        spec s, const FaultScenario& scenario, std::uint64_t seed) {           \
+        return std::make_unique<adapter>(std::move(s), scenario, seed);        \
+    }
+SNOC_BACKEND_ADAPTER_LIST(SNOC_BACKEND_ADAPTER_OVERLOAD)
+#undef SNOC_BACKEND_ADAPTER_OVERLOAD
+
 /// Variant-free factory for the uniform construction shape
 /// (kind + FaultScenario + seed, defaults for everything else); benches
-/// with backend-specific needs construct the adapters directly.
+/// with backend-specific needs construct the adapters directly or pass a
+/// spec to the overloads above.
 std::unique_ptr<Interconnect> make_interconnect(BackendKind kind,
                                                 const FaultScenario& scenario,
                                                 std::uint64_t seed);

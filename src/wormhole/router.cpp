@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "router/accounting.hpp"
+#include "router/ports.hpp"
 
 namespace snoc::wormhole {
 
@@ -16,29 +19,26 @@ void Config::validate() const {
 Network::Network(std::size_t width, std::size_t height, Config config)
     : topo_(Topology::mesh(width, height)),
       config_(config),
+      policy_(router::make_policy(policy_kind(config.routing))),
       injection_queues_(topo_.node_count()),
-      inject_state_(topo_.node_count()),
-      rng_(splitmix64(0x776F726DULL)) {
+      inject_state_(topo_.node_count()) {
     config_.validate();
     routers_.resize(topo_.node_count());
-    arbiter_last_.resize(topo_.node_count());
+    arbiters_.reserve(topo_.node_count());
     for (TileId t = 0; t < topo_.node_count(); ++t) {
         routers_[t].in_vcs.assign(port_count(t),
                                   std::vector<VirtualChannel>(config_.vcs_per_port));
-        arbiter_last_[t].assign(port_count(t) + 1, 0); // +1: eject output
+        // One arbiter per output (links + eject) over (port, VC) slots.
+        arbiters_.emplace_back(
+            port_count(t),
+            router::RotatingArbiter(port_count(t) * config_.vcs_per_port));
     }
 }
 
 void Network::trace_event(TraceEventKind kind, TileId tile, TileId peer,
                           std::uint32_t packet) {
-    if (!trace_) return;
-    TraceEvent event;
-    event.round = static_cast<Round>(cycle_);
-    event.kind = kind;
-    event.tile = tile;
-    event.peer = peer;
-    event.message = MessageId{records_[packet].source, packet};
-    trace_->record(event);
+    router::emit(trace_, static_cast<Round>(cycle_), kind, tile, peer,
+                 MessageId{records_[packet].source, packet});
 }
 
 std::uint32_t Network::inject(TileId source, TileId destination) {
@@ -57,51 +57,11 @@ void Network::crash_router(TileId tile) {
     routers_[tile].alive = false;
 }
 
-std::optional<std::size_t> Network::xy_out_port(TileId t, TileId dst) const {
-    if (t == dst) return std::nullopt;
-    const std::size_t x = topo_.x_of(t), y = topo_.y_of(t);
-    const std::size_t dx = topo_.x_of(dst), dy = topo_.y_of(dst);
-    TileId next;
-    if (x != dx)
-        next = topo_.at(x < dx ? x + 1 : x - 1, y);
-    else
-        next = topo_.at(x, y < dy ? y + 1 : y - 1);
-    const auto& nbrs = topo_.neighbours(t);
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-        if (nbrs[i] == next) return i;
-    SNOC_ENSURE(false && "XY next hop is not a neighbour");
-    return std::nullopt;
-}
-
 std::vector<std::size_t> Network::route_candidates(TileId t, TileId dst) const {
-    std::vector<std::size_t> out;
-    if (t == dst) return out;
-    if (config_.routing == Routing::Xy) {
-        if (const auto p = xy_out_port(t, dst)) out.push_back(*p);
-        return out;
-    }
-    // West-first: if any westward progress remains, it must happen now
-    // (turning into west later is prohibited); otherwise every minimal
-    // non-west direction is a legal adaptive choice.
-    const std::size_t x = topo_.x_of(t), y = topo_.y_of(t);
-    const std::size_t dx = topo_.x_of(dst), dy = topo_.y_of(dst);
-    auto port_to = [&](TileId next) -> std::optional<std::size_t> {
-        const auto& nbrs = topo_.neighbours(t);
-        for (std::size_t i = 0; i < nbrs.size(); ++i)
-            if (nbrs[i] == next) return i;
-        return std::nullopt;
-    };
-    if (dx < x) {
-        if (const auto p = port_to(topo_.at(x - 1, y))) out.push_back(*p);
-        return out;
-    }
-    if (dx > x)
-        if (const auto p = port_to(topo_.at(x + 1, y))) out.push_back(*p);
-    if (dy > y)
-        if (const auto p = port_to(topo_.at(x, y + 1))) out.push_back(*p);
-    if (dy < y)
-        if (const auto p = port_to(topo_.at(x, y - 1))) out.push_back(*p);
-    return out;
+    // The wormhole router is fault-oblivious at the policy level (a dead
+    // router refuses credits instead), so the policy sees no crash state.
+    static const std::vector<bool> kNoDead;
+    return policy_->candidates(topo_, t, kNoTile, dst, kNoDead);
 }
 
 TileId Network::port_neighbour(TileId t, std::size_t port) const {
@@ -110,16 +70,7 @@ TileId Network::port_neighbour(TileId t, std::size_t port) const {
     return nbrs[port];
 }
 
-namespace {
-/// Input port index at `to` whose upstream neighbour is `from`.
-std::size_t input_port_from(const Topology& topo, TileId to, TileId from) {
-    const auto& nbrs = topo.neighbours(to);
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-        if (nbrs[i] == from) return i;
-    SNOC_ENSURE(false && "no input port from neighbour");
-    return 0;
-}
-} // namespace
+using router::input_port_from;
 
 std::size_t Network::downstream_space(TileId t, std::size_t out_port,
                                       std::size_t vc) const {
@@ -188,16 +139,17 @@ void Network::step() {
         const std::size_t outputs = topo_.neighbours(t).size() + 1; // + eject
         for (std::size_t out = 0; out < outputs; ++out) {
             const bool is_eject = out == outputs - 1;
-            auto& last = arbiter_last_[t][out];
-            const std::size_t slots = ports * config_.vcs_per_port;
-            bool granted = false;
-            for (std::size_t scan = 0; scan < slots && !granted; ++scan) {
-                const std::size_t slot = (last + 1 + scan) % slots;
+            // The rotating arbiter scans the (input port, VC) slots; the
+            // request predicate does the full route + VC + credit work,
+            // and its side effects (downstream VC claims) deliberately
+            // persist across a refusal — a worm keeps its reservation
+            // while waiting for credits.
+            arbiters_[t][out].grant([&](std::size_t slot) {
                 const std::size_t in_port = slot / config_.vcs_per_port;
                 const std::size_t in_vc = slot % config_.vcs_per_port;
-                if (input_port_used[in_port]) continue;
+                if (input_port_used[in_port]) return false;
                 auto& vc = router.in_vcs[in_port][in_vc];
-                if (vc.buffer.empty()) continue;
+                if (vc.buffer.empty()) return false;
                 const Flit& flit = vc.buffer.front();
 
                 // Route + VC allocation for head flits: claim an
@@ -231,29 +183,25 @@ void Network::step() {
                             vc.out_vc = *chosen;
                             break;
                         }
-                        if (!vc.out_port) continue; // nothing allocatable yet
+                        if (!vc.out_port) return false; // nothing allocatable yet
                     }
                 }
-                if (!vc.out_port || *vc.out_port != out) continue;
+                if (!vc.out_port || *vc.out_port != out) return false;
 
                 if (is_eject) {
                     moves.push_back({t, in_port, in_vc, true, 0, 0});
-                    granted = true;
                 } else {
                     const TileId next = port_neighbour(t, out);
                     const std::size_t in_at_next = input_port_from(topo_, next, t);
                     const std::size_t key = space_key(next, in_at_next, *vc.out_vc);
                     const std::size_t space = downstream_space(t, out, *vc.out_vc);
-                    if (space <= committed[key]) continue; // no credit
+                    if (space <= committed[key]) return false; // no credit
                     ++committed[key];
                     moves.push_back({t, in_port, in_vc, false, out, *vc.out_vc});
-                    granted = true;
                 }
-                if (granted) {
-                    input_port_used[in_port] = true;
-                    last = slot;
-                }
-            }
+                input_port_used[in_port] = true;
+                return true;
+            });
         }
     }
 

@@ -19,13 +19,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/topology.hpp"
+#include "router/arbiter.hpp"
+#include "router/policy.hpp"
 #include "sim/trace.hpp"
 
 namespace snoc::wormhole {
@@ -35,6 +37,8 @@ namespace snoc::wormhole {
 /// (turns *into* west are prohibited — deadlock-free), and the remaining
 /// minimal directions are chosen adaptively, which lets a worm steer
 /// around congestion or a dead router when a productive alternative exists.
+/// Both are the shared routing-policy stage of the layered router core
+/// (router/policy.hpp); this enum keeps the wormhole-facing vocabulary.
 enum class Routing : std::uint8_t { Xy, WestFirst };
 
 constexpr const char* to_string(Routing r) {
@@ -43,6 +47,11 @@ constexpr const char* to_string(Routing r) {
     case Routing::WestFirst: return "west-first";
     }
     return "?";
+}
+
+constexpr router::PolicyKind policy_kind(Routing r) {
+    return r == Routing::Xy ? router::PolicyKind::DimensionOrder
+                            : router::PolicyKind::WestFirst;
 }
 
 struct Config {
@@ -126,10 +135,7 @@ private:
 
     std::size_t port_count(TileId t) const { return topo_.neighbours(t).size() + 1; }
     std::size_t local_port(TileId t) const { return topo_.neighbours(t).size(); }
-    /// Output port index at `t` leading one XY hop toward `dst`; nullopt
-    /// when t == dst (eject locally).
-    std::optional<std::size_t> xy_out_port(TileId t, TileId dst) const;
-    /// Candidate output ports under the configured routing function, in
+    /// Candidate output ports under the configured routing policy, in
     /// preference order; empty when t == dst.
     std::vector<std::size_t> route_candidates(TileId t, TileId dst) const;
     /// Neighbour on the given output port.
@@ -139,6 +145,7 @@ private:
 
     Topology topo_;
     Config config_;
+    std::unique_ptr<const router::RoutingPolicy> policy_;
     std::vector<Router> routers_;
     std::size_t cycle_{0};
     std::uint32_t next_packet_{0};
@@ -155,9 +162,9 @@ private:
         std::size_t vc{0};
     };
     std::vector<InjectState> inject_state_;
-    // Round-robin arbitration state per (tile, output port incl. eject).
-    std::vector<std::vector<std::size_t>> arbiter_last_;
-    RngStream rng_;
+    // Rotating-priority arbiter per (tile, output port incl. eject) over
+    // the (input port, VC) slots — the shared arbitration stage.
+    std::vector<std::vector<router::RotatingArbiter>> arbiters_;
     TraceSink* trace_{nullptr};
 
     void trace_event(TraceEventKind kind, TileId tile, TileId peer,

@@ -1,8 +1,13 @@
 #pragma once
-// Mini backend registry in the real file's shape.  "Valiant" is a new
-// BackendKind the engine-equivalence marker below never picked up.
+// Mini backend registry in the real file's X-macro shape.  "Valiant" is
+// a new BackendKind the engine-equivalence marker below never picked up.
+#define SNOC_BACKEND_KIND_LIST(X)                                              \
+    X(Gossip, "gossip")                                                        \
+    X(Bus, "bus")                                                              \
+    X(Valiant, "valiant") /* the new backend nobody wired into the suite */
+
 enum class BackendKind {
-    Gossip,
-    Bus,
-    Valiant,
+#define SNOC_BACKEND_KIND_ENUM(name, str) name,
+    SNOC_BACKEND_KIND_LIST(SNOC_BACKEND_KIND_ENUM)
+#undef SNOC_BACKEND_KIND_ENUM
 };

@@ -69,6 +69,33 @@ TEST(TreeBroadcast, DeadRootReachesNobody) {
     EXPECT_EQ(r.transmissions, 0u);
 }
 
+TEST(TreeBroadcast, SharedAccountingEmitsTraceAndHistograms) {
+    const auto topo = Topology::mesh(4, 4);
+    auto crashes = none(topo);
+    crashes.dead_tiles[10] = true;
+    RingBufferSink sink(1024);
+    const auto r = tree_broadcast(topo, 0, crashes, &sink, 64);
+    EXPECT_EQ(r.metrics.deliveries, r.reached);
+    EXPECT_EQ(r.metrics.packets_sent, r.transmissions);
+    EXPECT_EQ(r.metrics.messages_created, 1u);
+    EXPECT_EQ(r.metrics.crash_drops, 1u);
+    EXPECT_EQ(r.metrics.bits_sent, 64u * r.transmissions);
+    std::size_t transmitted = 0, delivered = 0, drops = 0;
+    for (const auto& e : sink.events()) {
+        if (e.kind == TraceEventKind::Transmitted) ++transmitted;
+        if (e.kind == TraceEventKind::Delivered) ++delivered;
+        if (e.kind == TraceEventKind::CrashDrop) ++drops;
+        EXPECT_EQ(e.message.origin, 0u);
+    }
+    EXPECT_EQ(transmitted, r.transmissions);
+    EXPECT_EQ(delivered, r.reached);
+    EXPECT_EQ(drops, 1u);
+    // Per-link histogram sums back to the transmission count.
+    std::size_t by_link = 0;
+    for (const auto c : r.metrics.packets_by_link) by_link += c;
+    EXPECT_EQ(by_link, r.transmissions);
+}
+
 TEST(TreeBroadcast, LossGrowsWithCrashCount) {
     const auto topo = Topology::mesh(5, 5);
     RngPool pool(3);

@@ -70,6 +70,24 @@ std::unique_ptr<Interconnect> make_protected(BackendKind kind,
         return std::make_unique<DeflectionAdapter>(std::move(spec), scenario,
                                                    seed);
     }
+    case BackendKind::StoreForward: {
+        StoreForwardSpec spec;
+        spec.protect = corners;
+        return std::make_unique<StoreForwardAdapter>(std::move(spec), scenario,
+                                                     seed);
+    }
+    case BackendKind::CutThrough: {
+        CutThroughSpec spec;
+        spec.protect = corners;
+        return std::make_unique<CutThroughAdapter>(std::move(spec), scenario,
+                                                   seed);
+    }
+    case BackendKind::Adaptive: {
+        AdaptiveSpec spec;
+        spec.protect = corners;
+        return std::make_unique<AdaptiveAdapter>(std::move(spec), scenario,
+                                                 seed);
+    }
     }
     return nullptr;
 }
@@ -79,9 +97,7 @@ TEST(AuditParity, AllBackendsCleanOnCornerTrace) {
     FaultScenario scenario;
     scenario.p_tiles = 0.1;
     scenario.p_upset = 0.01;
-    for (const BackendKind kind :
-         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
-          BackendKind::Wormhole, BackendKind::Deflection}) {
+    for (const BackendKind kind : kBackendKinds) {
         for (std::uint64_t seed = 0; seed < 3; ++seed) {
             check::InvariantAuditor auditor;
             auto backend = make_protected(kind, scenario, seed);
@@ -111,9 +127,7 @@ TEST(AuditParity, AllBackendsCleanOnCornerTrace) {
 // the report's transmission counter, and no loss events at all.
 TEST(AuditParity, AllBackendsEmitConsistentEventStream) {
     const auto trace = corner_trace();
-    for (const BackendKind kind :
-         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
-          BackendKind::Wormhole, BackendKind::Deflection}) {
+    for (const BackendKind kind : kBackendKinds) {
         Telemetry telemetry;
         auto backend = make_interconnect(kind, FaultScenario::none(), 1);
         backend->set_trace_sink(&telemetry);
@@ -341,6 +355,37 @@ TEST(AuditDetects, TamperedMetricsHistograms) {
     check::InvariantAuditor auditor;
     auditor.check_metrics(tampered, /*include_round_histogram=*/true);
     EXPECT_FALSE(auditor.clean()) << "histogram tamper went unnoticed";
+}
+
+// The router core exposes its live record table to check_router; a clean
+// run must pass, and the report-level metrics gate (which full-metrics
+// backends opt into) must notice a tampered counter for the router kinds.
+TEST(AuditDetects, RouterMetricsGateCatchesTamper) {
+    const auto trace = corner_trace();
+    StoreForwardAdapter adapter(StoreForwardSpec{}, FaultScenario::none(), 1);
+    RunReport report = adapter.run(trace, 10000);
+    ASSERT_TRUE(report.completed);
+
+    check::InvariantAuditor auditor;
+    auditor.check_report(report, BackendKind::StoreForward, &trace, 10000);
+    EXPECT_TRUE(auditor.clean()) << auditor.summary();
+
+    report.metrics.packets_sent += 1; // per-link histogram no longer sums up.
+    auditor.reset();
+    auditor.check_report(report, BackendKind::StoreForward, &trace, 10000);
+    EXPECT_FALSE(auditor.clean()) << "router metrics tamper went unnoticed";
+}
+
+TEST(AuditDetects, RouterCoreCleanAfterDirectRun) {
+    router::RouterCore core(Topology::mesh(5, 5), router::RouterConfig{});
+    const auto trace = corner_trace();
+    for (const auto& m : trace.phases.front().messages)
+        core.inject(m.src, m.dst, m.bits);
+    while (!core.idle()) core.step();
+    check::InvariantAuditor auditor;
+    auditor.check_router(core);
+    EXPECT_TRUE(auditor.clean()) << auditor.summary();
+    EXPECT_GT(auditor.rounds_audited(), 0u);
 }
 
 TEST(AuditDetects, SummaryNamesTheBrokenInvariant) {

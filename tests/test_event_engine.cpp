@@ -7,7 +7,7 @@
 // through the adapter / telemetry / auditor stack, and that every
 // registered Interconnect backend runs under engine selection.
 //
-// engine-equivalence-backends: gossip bus xy wormhole deflection
+// engine-equivalence-backends: gossip bus xy wormhole deflection storeforward cutthrough adaptive
 // (snoc_lint cross-checks that marker against the BackendKind enum:
 // adding a backend without extending AllBackendsRunUnderEngineSelection
 // below — and this list — is a lint error.)
@@ -181,9 +181,7 @@ TEST(ShardedDeterminism, SpreadCurveMatchesLockstepStepByStep) {
 /// when adding a BackendKind — snoc_lint enforces the marker.
 TEST(ShardedDeterminism, AllBackendsRunUnderEngineSelection) {
     const auto trace = corner_trace();
-    for (const BackendKind kind :
-         {BackendKind::Gossip, BackendKind::Bus, BackendKind::Xy,
-          BackendKind::Wormhole, BackendKind::Deflection}) {
+    for (const BackendKind kind : kBackendKinds) {
         const auto a = make_interconnect(kind, FaultScenario::none(), 5);
         const auto b = make_interconnect(kind, FaultScenario::none(), 5);
         ASSERT_NE(a, nullptr) << to_string(kind);

@@ -1,0 +1,202 @@
+#include "router/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+#include "router/ports.hpp"
+#include "sim/trace.hpp"
+
+namespace snoc::router {
+namespace {
+
+CrashState crashes_none(const Topology& topo) {
+    CrashState s;
+    s.dead_tiles.assign(topo.node_count(), false);
+    s.dead_links.assign(topo.link_count(), false);
+    return s;
+}
+
+RouterConfig config(FlowControl flow, PolicyKind policy = PolicyKind::DimensionOrder) {
+    RouterConfig c;
+    c.flow = flow;
+    c.policy = policy;
+    return c;
+}
+
+TEST(RouterCore, StoreAndForwardLonePacketLatency) {
+    RouterCore core(Topology::mesh(4, 4), config(FlowControl::StoreAndForward));
+    core.inject(0, 3, 160); // 3 hops east
+    core.run(1000);
+    ASSERT_EQ(core.delivered(), 1u);
+    const auto& rec = core.records()[0];
+    EXPECT_EQ(rec.hops, 3u);
+    // The source packet is wholly resident at injection; after that each
+    // hop costs the full serialization time L (flits_per_packet = 5) and
+    // ejection happens the cycle the tail is resident: latency = hops * L.
+    ASSERT_TRUE(rec.delivered_cycle.has_value());
+    EXPECT_EQ(*rec.delivered_cycle - rec.injected_cycle, 3u * 5u);
+}
+
+TEST(RouterCore, CutThroughLonePacketIsFaster) {
+    RouterCore saf(Topology::mesh(4, 4), config(FlowControl::StoreAndForward));
+    RouterCore vct(Topology::mesh(4, 4), config(FlowControl::CutThrough));
+    for (RouterCore* core : {&saf, &vct}) {
+        core->inject(0, 15, 160);
+        core->run(1000);
+        ASSERT_EQ(core->delivered(), 1u);
+        EXPECT_EQ(core->records()[0].hops, 6u);
+    }
+    const auto lat = [](const RouterCore& c) {
+        return *c.records()[0].delivered_cycle - c.records()[0].injected_cycle;
+    };
+    // Cut-through pipelines the header ahead of the tail: hops cost one
+    // cycle each and the tail streams behind, so the lone-packet latency
+    // is hops + L - 1 rather than hops * L.
+    EXPECT_EQ(lat(vct), 6u + 5u - 1u);
+    EXPECT_EQ(lat(saf), 6u * 5u);
+    EXPECT_LT(lat(vct), lat(saf));
+}
+
+TEST(RouterCore, DimensionOrderDropsAtDeadHop) {
+    const auto topo = Topology::mesh(4, 4);
+    auto crashes = crashes_none(topo);
+    crashes.dead_tiles[1] = true; // first XY hop of 0 -> 3
+    RouterCore core(topo, config(FlowControl::StoreAndForward));
+    core.apply_crashes(crashes);
+    core.inject(0, 3, 160);
+    core.run(1000);
+    EXPECT_EQ(core.delivered(), 0u);
+    EXPECT_EQ(core.dropped(), 1u);
+    EXPECT_TRUE(core.records()[0].dropped);
+    EXPECT_EQ(core.metrics().crash_drops, 1u);
+    EXPECT_TRUE(core.idle());
+}
+
+TEST(RouterCore, AdaptivePolicyDetoursAroundDeadRow) {
+    const auto topo = Topology::mesh(4, 4);
+    auto crashes = crashes_none(topo);
+    crashes.dead_tiles[1] = true;
+    crashes.dead_tiles[2] = true; // whole minimal XY path 0 -> 3 blocked
+    RouterCore core(topo,
+                    config(FlowControl::CutThrough, PolicyKind::FaultAdaptive));
+    core.apply_crashes(crashes);
+    core.inject(0, 3, 160);
+    core.run(1000);
+    ASSERT_EQ(core.delivered(), 1u);
+    EXPECT_GT(core.records()[0].hops, 3u); // strictly longer than minimal
+    EXPECT_EQ(core.dropped(), 0u);
+}
+
+TEST(RouterCore, AdaptivePolicyMatchesXyWhenFaultFree) {
+    RouterCore core(Topology::mesh(4, 4),
+                    config(FlowControl::CutThrough, PolicyKind::FaultAdaptive));
+    core.inject(12, 3, 160);
+    core.run(1000);
+    ASSERT_EQ(core.delivered(), 1u);
+    EXPECT_EQ(core.records()[0].hops, 6u); // minimal, XY-tie-broken
+}
+
+TEST(RouterCore, WalledInAdaptivePacketCrashDrops) {
+    const auto topo = Topology::mesh(3, 3);
+    auto crashes = crashes_none(topo);
+    crashes.dead_tiles[1] = true;
+    crashes.dead_tiles[3] = true; // both ports out of corner 0 dead
+    RouterCore core(topo,
+                    config(FlowControl::CutThrough, PolicyKind::FaultAdaptive));
+    core.apply_crashes(crashes);
+    core.inject(0, 8, 160);
+    core.run(1000);
+    EXPECT_EQ(core.delivered(), 0u);
+    EXPECT_EQ(core.dropped(), 1u);
+    EXPECT_EQ(core.metrics().crash_drops, 1u);
+    EXPECT_TRUE(core.idle());
+}
+
+TEST(RouterCore, DeadSourceDropsAtInjection) {
+    const auto topo = Topology::mesh(3, 3);
+    auto crashes = crashes_none(topo);
+    crashes.dead_tiles[0] = true;
+    RouterCore core(topo, config(FlowControl::StoreAndForward));
+    core.apply_crashes(crashes);
+    core.inject(0, 8, 160);
+    EXPECT_EQ(core.dropped(), 1u);
+    EXPECT_TRUE(core.idle());
+    EXPECT_EQ(core.metrics().crash_drops, 1u);
+}
+
+TEST(RouterCore, DeadLinkIsAvoidedByAdaptive) {
+    const auto topo = Topology::mesh(3, 3);
+    auto crashes = crashes_none(topo);
+    const auto port = port_to(topo, 0, 1);
+    ASSERT_TRUE(port.has_value());
+    crashes.dead_links[topo.out_links(0)[*port]] = true; // kill link 0 -> 1
+    RouterCore core(topo,
+                    config(FlowControl::CutThrough, PolicyKind::FaultAdaptive));
+    core.apply_crashes(crashes);
+    core.inject(0, 2, 160);
+    core.run(1000);
+    ASSERT_EQ(core.delivered(), 1u); // detoured via row 1
+    EXPECT_GT(core.records()[0].hops, 2u);
+}
+
+TEST(RouterCore, ManyToOneAllDeliveredAndCountersAgree) {
+    for (const FlowControl flow :
+         {FlowControl::StoreAndForward, FlowControl::CutThrough}) {
+        RouterCore core(Topology::mesh(4, 4), config(flow));
+        std::size_t injected = 0;
+        for (TileId t = 0; t < 16; ++t) {
+            if (t == 5) continue;
+            core.inject(t, 5, 160);
+            ++injected;
+        }
+        core.run(10000);
+        EXPECT_EQ(core.delivered(), injected) << to_string(flow);
+        EXPECT_TRUE(core.idle());
+        const auto& m = core.metrics();
+        EXPECT_EQ(m.messages_created, injected);
+        EXPECT_EQ(m.deliveries, injected);
+        std::size_t hops = 0;
+        for (const auto& rec : core.records()) hops += rec.hops;
+        EXPECT_EQ(m.packets_sent, hops);
+    }
+}
+
+TEST(RouterCore, TraceEventsMatchCounters) {
+    RingBufferSink sink(4096);
+    RouterCore core(Topology::mesh(4, 4), config(FlowControl::CutThrough));
+    core.set_trace_sink(&sink);
+    core.inject(0, 15, 160);
+    core.inject(15, 0, 160);
+    core.run(1000);
+    std::size_t created = 0, transmitted = 0, delivered = 0;
+    for (const auto& e : sink.events()) {
+        if (e.kind == TraceEventKind::MessageCreated) ++created;
+        if (e.kind == TraceEventKind::Transmitted) ++transmitted;
+        if (e.kind == TraceEventKind::Delivered) ++delivered;
+    }
+    EXPECT_EQ(created, core.metrics().messages_created);
+    EXPECT_EQ(transmitted, core.metrics().packets_sent);
+    EXPECT_EQ(delivered, core.metrics().deliveries);
+}
+
+TEST(RouterCore, DeterministicAcrossRuns) {
+    const auto run_once = [] {
+        RouterCore core(Topology::mesh(5, 5), config(FlowControl::CutThrough));
+        for (TileId t = 0; t < 25; ++t)
+            for (TileId d = 0; d < 25; ++d)
+                if (t != d && (t + d) % 3 == 0) core.inject(t, d, 128);
+        core.run(20000);
+        return core;
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        EXPECT_EQ(a.records()[i].delivered_cycle, b.records()[i].delivered_cycle);
+        EXPECT_EQ(a.records()[i].hops, b.records()[i].hops);
+    }
+    EXPECT_EQ(a.cycle(), b.cycle());
+}
+
+} // namespace
+} // namespace snoc::router

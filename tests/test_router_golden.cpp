@@ -1,0 +1,156 @@
+// The refactor proof for the layered router core (src/router/): the XY,
+// wormhole and deflection backends must produce byte-identical RunReports
+// and trace JSONL before and after being re-expressed as configurations
+// of the shared core.  The golden files under tests/golden/ were captured
+// from the pre-refactor implementations; this suite replays the same
+// (config, scenario, seed) grid and compares bytes.
+//
+// Regenerating (only legitimate when a deliberate behaviour change is
+// being made, never to paper over an accidental divergence):
+//   SNOC_UPDATE_GOLDEN=1 build/tests/test_router_golden
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/backends.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace snoc {
+namespace {
+
+TrafficTrace corner_trace() {
+    TrafficTrace trace;
+    TrafficPhase phase;
+    phase.messages.push_back({0, 24, 256});
+    phase.messages.push_back({4, 20, 256});
+    phase.messages.push_back({20, 4, 256});
+    phase.messages.push_back({24, 0, 256});
+    trace.phases.push_back(phase);
+    return trace;
+}
+
+/// Two phases with crossing flows: enough contention that arbitration,
+/// VC allocation and deflection-shuffle order all leave fingerprints in
+/// the event stream.
+TrafficTrace crossing_trace() {
+    TrafficTrace trace;
+    TrafficPhase a;
+    a.messages.push_back({0, 24, 128});
+    a.messages.push_back({1, 23, 128});
+    a.messages.push_back({2, 22, 128});
+    a.messages.push_back({10, 14, 64});
+    a.messages.push_back({14, 10, 64});
+    trace.phases.push_back(a);
+    TrafficPhase b;
+    b.messages.push_back({24, 0, 256});
+    b.messages.push_back({20, 4, 256});
+    b.messages.push_back({12, 0, 32});
+    trace.phases.push_back(b);
+    return trace;
+}
+
+std::string serialize_report(const RunReport& r) {
+    std::ostringstream os;
+    os << r.completed << ' ' << r.rounds << ' '
+       << std::hexfloat << r.seconds << std::defaultfloat << ' '
+       << r.transmissions << ' ' << r.bits << ' ' << r.messages << ' '
+       << r.deliveries << ' ' << r.dropped << ' '
+       << std::hexfloat << r.joules << std::defaultfloat << ' '
+       << r.seed << ' ' << r.attempts << '\n';
+    write_metrics_json(r.metrics, os);
+    return os.str();
+}
+
+/// RunReport bytes + trace JSONL bytes for one adapter-driven run.
+std::string run_image(Interconnect& backend, const TrafficTrace& trace,
+                      Round limit) {
+    Telemetry telemetry;
+    backend.set_trace_sink(&telemetry);
+    const RunReport report = backend.run(trace, limit);
+    std::ostringstream os;
+    os << serialize_report(report);
+    os << "--- jsonl ---\n";
+    write_jsonl(telemetry, os);
+    return os.str();
+}
+
+FaultScenario faulty() {
+    FaultScenario s;
+    s.p_tiles = 0.12;
+    return s;
+}
+
+/// The pre/post-refactor comparison grid: every packet-switched backend x
+/// {fault-free, crashing} x seeds, on both traces.
+std::string golden_image(const std::string& name) {
+    const std::vector<TileId> corners{0, 4, 20, 24};
+    std::ostringstream os;
+    for (const bool faults : {false, true}) {
+        const FaultScenario scenario = faults ? faulty() : FaultScenario::none();
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            for (const bool crossing : {false, true}) {
+                const auto trace = crossing ? crossing_trace() : corner_trace();
+                os << "# faults=" << faults << " seed=" << seed
+                   << " crossing=" << crossing << '\n';
+                if (name == "xy") {
+                    XyAdapter adapter(XySpec{Topology::mesh(5, 5), corners},
+                                      scenario, seed);
+                    os << run_image(adapter, trace, 0);
+                } else if (name == "wormhole_xy" || name == "wormhole_wf") {
+                    WormholeSpec spec;
+                    spec.protect = corners;
+                    spec.config.routing = name == "wormhole_wf"
+                                              ? wormhole::Routing::WestFirst
+                                              : wormhole::Routing::Xy;
+                    WormholeAdapter adapter(std::move(spec), scenario, seed);
+                    os << run_image(adapter, trace, 10000);
+                } else if (name == "deflection") {
+                    DeflectionSpec spec;
+                    spec.protect = corners;
+                    DeflectionAdapter adapter(std::move(spec), scenario, seed);
+                    os << run_image(adapter, trace, 10000);
+                } else {
+                    ADD_FAILURE() << "unknown golden backend " << name;
+                }
+            }
+        }
+    }
+    return os.str();
+}
+
+class RouterGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RouterGolden, BytesMatchPreRefactorCapture) {
+    const std::string name = GetParam();
+    const std::string path =
+        std::string(SNOC_GOLDEN_DIR) + "/router_" + name + ".golden";
+    const std::string image = golden_image(name);
+    ASSERT_FALSE(image.empty());
+
+    if (std::getenv("SNOC_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << image;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << path
+                           << " (run with SNOC_UPDATE_GOLDEN=1 to capture)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(image, golden.str())
+        << name << " diverged from the pre-refactor capture";
+}
+
+INSTANTIATE_TEST_SUITE_P(PacketSwitched, RouterGolden,
+                         ::testing::Values("xy", "wormhole_xy", "wormhole_wf",
+                                           "deflection"));
+
+} // namespace
+} // namespace snoc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/expect.hpp"
+#include "common/rng.hpp"
 
 namespace snoc::wormhole {
 namespace {

@@ -43,6 +43,16 @@ def parse_backend_kinds(project: Project) -> list[str]:
     header = project.files.get(INTERCONNECT_HEADER)
     if header is None:
         return []
+    # X-macro shape first: the SNOC_BACKEND_KIND_LIST rows up to the enum
+    # that expands them.  (Scan raw text — the rows carry comments.)
+    start = header.raw.find("SNOC_BACKEND_KIND_LIST(X)")
+    if start >= 0:
+        end = header.raw.find("enum class BackendKind", start)
+        region = header.raw[start:end if end > 0 else len(header.raw)]
+        names = [name for name, _wire in XMACRO_ENTRY.findall(region)]
+        if names:
+            return names
+    # Fallback: a hand-written enum body.
     start = header.code.find("enum class BackendKind")
     if start < 0:
         return []
