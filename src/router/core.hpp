@@ -1,0 +1,171 @@
+// The layered router core: one per-tile switch pipeline composed from
+// the orthogonal stages of this module —
+//
+//   ports       (router/ports.hpp — the Topology's port vocabulary)
+//   policy      (router/policy.hpp — where may a packet go next)
+//   arbitration (router/arbiter.hpp — who wins a contended output)
+//   accounting  (router/accounting.hpp — counters + trace events)
+//
+// — plus the flow-control schemes implemented here: store-and-forward
+// (a packet is re-transmitted only after it has fully arrived; per-hop
+// latency = the full serialization time) and virtual cut-through (the
+// header may be switched one cycle after it arrives, with the tail
+// streaming behind; per-hop latency ~ 1 cycle, the tail trailing by the
+// packet length).  Wormhole flit streaming (src/wormhole) and bufferless
+// deflection (src/bus/deflection.*) are the other two flow-control
+// schemes of the zoo; they compose the same stages around their own
+// buffering rules.
+//
+// The core is packet-granular and cycle-timed, and fully deterministic:
+// no RNG, ascending tile/port scans, rotating arbiters (DESIGN.md §13
+// states the stage contracts).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "noc/topology.hpp"
+#include "router/accounting.hpp"
+#include "router/arbiter.hpp"
+#include "router/policy.hpp"
+#include "sim/trace.hpp"
+
+namespace snoc::router {
+
+/// The flow-control schemes the core implements directly.  (The other
+/// members of the zoo — wormhole flit streaming, bufferless deflection —
+/// live in their own modules on the same stages.)
+#define SNOC_FLOW_CONTROL_LIST(X)                                              \
+    X(StoreAndForward, "store-and-forward") /* forward only complete packets */\
+    X(CutThrough, "cut-through")            /* forward once the header lands */
+
+enum class FlowControl : std::uint8_t {
+#define SNOC_FLOW_CONTROL_ENUM(name, str) name,
+    SNOC_FLOW_CONTROL_LIST(SNOC_FLOW_CONTROL_ENUM)
+#undef SNOC_FLOW_CONTROL_ENUM
+};
+
+inline constexpr const char* kFlowControlNames[] = {
+#define SNOC_FLOW_CONTROL_NAME(name, str) str,
+    SNOC_FLOW_CONTROL_LIST(SNOC_FLOW_CONTROL_NAME)
+#undef SNOC_FLOW_CONTROL_NAME
+};
+
+constexpr const char* to_string(FlowControl f) {
+    const auto i = static_cast<std::size_t>(f);
+    return i < std::size(kFlowControlNames) ? kFlowControlNames[i] : "?";
+}
+
+struct RouterConfig {
+    FlowControl flow{FlowControl::StoreAndForward};
+    PolicyKind policy{PolicyKind::DimensionOrder};
+    std::size_t flits_per_packet{5}; ///< link serialization time, cycles/hop.
+    std::size_t buffer_packets{4};   ///< input-FIFO capacity, in packets.
+    std::size_t max_hops{256};       ///< hop budget (detour livelock guard).
+
+    void validate() const;
+};
+
+struct PacketRecord {
+    std::uint32_t id{0};
+    TileId source{0};
+    TileId destination{0};
+    std::size_t bits{0};
+    std::size_t injected_cycle{0};
+    std::optional<std::size_t> delivered_cycle;
+    std::size_t hops{0};  ///< link traversals (minimal + detours).
+    bool dropped{false};  ///< crash-dropped or hop budget exhausted.
+};
+
+/// A mesh of identical routers, stepped one link cycle at a time.
+class RouterCore {
+public:
+    RouterCore(Topology topo, RouterConfig config);
+
+    /// Apply a crash pattern: dead tiles accept nothing (injections at
+    /// them crash-drop immediately), dead links carry nothing.
+    void apply_crashes(const CrashState& crashes);
+
+    /// Queue a packet at `source`'s injection port (one packet enters the
+    /// local input FIFO per cycle as space frees up).
+    std::uint32_t inject(TileId source, TileId destination, std::size_t bits);
+
+    /// Advance one link cycle: injection, head-of-line fate resolution
+    /// (crash / TTL drops), per-output switch arbitration, then the moves.
+    void step();
+    void run(std::size_t cycles);
+
+    std::size_t cycle() const { return cycle_; }
+    std::size_t delivered() const { return delivered_; }
+    std::size_t dropped() const { return dropped_; }
+    /// Packets injected but not yet delivered or dropped.
+    std::size_t in_flight() const { return outstanding_; }
+    bool idle() const { return outstanding_ == 0; }
+
+    const std::vector<PacketRecord>& records() const { return records_; }
+    const Topology& topology() const { return topo_; }
+    const RouterConfig& config() const { return config_; }
+    const RoutingPolicy& policy() const { return *policy_; }
+
+    /// Full shared-accounting metrics (per-round/tile/link histograms
+    /// included); rounds are link cycles.
+    const NetworkMetrics& metrics() const { return accounting_.metrics(); }
+    void set_trace_sink(TraceSink* sink) { accounting_.set_trace_sink(sink); }
+
+    /// The rotating arbiter at (tile, output); output indexes follow the
+    /// neighbour list with the ejection port last.  Slot indexes are the
+    /// input ports, local injection last — the fairness observables the
+    /// starvation-freedom stress test reads.
+    const RotatingArbiter& arbiter(TileId t, std::size_t output) const;
+
+private:
+    /// One packet resident in (or streaming into) an input FIFO.
+    struct Buffered {
+        std::uint32_t id{0};
+        TileId from{kNoTile};    ///< upstream neighbour (kNoTile = source).
+        std::size_t head_at{0};  ///< cycle the header arrived.
+        std::size_t full_at{0};  ///< cycle the tail arrived / arrives.
+    };
+
+    std::size_t input_count(TileId t) const { return topo_.neighbours(t).size() + 1; }
+    std::size_t local_port(TileId t) const { return topo_.neighbours(t).size(); }
+    std::size_t output_count(TileId t) const { return topo_.neighbours(t).size() + 1; }
+    std::size_t eject_port(TileId t) const { return topo_.neighbours(t).size(); }
+
+    bool head_ready(const Buffered& head) const;
+    /// First viable-and-available candidate output for `head` at `t`:
+    /// policy preference order, filtered by crashes, link occupancy and
+    /// downstream buffer space (including slots committed this cycle).
+    std::optional<std::size_t> choose_output(TileId t, const Buffered& head) const;
+    void drop_head(TileId t, std::size_t in_port, bool ttl);
+    void resolve_head_fates(TileId t, std::size_t in_port);
+
+    Topology topo_;
+    RouterConfig config_;
+    std::unique_ptr<const RoutingPolicy> policy_;
+    std::vector<bool> dead_tiles_;
+    std::vector<bool> dead_links_;
+
+    std::vector<std::vector<std::deque<Buffered>>> in_;    ///< [tile][input].
+    std::vector<std::vector<RotatingArbiter>> arbiters_;   ///< [tile][output].
+    std::vector<std::vector<std::size_t>> link_free_at_;   ///< [tile][link out].
+    std::vector<std::deque<std::uint32_t>> pending_;       ///< injection queues.
+    /// Downstream FIFO slots committed during the current decide phase
+    /// ([tile][input]); cleared every cycle.
+    std::vector<std::vector<std::size_t>> committed_;
+
+    std::vector<PacketRecord> records_;
+    std::size_t cycle_{0};
+    std::size_t delivered_{0};
+    std::size_t dropped_{0};
+    std::size_t outstanding_{0};
+    Accounting accounting_;
+};
+
+} // namespace snoc::router
