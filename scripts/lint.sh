@@ -28,8 +28,31 @@ if command -v clang-tidy >/dev/null 2>&1; then
         exit 1
     fi
     echo "== clang-tidy =="
-    # First-party translation units only; checks come from .clang-tidy.
-    mapfile -t sources < <(find src bench examples -name '*.cpp' | sort)
+    # First-party translation units straight from the compile database —
+    # exactly the set the build compiles, with the flags it compiles them
+    # under (generated headers, defines, include paths all correct), so a
+    # TU the build system knows about cannot dodge the linter and a file
+    # the build never compiles cannot break it.  Checks come from
+    # .clang-tidy.
+    mapfile -t sources < <(python3 - "${BUILD_DIR}" <<'PYEOF'
+import json, os, sys
+root = os.getcwd()
+tus = set()
+with open(os.path.join(sys.argv[1], "compile_commands.json")) as db:
+    for entry in json.load(db):
+        path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, root)
+        # First-party code only: skip generated TUs and anything vendored
+        # into the build tree (gtest, benchmark, ...).
+        if rel.startswith(("src/", "bench/", "examples/", "tools/", "apps/")):
+            tus.add(rel)
+print("\n".join(sorted(tus)))
+PYEOF
+)
+    if [[ ${#sources[@]} -eq 0 ]]; then
+        echo "clang-tidy: no first-party TUs in ${BUILD_DIR}/compile_commands.json" >&2
+        exit 1
+    fi
     tidy_log="$(mktemp)"
     trap 'rm -f "${tidy_log}"' EXIT
     tidy_rc=0

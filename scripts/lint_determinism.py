@@ -6,6 +6,11 @@ report, SARIF output.  This entry point keeps `python3
 scripts/lint_determinism.py` (CI muscle memory, old docs) working by
 running exactly the determinism-family checkers.
 
+The exit status is forwarded verbatim from snoc_lint (0 clean, 1
+findings, 2 broken configuration); a shim that cannot load the CLI, or a
+CLI whose main() stops returning an int, exits 2 instead of silently
+succeeding — tests/lint_fixtures/run_cli_tests.py pins this contract.
+
 Prefer:  python3 tools/snoc_lint            # the full suite
          python3 tools/snoc_lint --only determinism,rng,allowlist
 """
@@ -17,15 +22,34 @@ import sys
 from pathlib import Path
 
 TOOL_DIR = Path(__file__).resolve().parent.parent / "tools" / "snoc_lint"
-sys.path.insert(0, str(TOOL_DIR))
 
-# The CLI lives in the tool's __main__.py; load it under a private name
-# (a plain `import __main__` would resolve to this very script).
-_spec = importlib.util.spec_from_file_location("snoc_lint_cli",
-                                               TOOL_DIR / "__main__.py")
-snoc_lint = importlib.util.module_from_spec(_spec)
-_spec.loader.exec_module(snoc_lint)
+
+def _load_cli():
+    """Load the CLI from the tool's __main__.py under a private name (a
+    plain `import __main__` would resolve to this very script)."""
+    sys.path.insert(0, str(TOOL_DIR))
+    spec = importlib.util.spec_from_file_location("snoc_lint_cli",
+                                                  TOOL_DIR / "__main__.py")
+    if spec is None or spec.loader is None:
+        print(f"lint_determinism: cannot load {TOOL_DIR}/__main__.py",
+              file=sys.stderr)
+        raise SystemExit(2)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not callable(getattr(module, "main", None)):
+        print("lint_determinism: snoc_lint CLI exposes no main()",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return module
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    rc = _load_cli().main(["--only", "determinism,rng,allowlist", *args])
+    # sys.exit(None) would report success; never let a vanished return
+    # value turn findings into a green run.
+    return rc if isinstance(rc, int) else 2
+
 
 if __name__ == "__main__":
-    sys.exit(snoc_lint.main(
-        ["--only", "determinism,rng,allowlist", *sys.argv[1:]]))
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Merge SARIF 2.1.0 logs into one file by concatenating their `runs`
+arrays — the shape GitHub code scanning ingests, and how snoc_verify's
+verdict stream joins snoc_lint's findings in one CI artifact.
+
+    scripts/merge_sarif.py OUT IN [IN ...]
+
+Inputs must be SARIF 2.1.0 (every run keeps its own tool/driver block,
+so findings stay attributed).  Missing inputs are an error: a gate that
+silently merges fewer streams than it was asked to is not a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path = Path(argv[1])
+    runs = []
+    version = "2.1.0"
+    schema = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+              "master/Schemata/sarif-schema-2.1.0.json")
+    for raw in argv[2:]:
+        path = Path(raw)
+        if not path.exists():
+            print(f"merge_sarif: missing input {path}", file=sys.stderr)
+            return 2
+        data = json.loads(path.read_text())
+        if data.get("version") != version:
+            print(f"merge_sarif: {path} is not SARIF {version}",
+                  file=sys.stderr)
+            return 2
+        runs.extend(data.get("runs", []))
+    out_path.write_text(json.dumps(
+        {"$schema": schema, "version": version, "runs": runs},
+        indent=2) + "\n")
+    results = sum(len(r.get("results", [])) for r in runs)
+    print(f"merge_sarif: {len(runs)} run(s), {results} result(s) "
+          f"-> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

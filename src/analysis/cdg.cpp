@@ -1,0 +1,216 @@
+#include "analysis/cdg.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace snoc::analysis {
+
+namespace {
+
+bool tile_dead(const std::vector<bool>& dead, TileId t) {
+    return !dead.empty() && dead[t];
+}
+
+} // namespace
+
+std::vector<std::vector<std::size_t>>
+strongly_connected_components(const std::vector<std::vector<std::size_t>>& adj) {
+    const std::size_t n = adj.size();
+    constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> index(n, kUnvisited), low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    std::vector<std::vector<std::size_t>> sccs;
+    std::size_t counter = 0;
+
+    struct Frame {
+        std::size_t node;
+        std::size_t next_edge;
+    };
+    for (std::size_t start = 0; start < n; ++start) {
+        if (index[start] != kUnvisited) continue;
+        std::vector<Frame> work{{start, 0}};
+        index[start] = low[start] = counter++;
+        stack.push_back(start);
+        on_stack[start] = true;
+        while (!work.empty()) {
+            Frame& frame = work.back();
+            const std::size_t node = frame.node;
+            bool advanced = false;
+            while (frame.next_edge < adj[node].size()) {
+                const std::size_t nxt = adj[node][frame.next_edge++];
+                if (index[nxt] == kUnvisited) {
+                    index[nxt] = low[nxt] = counter++;
+                    stack.push_back(nxt);
+                    on_stack[nxt] = true;
+                    work.push_back(Frame{nxt, 0});
+                    advanced = true;
+                    break;
+                }
+                if (on_stack[nxt]) low[node] = std::min(low[node], index[nxt]);
+            }
+            if (advanced) continue;
+            work.pop_back();
+            if (!work.empty()) {
+                const std::size_t parent = work.back().node;
+                low[parent] = std::min(low[parent], low[node]);
+            }
+            if (low[node] == index[node]) {
+                std::vector<std::size_t> comp;
+                while (true) {
+                    const std::size_t member = stack.back();
+                    stack.pop_back();
+                    on_stack[member] = false;
+                    comp.push_back(member);
+                    if (member == node) break;
+                }
+                if (comp.size() > 1) {
+                    std::sort(comp.begin(), comp.end());
+                    sccs.push_back(std::move(comp));
+                }
+            }
+        }
+    }
+    std::sort(sccs.begin(), sccs.end(),
+              [](const auto& a, const auto& b) { return a.front() < b.front(); });
+    return sccs;
+}
+
+namespace {
+
+/// Shortest closed walk through `pivot` inside its SCC: BFS from pivot
+/// over SCC-internal edges, then close via the cheapest edge back.
+std::vector<LinkId> extract_cycle(const std::vector<std::set<LinkId>>& adj,
+                                  const std::vector<std::size_t>& scc) {
+    const std::size_t pivot = scc.front();
+    std::vector<bool> in_scc(adj.size(), false);
+    for (const std::size_t m : scc) in_scc[m] = true;
+
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> parent(adj.size(), kNone);
+    std::deque<std::size_t> queue{pivot};
+    std::vector<bool> seen(adj.size(), false);
+    seen[pivot] = true;
+    std::size_t closer = kNone; // first BFS-discovered node with an edge to pivot.
+    while (!queue.empty() && closer == kNone) {
+        const std::size_t node = queue.front();
+        queue.pop_front();
+        for (const LinkId nxt : adj[node]) {
+            if (!in_scc[nxt]) continue;
+            if (nxt == pivot) {
+                closer = node;
+                break;
+            }
+            if (seen[nxt]) continue;
+            seen[nxt] = true;
+            parent[nxt] = node;
+            queue.push_back(nxt);
+        }
+    }
+    SNOC_ENSURE(closer != kNone && "SCC member lost its return path");
+    std::vector<LinkId> cycle;
+    for (std::size_t node = closer; node != kNone; node = parent[node])
+        cycle.push_back(static_cast<LinkId>(node));
+    std::reverse(cycle.begin(), cycle.end()); // pivot .. closer
+    return cycle;
+}
+
+} // namespace
+
+CdgResult analyze_cdg(const Topology& topo, const router::RoutingPolicy& policy,
+                      const std::vector<bool>& dead) {
+    SNOC_EXPECT(dead.empty() || dead.size() == topo.node_count());
+    CdgResult result;
+    const std::size_t links = topo.link_count();
+    std::vector<std::set<LinkId>> adj(links);
+    std::vector<bool> ever_reached(links, false);
+
+    for (LinkId l = 0; l < links; ++l) {
+        const LinkEnd& end = topo.link(l);
+        if (!tile_dead(dead, end.from) && !tile_dead(dead, end.to))
+            ++result.channels;
+    }
+
+    std::vector<bool> reached(links);
+    for (TileId d = 0; d < topo.node_count(); ++d) {
+        if (tile_dead(dead, d)) continue;
+        std::fill(reached.begin(), reached.end(), false);
+        std::deque<LinkId> frontier;
+        // Injection seeds: the channels the policy names at every source.
+        for (TileId s = 0; s < topo.node_count(); ++s) {
+            if (s == d || tile_dead(dead, s)) continue;
+            const auto& nbrs = topo.neighbours(s);
+            const auto& out = topo.out_links(s);
+            for (const std::size_t p : policy.candidates(topo, s, kNoTile, d, dead)) {
+                if (tile_dead(dead, nbrs[p])) continue;
+                if (!reached[out[p]]) {
+                    reached[out[p]] = true;
+                    frontier.push_back(out[p]);
+                }
+            }
+        }
+        // Transitive closure: a packet holding (u -> v) en route to d may
+        // next request every channel the policy names at v.
+        while (!frontier.empty()) {
+            const LinkId l = frontier.front();
+            frontier.pop_front();
+            const LinkEnd& end = topo.link(l);
+            if (end.to == d) continue; // ejects; no further dependency.
+            const auto& nbrs = topo.neighbours(end.to);
+            const auto& out = topo.out_links(end.to);
+            for (const std::size_t p :
+                 policy.candidates(topo, end.to, end.from, d, dead)) {
+                if (tile_dead(dead, nbrs[p])) continue;
+                const LinkId next = out[p];
+                adj[l].insert(next);
+                if (!reached[next]) {
+                    reached[next] = true;
+                    frontier.push_back(next);
+                }
+            }
+        }
+        for (LinkId l = 0; l < links; ++l)
+            if (reached[l]) ever_reached[l] = true;
+    }
+
+    for (LinkId l = 0; l < links; ++l) {
+        if (ever_reached[l]) ++result.reachable;
+        result.dependencies += adj[l].size();
+    }
+
+    std::vector<std::vector<std::size_t>> plain(links);
+    for (LinkId l = 0; l < links; ++l)
+        plain[l].assign(adj[l].begin(), adj[l].end());
+    const auto sccs = strongly_connected_components(plain);
+    if (!sccs.empty()) result.cycle = extract_cycle(adj, sccs.front());
+    return result;
+}
+
+std::string cycle_to_string(const Topology& topo,
+                            const std::vector<LinkId>& cycle) {
+    if (cycle.empty()) return "(acyclic)";
+    std::ostringstream os;
+    const auto tile = [&](TileId t) {
+        std::ostringstream ts;
+        if (topo.is_grid())
+            ts << '(' << topo.x_of(t) << ',' << topo.y_of(t) << ')';
+        else
+            ts << 't' << t;
+        return ts.str();
+    };
+    // Consecutive channels share their middle tile and the last feeds the
+    // first, so printing every downstream tile closes the walk exactly.
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const LinkEnd& end = topo.link(cycle[i]);
+        if (i == 0)
+            os << tile(end.from);
+        os << "->" << tile(end.to);
+    }
+    return os.str();
+}
+
+} // namespace snoc::analysis

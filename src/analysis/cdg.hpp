@@ -1,0 +1,72 @@
+// Channel-dependency-graph (CDG) analysis: the static deadlock proof
+// obligation for deterministic routing policies (Dally & Seitz; made a
+// first-class design rule by Stroobant et al., PAPERS.md).
+//
+// A *channel* is a directed link of the topology.  A dependency c -> c'
+// exists when some packet that can legitimately occupy c (it is holding
+// the link's downstream input buffer) may next request c'.  The routing
+// relation is the RoutingPolicy stage of the layered router core
+// (router/policy.hpp) — a pure function of (position, arrival port,
+// destination, crash pattern) — so the full dependency set is computable
+// by exhaustive query, no simulation involved:
+//
+//   for every destination d:
+//     seed the channels named at every source (injection, from = kNoTile),
+//     then close transitively: channel (u -> v) occupied en route to d
+//     contributes an edge to every channel (v -> w) the policy names at v.
+//
+// The per-destination *reachability* closure matters: querying every
+// (channel, destination) pair unconditionally manufactures dependencies
+// no packet can exercise (e.g. a northbound channel queried for a
+// westward destination under west-first) and would flag XY itself as
+// cyclic.  Only pairs reachable under the routing relation count — this
+// is the classical formulation of the channel-dependency theorem.
+//
+// The policy's permitted-turn set is deadlock-free iff the CDG is
+// acyclic (Tarjan SCC, the same algorithm snoc_lint's layer checker runs
+// over the include graph, ported from tools/snoc_lint/model.py).  A
+// cycle is reported as a concrete closed channel sequence so the verdict
+// is actionable, not just boolean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/topology.hpp"
+#include "router/policy.hpp"
+
+namespace snoc::analysis {
+
+/// One CDG analysis result.  `cycle` is empty when the graph is acyclic;
+/// otherwise it is a closed walk of channel (link) ids — consecutive
+/// entries share a tile, and the last entry feeds the first.
+struct CdgResult {
+    std::size_t channels{0};     ///< live directed links of the topology.
+    std::size_t reachable{0};    ///< channels reachable for >= 1 destination.
+    std::size_t dependencies{0}; ///< distinct dependency edges found.
+    std::vector<LinkId> cycle;   ///< shortest cycle witness, empty if acyclic.
+
+    bool acyclic() const { return cycle.empty(); }
+};
+
+/// Build the channel dependency graph of `policy` on `topo` by exhaustive
+/// policy query and detect cycles.  `dead` is the static crash pattern
+/// (empty = healthy); dead tiles neither source, sink nor relay packets.
+CdgResult analyze_cdg(const Topology& topo, const router::RoutingPolicy& policy,
+                      const std::vector<bool>& dead = {});
+
+/// Human-readable rendering of a cycle witness: the tile-coordinate hop
+/// sequence "(x,y)->(x,y)->..." with the closing hop repeated.
+std::string cycle_to_string(const Topology& topo,
+                            const std::vector<LinkId>& cycle);
+
+/// Iterative Tarjan over an adjacency-list graph; returns every strongly
+/// connected component with more than one node (the cycles), components
+/// sorted by their smallest node id, members ascending.  The C++ port of
+/// tools/snoc_lint/model.py::strongly_connected_components, exposed so
+/// tests can cross-check the two implementations.
+std::vector<std::vector<std::size_t>>
+strongly_connected_components(const std::vector<std::vector<std::size_t>>& adj);
+
+} // namespace snoc::analysis

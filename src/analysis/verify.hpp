@@ -1,0 +1,107 @@
+// Static deadlock/livelock verification of the router-policy registry
+// (the snoc_verify CLI is a thin shell over this module; tests/test_verify
+// exercises it directly).
+//
+// Every registered routing policy (SNOC_ROUTING_POLICY_LIST) is verified
+// on every supported mesh size under every flow-control scheme
+// (SNOC_FLOW_CONTROL_LIST), and every backend of the zoo
+// (SNOC_BACKEND_KIND_LIST) receives a verdict — without running a single
+// simulation round:
+//
+//   deadlock-free      the channel dependency graph is acyclic (cdg.hpp);
+//                      the turn set cannot close a wait cycle.
+//   deadlock-capable   the CDG has a cycle, reported as a concrete
+//                      channel sequence.
+//   livelock-bounded   deflection/adaptive policies trade the CDG
+//                      obligation for a finite misroute budget: residence
+//                      is bounded by max_hops (or TTL for gossip), so the
+//                      scheme cannot circulate forever.
+//   livelock-unbounded the escape was claimed without a finite budget.
+//
+// The verdict table is golden-checked (tests/golden/verify_registry.golden)
+// so registering a BackendKind or PolicyKind without a verdict breaks the
+// build, and the SARIF writer feeds the same CI gate as snoc_lint.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/interconnect.hpp"
+#include "router/core.hpp"
+#include "router/policy.hpp"
+
+namespace snoc::analysis {
+
+enum class Verdict : std::uint8_t {
+    DeadlockFree,
+    DeadlockCapable,
+    LivelockBounded,
+    LivelockUnbounded,
+};
+
+const char* to_string(Verdict v);
+
+/// True for the verdicts a shipped configuration is allowed to carry.
+constexpr bool verdict_ok(Verdict v) {
+    return v == Verdict::DeadlockFree || v == Verdict::LivelockBounded;
+}
+
+/// One verified configuration: `subject` names it ("policy xy flow
+/// cut-through mesh 5x5", "backend gossip"), `detail` carries the
+/// evidence (CDG sizes, a concrete cycle, the livelock budget).
+struct ConfigVerdict {
+    std::string subject;
+    Verdict verdict{Verdict::DeadlockFree};
+    std::string detail;
+};
+
+/// How a policy discharges the deadlock obligation: turn-model policies
+/// prove their CDG acyclic; misrouting policies (deflection's productive
+/// set, fault-adaptive detours) are CDG-cyclic by design and must bound
+/// livelock with a finite hop budget instead.
+enum class PolicyObligation : std::uint8_t { AcyclicCdg, BoundedMisroute };
+
+PolicyObligation obligation_for(router::PolicyKind kind);
+
+/// The mesh sizes every registry verdict is computed on.
+struct MeshShape {
+    std::size_t width;
+    std::size_t height;
+};
+const std::vector<MeshShape>& verified_meshes();
+
+/// Verdict for one (policy, mesh, flow-control) cell.  CDG policies get
+/// analyze_cdg; misroute policies get the budget check against
+/// `misroute_budget` (0 = unbounded, the probe value).
+ConfigVerdict verify_policy(router::PolicyKind kind, const MeshShape& mesh,
+                            router::FlowControl flow,
+                            std::size_t misroute_budget);
+
+/// Verdict for one backend of the zoo (the per-BackendKind dispatch is a
+/// default-free switch, so growing SNOC_BACKEND_KIND_LIST without a
+/// verification plan is a compile-time -Wswitch complaint and a golden
+/// mismatch).
+ConfigVerdict verify_backend(BackendKind kind);
+
+/// The full registry sweep: every policy x mesh x flow-control cell, then
+/// every backend.  This is the exact content of
+/// tests/golden/verify_registry.golden.
+std::vector<ConfigVerdict> verify_registry();
+
+/// The deliberately-broken probe verdicts (tests/verify_fixtures/):
+/// "cyclic-turn" and "unbounded-deflection".  Throws ContractViolation on
+/// an unknown probe name.
+std::vector<ConfigVerdict> probe_verdicts(const std::string& name);
+
+/// One line per verdict: "<subject>: <verdict> <detail>".
+void write_report(const std::vector<ConfigVerdict>& verdicts, std::ostream& os);
+
+/// SARIF 2.1.0 run for the verifier: one result per *violating* verdict
+/// (deadlock-capable / livelock-unbounded), empty results when the
+/// registry is clean — the shape scripts/merge_sarif.py folds into
+/// snoc_lint's stream for the CI gate.
+void write_sarif(const std::vector<ConfigVerdict>& verdicts, std::ostream& os);
+
+} // namespace snoc::analysis

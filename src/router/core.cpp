@@ -14,14 +14,27 @@ void RouterConfig::validate() const {
 }
 
 RouterCore::RouterCore(Topology topo, RouterConfig config)
+    : RouterCore(std::move(topo), config, make_policy(config.policy)) {}
+
+RouterCore::RouterCore(Topology topo, RouterConfig config,
+                       std::unique_ptr<const RoutingPolicy> policy)
     : topo_(std::move(topo)),
       config_(config),
-      policy_(make_policy(config.policy)),
+      policy_(std::move(policy)),
       dead_tiles_(topo_.node_count(), false),
       dead_links_(topo_.link_count(), false),
       pending_(topo_.node_count()) {
     config_.validate();
+    SNOC_EXPECT(policy_ != nullptr);
     SNOC_EXPECT(topo_.is_grid());
+    // Auto watchdog threshold: by the time every buffer slot in the mesh
+    // could have streamed a full packet, a silent network is wedged, not
+    // slow.  The slack term keeps tiny meshes from hair-triggering.
+    stall_limit_ = config_.stall_limit != 0
+                       ? config_.stall_limit
+                       : topo_.node_count() * config_.buffer_packets *
+                                 config_.flits_per_packet +
+                             128;
     accounting_.attach(topo_);
     in_.resize(topo_.node_count());
     arbiters_.reserve(topo_.node_count());
@@ -142,6 +155,12 @@ void RouterCore::resolve_head_fates(TileId t, std::size_t in_port) {
 }
 
 void RouterCore::step() {
+    // DeadlockSentinel progress ledger: admissions, drops and moves all
+    // count; a cycle with none of them (and packets outstanding) extends
+    // the zero-progress streak the watchdog trips on.
+    [[maybe_unused]] std::size_t admitted = 0; // unused only at level 0.
+    [[maybe_unused]] const std::size_t dropped_before = dropped_;
+
     // ---- Injection: one packet per tile per cycle enters the local
     // input FIFO as space allows (source packets are wholly resident).
     for (TileId t = 0; t < topo_.node_count(); ++t) {
@@ -150,6 +169,7 @@ void RouterCore::step() {
         if (local.size() >= config_.buffer_packets) continue;
         local.push_back(Buffered{pending_[t].front(), kNoTile, cycle_, cycle_});
         pending_[t].pop_front();
+        ++admitted;
     }
 
     // ---- Head-of-line fate resolution: crash and hop-budget drops.
@@ -234,11 +254,34 @@ void RouterCore::step() {
     }
 
     accounting_.advance_to(static_cast<Round>(cycle_));
+
+    // ---- DeadlockSentinel.  Compiled out at level 0 with the rest of
+    // the checking machinery (the observables then stay false/0).
+    if constexpr (SNOC_CHECK_LEVEL >= 1) {
+        const std::size_t progress =
+            admitted + (dropped_ - dropped_before) + moves.size();
+        if (outstanding_ == 0 || progress > 0) {
+            stalled_cycles_ = 0;
+        } else if (++stalled_cycles_ >= stall_limit_ && !sentinel_fired_) {
+            sentinel_fired_ = true;
+            if (config_.expect_deadlock_free)
+                throw ContractViolation(
+                    "DeadlockSentinel: " + std::to_string(outstanding_) +
+                    " packet(s) outstanding with zero progress for " +
+                    std::to_string(stalled_cycles_) +
+                    " cycles on a configuration statically verified "
+                    "deadlock-free (cycle " + std::to_string(cycle_) + ")");
+        }
+    }
     ++cycle_;
 }
 
 void RouterCore::run(std::size_t cycles) {
-    for (std::size_t i = 0; i < cycles && !idle(); ++i) step();
+    // A fired sentinel means no further cycle can make progress (the
+    // watchdog only trips on a closed buffer-wait cycle); stop burning
+    // cycles on a wedged network.
+    for (std::size_t i = 0; i < cycles && !idle() && !sentinel_fired_; ++i)
+        step();
 }
 
 const RotatingArbiter& RouterCore::arbiter(TileId t, std::size_t output) const {

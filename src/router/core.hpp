@@ -68,6 +68,16 @@ struct RouterConfig {
     std::size_t flits_per_packet{5}; ///< link serialization time, cycles/hop.
     std::size_t buffer_packets{4};   ///< input-FIFO capacity, in packets.
     std::size_t max_hops{256};       ///< hop budget (detour livelock guard).
+    /// DeadlockSentinel watchdog: consecutive zero-progress cycles (with
+    /// packets outstanding) before the sentinel fires.  0 = auto, sized so
+    /// every in-flight tail has time to finish streaming first.  The
+    /// sentinel is compiled out entirely at SNOC_CHECK_LEVEL 0.
+    std::size_t stall_limit{0};
+    /// Set when static analysis (snoc_verify) proved this configuration's
+    /// channel dependency graph acyclic: the sentinel firing anyway is
+    /// then an invariant violation, not a telemetry event, and throws
+    /// ContractViolation.
+    bool expect_deadlock_free{false};
 
     void validate() const;
 };
@@ -87,6 +97,11 @@ struct PacketRecord {
 class RouterCore {
 public:
     RouterCore(Topology topo, RouterConfig config);
+    /// Wire an explicit policy object instead of make_policy(config.policy)
+    /// — how snoc_verify's mutation probes run deliberately-broken turn
+    /// sets through the real pipeline.  `policy` must not be null.
+    RouterCore(Topology topo, RouterConfig config,
+               std::unique_ptr<const RoutingPolicy> policy);
 
     /// Apply a crash pattern: dead tiles accept nothing (injections at
     /// them crash-drop immediately), dead links carry nothing.
@@ -107,6 +122,16 @@ public:
     /// Packets injected but not yet delivered or dropped.
     std::size_t in_flight() const { return outstanding_; }
     bool idle() const { return outstanding_ == 0; }
+
+    /// DeadlockSentinel observables (always false/0 in a level-0 build):
+    /// the watchdog fires after `stall_limit` consecutive cycles with
+    /// packets outstanding and zero progress — no admission, no move, no
+    /// ejection, no drop.  run() stops stepping once it has fired.
+    bool sentinel_fired() const { return sentinel_fired_; }
+    /// Current zero-progress streak (resets whenever anything moves).
+    std::size_t stalled_cycles() const { return stalled_cycles_; }
+    /// The resolved watchdog threshold (config value, or the auto size).
+    std::size_t stall_limit() const { return stall_limit_; }
 
     const std::vector<PacketRecord>& records() const { return records_; }
     const Topology& topology() const { return topo_; }
@@ -165,6 +190,9 @@ private:
     std::size_t delivered_{0};
     std::size_t dropped_{0};
     std::size_t outstanding_{0};
+    std::size_t stall_limit_{0};    ///< resolved watchdog threshold.
+    std::size_t stalled_cycles_{0}; ///< current zero-progress streak.
+    bool sentinel_fired_{false};
     Accounting accounting_;
 };
 

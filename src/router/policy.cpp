@@ -67,7 +67,7 @@ std::vector<std::size_t> WestFirstPolicy::candidates(
     const std::size_t dx = topo.x_of(dst), dy = topo.y_of(dst);
     if (dx < x) {
         if (const auto p = port_to(topo, at, topo.at(x - 1, y))) out.push_back(*p);
-        return out;
+        return out; // west exclusively: the deadlock-freedom turn rule. [mutation-point:west-first-turn]
     }
     if (dx > x)
         if (const auto p = port_to(topo, at, topo.at(x + 1, y))) out.push_back(*p);

@@ -201,6 +201,10 @@ struct StoreForwardSpec : RouterSpec {
     StoreForwardSpec() {
         config.flow = router::FlowControl::StoreAndForward;
         config.policy = router::PolicyKind::DimensionOrder;
+        // snoc_verify proves the XY channel dependency graph acyclic, so
+        // the DeadlockSentinel firing on this stage selection is an
+        // invariant violation, not a telemetry event.
+        config.expect_deadlock_free = true;
     }
 };
 
@@ -208,6 +212,7 @@ struct CutThroughSpec : RouterSpec {
     CutThroughSpec() {
         config.flow = router::FlowControl::CutThrough;
         config.policy = router::PolicyKind::DimensionOrder;
+        config.expect_deadlock_free = true; // statically verified (snoc_verify).
     }
 };
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Exact-verdict fixtures for snoc_verify's deliberately-broken probes.
+
+Each <name>.expect file holds the exact stdout of
+``snoc_verify --probe <name>`` (dashes in the probe name map to
+underscores in the file name).  The probes are mutations the verifier
+exists to catch, so the run must also exit 1 — a probe that comes back
+clean means the analysis has gone blind, and a changed verdict line
+means the witness or the budget reasoning drifted.
+
+Usage: run_verify_fixtures.py <path-to-snoc_verify-binary>
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def run_fixture(binary: str, expect_path: pathlib.Path) -> list[str]:
+    probe = expect_path.stem.replace("_", "-")
+    expected = expect_path.read_text()
+    proc = subprocess.run(
+        [binary, "--probe", probe],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    errors = []
+    if proc.returncode != 1:
+        errors.append(
+            f"{probe}: expected exit 1 (probe verdicts must violate), "
+            f"got {proc.returncode}"
+        )
+    if proc.stdout != expected:
+        errors.append(
+            f"{probe}: verdict output diverged from {expect_path.name}\n"
+            f"--- expected ---\n{expected}"
+            f"--- actual ---\n{proc.stdout}"
+        )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = argv[1]
+    expects = sorted(FIXTURE_DIR.glob("*.expect"))
+    if not expects:
+        print("no .expect fixtures found", file=sys.stderr)
+        return 2
+    failures = []
+    for expect_path in expects:
+        errors = run_fixture(binary, expect_path)
+        if errors:
+            failures.extend(errors)
+            print(f"FAIL {expect_path.stem}")
+        else:
+            print(f"ok   {expect_path.stem}")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"{len(expects)} verify fixtures ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -81,6 +81,9 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline to suppress all current "
                              "findings, then exit 0")
+    parser.add_argument("--baseline-prune", action="store_true",
+                        help="drop baseline suppressions that no longer match "
+                             "any finding, then exit 0")
     return parser.parse_args(argv)
 
 
@@ -132,6 +135,18 @@ def main(argv: list[str] | None = None) -> int:
         report.write_baseline(root, args.baseline, findings)
         print(f"snoc_lint: baseline updated with {len(findings)} "
               f"suppression(s)", file=sys.stderr)
+        return 0
+
+    if args.baseline_prune:
+        if args.changed_files is not None:
+            # A changed-files pass sees only a slice of the findings, so
+            # pruning against it would delete live suppressions.
+            print("snoc_lint: --baseline-prune requires a full-tree run",
+                  file=sys.stderr)
+            return 2
+        removed = report.prune_baseline(root, args.baseline, findings)
+        print(f"snoc_lint: pruned {removed} stale suppression(s)",
+              file=sys.stderr)
         return 0
 
     suppressions = [] if args.no_baseline else \

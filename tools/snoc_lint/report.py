@@ -42,6 +42,22 @@ RULE_DESCRIPTIONS = {
     "baseline-stale": "baseline suppression no longer matches any finding",
 }
 
+# SARIF severity per rule: structural violations that must gate a merge
+# are errors (the default); hygiene/bookkeeping findings still fail the
+# run but annotate as warnings; staleness in the baseline itself is a
+# note.  Anything unlisted is an error so a new rule cannot silently
+# ship at a soft severity.
+RULE_LEVELS = {
+    "pragma-once": "warning",
+    "layer-unassigned": "warning",
+    "stale-allowlist": "warning",
+    "baseline-stale": "note",
+}
+
+
+def rule_level(rule: str) -> str:
+    return RULE_LEVELS.get(rule, "error")
+
 
 def load_baseline(root: Path, path: str | None) -> list[dict]:
     baseline_path = root / (path or BASELINE_FILE)
@@ -51,11 +67,10 @@ def load_baseline(root: Path, path: str | None) -> list[dict]:
     return list(data.get("suppressions", []))
 
 
-def write_baseline(root: Path, path: str | None,
-                   findings: list[Finding]) -> None:
-    entries = [{"rule": f.rule, "file": f.file, "key": f.key or f.message}
-               for f in findings]
-    entries.sort(key=lambda e: (e["rule"], e["file"], e["key"]))
+def _write_entries(root: Path, path: str | None, entries: list[dict]) -> None:
+    entries = sorted(entries, key=lambda e: (e.get("rule", ""),
+                                             e.get("file", ""),
+                                             e.get("key", "")))
     payload = {
         "comment": "snoc_lint suppression baseline - burn down, never grow "
                    "(regenerate with --update-baseline).",
@@ -63,6 +78,29 @@ def write_baseline(root: Path, path: str | None,
     }
     (root / (path or BASELINE_FILE)).write_text(
         json.dumps(payload, indent=2) + "\n")
+
+
+def write_baseline(root: Path, path: str | None,
+                   findings: list[Finding]) -> None:
+    _write_entries(root, path, [
+        {"rule": f.rule, "file": f.file, "key": f.key or f.message}
+        for f in findings])
+
+
+def prune_baseline(root: Path, path: str | None,
+                   findings: list[Finding]) -> int:
+    """Drop baseline suppressions that no longer match any current
+    finding (the `--baseline-prune` flag) and rewrite the file in place.
+    Returns the number of entries removed; the file is untouched when
+    nothing is stale."""
+    suppressions = load_baseline(root, path)
+    live = {f.identity() for f in findings}
+    kept = [s for s in suppressions
+            if (s.get("rule", ""), s.get("file", ""), s.get("key", "")) in live]
+    removed = len(suppressions) - len(kept)
+    if removed:
+        _write_entries(root, path, kept)
+    return removed
 
 
 def apply_baseline(findings: list[Finding], suppressions: list[dict]
@@ -107,7 +145,7 @@ def to_sarif(findings: list[Finding], suppressed: list[Finding]) -> dict:
                                    + [(f, True) for f in suppressed]):
         result = {
             "ruleId": finding.rule,
-            "level": "error",
+            "level": rule_level(finding.rule),
             "message": {"text": finding.message},
             "locations": [{
                 "physicalLocation": {
@@ -135,6 +173,7 @@ def to_sarif(findings: list[Finding], suppressed: list[Finding]) -> dict:
                     "id": rule,
                     "shortDescription": {
                         "text": RULE_DESCRIPTIONS.get(rule, rule)},
+                    "defaultConfiguration": {"level": rule_level(rule)},
                 } for rule in rules_used],
             }},
             "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
