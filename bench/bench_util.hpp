@@ -30,16 +30,32 @@
 
 namespace snoc::bench {
 
+namespace detail {
+/// --prof-out destination for the atexit hook (std::atexit takes a plain
+/// function pointer, so the path rides in a function-local static).
+inline std::string& prof_out_path() {
+    static std::string path;
+    return path;
+}
+} // namespace detail
+
 /// Parse the uniform bench flag set (--csv/--json/--repeats/--jobs/--seed
-/// plus the telemetry exports and --prof).  --prof arms the SNOC_PROF
-/// wall-clock scopes and prints the merged per-phase profile to stderr at
-/// exit — the hook lives here rather than in cli.cpp because snoc_common
-/// sits below the telemetry layer.
+/// plus the telemetry exports and --prof/--prof-out).  --prof arms the
+/// SNOC_PROF wall-clock scopes and prints the merged per-phase profile to
+/// stderr at exit; --prof-out additionally dumps the deterministic
+/// "snoc-prof-v1" JSON snapshot to the given path (run manifests record
+/// the path under prof_out) — the hooks live here rather than in cli.cpp
+/// because snoc_common sits below the telemetry layer.
 inline BenchOptions options(int argc, char** argv, std::size_t default_repeats = 1) {
     BenchOptions parsed = parse_bench_options(argc, argv, default_repeats);
     if (parsed.prof) {
         prof::set_enabled(true);
         std::atexit([] { std::cerr << prof::report(); });
+        if (!parsed.prof_out.empty()) {
+            detail::prof_out_path() = parsed.prof_out;
+            std::atexit(
+                [] { prof::write_json_report(detail::prof_out_path()); });
+        }
     }
     return parsed;
 }

@@ -14,6 +14,7 @@
 #include "core/engine.hpp"
 #include "noc/crc.hpp"
 #include "noc/packet.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace {
 
@@ -48,15 +49,18 @@ public:
     void on_message(const Message&, TileContext&) override {}
 };
 
-void gossip_round_impl(benchmark::State& state, bool reference_encode) {
+void gossip_round_impl(benchmark::State& state, bool reference_encode,
+                       bool flight_recorder = false) {
     const auto side = static_cast<std::size_t>(state.range(0));
     GossipConfig c;
     c.forward_p = 0.5;
     c.default_ttl = 1000; // keep the rumor alive through the benchmark
     c.reference_encode_path = reference_encode;
+    FlightRecorder recorder(4096);
     for (auto _ : state) {
         state.PauseTiming();
         GossipNetwork net(Topology::mesh(side, side), c, FaultScenario::none(), 1);
+        if (flight_recorder) net.set_trace_sink(&recorder);
         net.attach(0, std::make_unique<BroadcastSource>());
         for (int i = 0; i < 5; ++i) net.step(); // warm the spread up
         state.ResumeTiming();
@@ -76,6 +80,19 @@ void BM_GossipRoundReference(benchmark::State& state) {
     gossip_round_impl(state, true);
 }
 BENCHMARK(BM_GossipRoundReference)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+// Same round loop with an always-on FlightRecorder attached: the ratio
+// against BM_GossipRound is the flight-recorder overhead
+// scripts/bench_snapshot.sh records (budget: <= 5%; a ring write is one
+// array store plus an index bump).
+void BM_GossipRoundRecorded(benchmark::State& state) {
+    gossip_round_impl(state, false, /*flight_recorder=*/true);
+}
+BENCHMARK(BM_GossipRoundRecorded)
     ->Arg(4)
     ->Arg(8)
     ->Arg(16)

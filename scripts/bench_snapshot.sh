@@ -69,6 +69,7 @@ except OSError:
     pass
 
 snapshot = {
+    "schema_version": 1,
     "machine": {
         "uname": " ".join(platform.uname()),
         "cpu": cpu,
@@ -97,7 +98,7 @@ PY
 # --- Engine snapshot ----------------------------------------------------
 
 "$BUILD_DIR/bench/perf_microbench" \
-    --benchmark_filter=SparseBroadcast \
+    '--benchmark_filter=SparseBroadcast|GossipRound' \
     --benchmark_format=json > "$MICRO_JSON"
 
 # Anchor cells: the full 256x256 broadcast is the classic dense workload
@@ -121,12 +122,27 @@ with open(os.environ["MICRO_JSON"]) as f:
     micro, _ = json.JSONDecoder().raw_decode(f.read())
 
 ns_per_round = {"lockstep": {}, "event": {}}
+gossip_round = {"detached": {}, "recorded": {}}
 for b in micro["benchmarks"]:
     m = re.match(r"BM_SparseBroadcast(Lockstep|Event)/(\d+)", b["name"])
-    if not m:
+    if m:
+        engine, side = m.group(1).lower(), int(m.group(2))
+        ns_per_round[engine][side] = 1e9 / b["items_per_second"]
         continue
-    engine, side = m.group(1).lower(), int(m.group(2))
-    ns_per_round[engine][side] = 1e9 / b["items_per_second"]
+    m = re.match(r"BM_GossipRound(Recorded)?/(\d+)$", b["name"])
+    if m:
+        variant = "recorded" if m.group(1) else "detached"
+        gossip_round[variant][int(m.group(2))] = 1e9 / b["items_per_second"]
+
+# Flight-recorder overhead: BM_GossipRoundRecorded vs BM_GossipRound,
+# per mesh side.  Budget is <= 5% (a ring write is one array store); the
+# ratio is recorded in the snapshot so regressions show up in review, but
+# is not hard-gated here — microbenchmark noise on shared CI machines
+# routinely exceeds the budget itself.
+recorder_overhead = {
+    s: gossip_round["recorded"][s] / gossip_round["detached"][s]
+    for s in sorted(set(gossip_round["detached"]) & set(gossip_round["recorded"]))
+}
 
 sides = sorted(set(ns_per_round["lockstep"]) & set(ns_per_round["event"]))
 speedup = {s: ns_per_round["lockstep"][s] / ns_per_round["event"][s] for s in sides}
@@ -161,6 +177,7 @@ except OSError:
     pass
 
 snapshot = {
+    "schema_version": 1,
     "machine": {
         "uname": " ".join(platform.uname()),
         "cpu": cpu,
@@ -171,6 +188,8 @@ snapshot = {
                 "scalability anchor cells below",
     "ns_per_round": ns_per_round,
     "sparse_speedup_event_over_lockstep": speedup,
+    "gossip_round_ns": gossip_round,
+    "flight_recorder_overhead": recorder_overhead,
     "scalability": {
         "lockstep_256x256_broadcast": lockstep_cell,
         "event_1000x1000_sparse": event_cell,
@@ -181,6 +200,10 @@ with open(os.environ["OUT"], "w") as f:
     f.write("\n")
 
 headline = speedup[largest]
+for side, ratio in recorder_overhead.items():
+    note = "" if ratio <= 1.05 else "  (over the 5% budget)"
+    print(f"flight-recorder overhead at {side}x{side}: "
+          f"{(ratio - 1.0) * 100:+.1f}%{note}")
 print(f"sparse speedup at {largest}x{largest}: {headline:.1f}x "
       f"(target >= 5x)")
 print(f"event 1000x1000: {event_cell['wall_s']:.2f}s vs "

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate the committed BENCH_*.json performance snapshots.
+
+scripts/bench_snapshot.sh writes them; this checker (stdlib only, run
+from ctest as `bench_schema`) keeps them honest: every snapshot must
+carry schema_version 1, the provenance block (machine, git_sha,
+workload) and the per-snapshot payload the acceptance gates read.  A
+snapshot that drifts from the writer — a renamed key, a dropped table —
+fails here instead of surfacing as a KeyError deep inside
+bench_snapshot.sh months later.
+
+Usage:
+    check_bench_schema.py [BENCH_engine.json BENCH_router.json ...]
+    check_bench_schema.py --diff OLD.json NEW.json
+
+With no arguments, checks the repo-root snapshots relative to this
+script.  --diff compares two engine snapshots' ns_per_round tables and
+prints per-cell deltas — warn-only (always exits 0): CI uses it to
+surface perf drift in logs without holding PRs hostage to machine noise.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(path, message):
+    print(f"check_bench_schema: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_common(path, snap):
+    ok = True
+    if snap.get("schema_version") != SCHEMA_VERSION:
+        ok = fail(path, f"schema_version must be {SCHEMA_VERSION}, "
+                        f"got {snap.get('schema_version')!r}")
+    machine = snap.get("machine")
+    if not isinstance(machine, dict):
+        ok = fail(path, "missing machine block")
+    else:
+        for key in ("uname", "cpu", "cores"):
+            if key not in machine:
+                ok = fail(path, f"machine.{key} missing")
+    for key in ("git_sha", "workload"):
+        if not isinstance(snap.get(key), str) or not snap[key]:
+            ok = fail(path, f"{key} missing or empty")
+    return ok
+
+
+def check_numeric_table(path, snap, key, subkeys):
+    ok = True
+    table = snap.get(key)
+    if not isinstance(table, dict):
+        return fail(path, f"{key} missing")
+    for sub in subkeys:
+        cells = table.get(sub)
+        if not isinstance(cells, dict) or not cells:
+            ok = fail(path, f"{key}.{sub} missing or empty")
+            continue
+        for cell, value in cells.items():
+            if not isinstance(value, (int, float)):
+                ok = fail(path, f"{key}.{sub}[{cell}] is not a number")
+    return ok
+
+
+def check_engine(path, snap):
+    ok = check_common(path, snap)
+    ok &= check_numeric_table(path, snap, "ns_per_round",
+                              ("lockstep", "event"))
+    ok &= check_numeric_table(path, snap, "gossip_round_ns",
+                              ("detached", "recorded"))
+    overhead = snap.get("flight_recorder_overhead")
+    if not isinstance(overhead, dict) or not overhead:
+        ok = fail(path, "flight_recorder_overhead missing or empty")
+    speedup = snap.get("sparse_speedup_event_over_lockstep")
+    if not isinstance(speedup, dict) or not speedup:
+        ok = fail(path, "sparse_speedup_event_over_lockstep missing or empty")
+    scal = snap.get("scalability")
+    if not isinstance(scal, dict):
+        ok = fail(path, "scalability missing")
+    else:
+        for cell in ("lockstep_256x256_broadcast", "event_1000x1000_sparse"):
+            row = scal.get(cell)
+            if not isinstance(row, dict):
+                ok = fail(path, f"scalability.{cell} missing")
+                continue
+            for key in ("mesh", "rounds", "coverage_pct", "wall_s"):
+                if key not in row:
+                    ok = fail(path, f"scalability.{cell}.{key} missing")
+    return ok
+
+
+def check_router(path, snap):
+    ok = check_common(path, snap)
+    rows = snap.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "rows missing or empty")
+    for i, row in enumerate(rows):
+        for key in ("backend", "faults"):
+            if key not in row:
+                ok = fail(path, f"rows[{i}].{key} missing")
+    return ok
+
+
+CHECKERS = {
+    "BENCH_engine.json": check_engine,
+    "BENCH_router.json": check_router,
+}
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    except json.JSONDecodeError as e:
+        return fail(path, f"not valid JSON: {e}")
+    checker = CHECKERS.get(os.path.basename(path), check_common)
+    return checker(path, snap)
+
+
+def diff_engine(old_path, new_path):
+    """Warn-only ns_per_round comparison: prints per-cell drift."""
+    with open(old_path) as f:
+        old = json.load(f)
+    with open(new_path) as f:
+        new = json.load(f)
+    old_table = old.get("ns_per_round", {})
+    new_table = new.get("ns_per_round", {})
+    for engine in sorted(set(old_table) | set(new_table)):
+        old_cells = old_table.get(engine, {})
+        new_cells = new_table.get(engine, {})
+        for side in sorted(set(old_cells) & set(new_cells), key=int):
+            before, after = old_cells[side], new_cells[side]
+            if not before:
+                continue
+            delta = (after - before) / before * 100.0
+            marker = "  <-- regression?" if delta > 10.0 else ""
+            print(f"ns_per_round {engine}/{side}: {before:.0f} -> "
+                  f"{after:.0f} ns ({delta:+.1f}%){marker}")
+    print("check_bench_schema: diff is informational only (machine noise "
+          "dominates cross-run deltas); not failing the build on it")
+    return True
+
+
+def main(argv):
+    if len(argv) >= 1 and argv[0] == "--diff":
+        if len(argv) != 3:
+            print("usage: check_bench_schema.py --diff OLD.json NEW.json",
+                  file=sys.stderr)
+            return 2
+        diff_engine(argv[1], argv[2])
+        return 0
+
+    paths = argv
+    if not paths:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = [os.path.join(root, name) for name in sorted(CHECKERS)]
+    ok = True
+    for path in paths:
+        ok &= check_file(path)
+    if ok:
+        print(f"check_bench_schema: {len(paths)} snapshot(s) ok")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

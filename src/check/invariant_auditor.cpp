@@ -6,6 +6,7 @@
 
 #include "bus/deflection.hpp"
 #include "common/expect.hpp"
+#include "common/postmortem.hpp"
 #include "core/engine.hpp"
 #include "router/core.hpp"
 #include "wormhole/router.hpp"
@@ -31,6 +32,11 @@ void InvariantAuditor::violate(const char* invariant, std::string detail) {
     ++total_violations_;
     if (violations_.size() >= kMaxStoredViolations) return;
     if (!label_.empty()) detail = "[" + label_ + "] " + detail;
+    // First stored violation wakes any armed flight recorder: auditors
+    // often only *count* (throw_if_dirty comes much later, if ever), and
+    // the event history around the violating round is worth preserving
+    // the moment the law breaks, not at end of run.
+    postmortem::notify(invariant, detail);
     violations_.push_back(Violation{invariant, std::move(detail)});
 }
 

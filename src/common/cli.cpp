@@ -108,7 +108,19 @@ BenchOptions parse_bench_options(const CliArgs& args, std::size_t default_repeat
     options.telemetry.manifest = args.has("manifest");
     options.telemetry.grid_width =
         static_cast<std::size_t>(args.get_u64("grid-width", 0));
+    options.telemetry.postmortem_out = args.get_string("postmortem-out", "");
+    options.telemetry.flight_capacity =
+        static_cast<std::size_t>(args.get_u64("flight-capacity", 4096));
+    if (options.telemetry.flight_capacity == 0)
+        options.telemetry.flight_capacity = 1;
+    options.telemetry.heartbeat_out = args.get_string("heartbeat-out", "");
+    options.telemetry.heartbeat_every =
+        static_cast<std::size_t>(args.get_u64("heartbeat-every", 1));
+    options.telemetry.metrics_out = args.get_string("metrics-out", "");
     options.prof = args.has("prof");
+    options.prof_out = args.get_string("prof-out", "");
+    if (!options.prof_out.empty()) options.prof = true;
+    options.telemetry.prof_out_ref = options.prof_out;
     return options;
 }
 

@@ -61,9 +61,36 @@ struct TelemetryOptions {
                                  ///< every exported artifact.
     std::size_t grid_width{0};   ///< --grid-width: adds x,y heatmap columns.
 
+    /// --postmortem-out: arm a flight recorder per trial and dump a
+    /// `*.postmortem.jsonl` bundle there when a contract violation,
+    /// invariant-auditor finding or deadlock-sentinel firing aborts the
+    /// trial.  Cheap enough to leave on for real sweeps.
+    std::string postmortem_out;
+    /// --flight-capacity: newest events kept per flight-recorder lane.
+    std::size_t flight_capacity{4096};
+    /// --heartbeat-out: stream JSONL progress heartbeats here (snoc_top
+    /// tails this file).
+    std::string heartbeat_out;
+    /// --heartbeat-every: emit a heartbeat every N completed trials
+    /// (cell and sweep boundaries always emit; 0 = boundaries only).
+    std::size_t heartbeat_every{1};
+    /// --metrics-out: write MetricsRegistry snapshots at sweep end —
+    /// `<path>` gets the JSON exposition, `<path>.prom` the Prometheus
+    /// text exposition.
+    std::string metrics_out;
+    /// Path of the --prof-out profile dump, echoed into run manifests so
+    /// the profile stays attributable to the run that produced it (set by
+    /// parse_bench_options; the dump itself is written by bench_util's
+    /// atexit hook).
+    std::string prof_out_ref;
+
     bool enabled() const {
         return !trace_jsonl_out.empty() || !chrome_out.empty() ||
                !heatmap_out.empty();
+    }
+    /// Any trial-side observability requested (tracing or post-mortems)?
+    bool observes_trials() const {
+        return enabled() || !postmortem_out.empty();
     }
 };
 
@@ -109,6 +136,9 @@ struct BenchOptions {
     EngineKind engine{EngineKind::Lockstep};
     TelemetryOptions telemetry; ///< export destinations, off by default.
     bool prof{false};         ///< --prof: simulator wall-clock profile report.
+    /// --prof-out: also dump the profile as deterministic-schema JSON
+    /// (referenced from run manifests); implies --prof.
+    std::string prof_out;
 };
 
 BenchOptions parse_bench_options(const CliArgs& args, std::size_t default_repeats);

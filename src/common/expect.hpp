@@ -27,6 +27,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/postmortem.hpp"
+
 #ifndef SNOC_CHECK_LEVEL
 #define SNOC_CHECK_LEVEL 1
 #endif
@@ -42,8 +44,13 @@ public:
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
                                        const char* file, int line) {
-    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
-                            file + ":" + std::to_string(line));
+    const std::string what = std::string(kind) + " failed: " + expr + " at " +
+                             file + ":" + std::to_string(line);
+    // Give an armed flight recorder its one chance to preserve the event
+    // history while it still exists (common/postmortem.hpp); a no-op on
+    // threads with no handler installed.
+    postmortem::notify(kind, what);
+    throw ContractViolation(what);
 }
 } // namespace detail
 

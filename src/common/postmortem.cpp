@@ -1,0 +1,40 @@
+#include "common/postmortem.hpp"
+
+#include <utility>
+
+namespace snoc::postmortem {
+
+namespace {
+
+// Thread-local on purpose (see the header): concurrent trials each own a
+// recorder, and a violation on one ThreadPool worker must dump that
+// trial's evidence only.
+thread_local Handler t_handler;
+thread_local bool t_running = false;
+
+} // namespace
+
+ScopedHandler::ScopedHandler(Handler handler)
+    : previous_(std::move(t_handler)) {
+    t_handler = std::move(handler);
+}
+
+ScopedHandler::~ScopedHandler() { t_handler = std::move(previous_); }
+
+bool armed() { return static_cast<bool>(t_handler) && !t_running; }
+
+void notify(const char* reason, const std::string& detail) {
+    if (!armed()) return;
+    // Disarm while the handler runs: a contract failure inside the dump
+    // must not recurse into another dump.
+    t_running = true;
+    try {
+        t_handler(Context{reason, detail});
+    } catch (...) {
+        // A post-mortem dump is best-effort evidence preservation; a
+        // failing dump must never mask the original violation.
+    }
+    t_running = false;
+}
+
+} // namespace snoc::postmortem

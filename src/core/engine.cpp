@@ -6,6 +6,7 @@
 #include "common/expect.hpp"
 #include "core/event_engine.hpp"
 #include "noc/fec.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "telemetry/prof.hpp"
 
 namespace snoc {
@@ -273,6 +274,7 @@ void GossipNetwork::step() {
     metrics_.packets_per_round.push_back(packets_this_round_);
     ++round_;
     metrics_.rounds = round_;
+    MetricsRegistry::global().inc(MetricId::EngineRoundsTotal);
     // A level-2 build re-verifies the conservation laws after every round,
     // even without an attached InvariantAuditor (compiled out otherwise).
     SNOC_CHECK(2, ledger().balanced());
@@ -592,7 +594,7 @@ std::size_t GossipNetwork::in_flight_packets() const {
 check::ConservationLedger GossipNetwork::ledger() const {
     check::ConservationLedger ledger;
     ledger.injected = metrics_.messages_created;
-    ledger.transmitted = metrics_.packets_sent;
+    ledger.transmitted = metrics_.packets_sent; // [mutation-point:ledger-transmitted]
     ledger.in_flight = in_flight_packets();
     ledger.crash_drops = metrics_.crash_drops;
     ledger.port_overflow_drops = metrics_.port_overflow_drops;

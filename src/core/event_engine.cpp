@@ -12,6 +12,7 @@
 #include "common/parallel.hpp"
 #include "noc/fec.hpp"
 #include "noc/packet.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "telemetry/prof.hpp"
 
 namespace snoc {
@@ -405,6 +406,7 @@ void EventEngine::step() {
     net_.metrics_.packets_per_round.push_back(net_.packets_this_round_);
     ++net_.round_;
     net_.metrics_.rounds = net_.round_;
+    MetricsRegistry::global().inc(MetricId::EventEngineRoundsTotal);
     SNOC_CHECK(2, net_.ledger().balanced());
 }
 

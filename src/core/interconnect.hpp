@@ -148,6 +148,14 @@ public:
     void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
     TraceSink* trace_sink() const { return trace_sink_; }
 
+    /// Live counters while run() executes, for post-mortem snapshots:
+    /// when a violation aborts a run mid-flight, the dumper reads these
+    /// to record what the network had counted at the moment of death.
+    /// Optional — adapters whose backend lives inside run() may return
+    /// nullptr (the bundle then simply omits the metrics object).  Only
+    /// meaningful during run(); never dereference after it returns.
+    virtual const NetworkMetrics* live_metrics() const { return nullptr; }
+
 private:
     check::InvariantAuditor* auditor_{nullptr};
     TraceSink* trace_sink_{nullptr};

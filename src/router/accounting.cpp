@@ -1,6 +1,7 @@
 #include "router/accounting.hpp"
 
 #include "common/expect.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace snoc::router {
 
@@ -49,6 +50,27 @@ void Accounting::ttl_expired(Round round, TileId tile, MessageId id) {
     advance_to(round);
     ++metrics_.ttl_expired;
     emit(sink_, round, TraceEventKind::TtlExpired, tile, kNoTile, id);
+}
+
+void Accounting::publish_registry() {
+    auto& reg = MetricsRegistry::global();
+    const auto bump = [&](MetricId id, std::size_t current,
+                          std::size_t& published) {
+        if (current > published) {
+            reg.inc(id, current - published);
+            published = current;
+        }
+    };
+    bump(MetricId::RouterPacketsCreatedTotal, metrics_.messages_created,
+         published_.created);
+    bump(MetricId::RouterPacketsTransmittedTotal, metrics_.packets_sent,
+         published_.transmitted);
+    bump(MetricId::RouterPacketsDeliveredTotal, metrics_.deliveries,
+         published_.delivered);
+    bump(MetricId::RouterCrashDropsTotal, metrics_.crash_drops,
+         published_.crash_drops);
+    bump(MetricId::RouterTtlExpiredTotal, metrics_.ttl_expired,
+         published_.ttl_expired);
 }
 
 } // namespace snoc::router

@@ -58,9 +58,24 @@ public:
     void crash_drop(Round round, TileId tile, MessageId id);
     void ttl_expired(Round round, TileId tile, MessageId id);
 
+    /// Push the counters accumulated since the previous call into the
+    /// process-wide MetricsRegistry (router_* namespace).  Called once
+    /// per router cycle, not per packet, so the live registry stays a
+    /// cycle fresh at the cost of five relaxed atomic adds per step.
+    void publish_registry();
+
 private:
+    struct Published {
+        std::size_t created{0};
+        std::size_t transmitted{0};
+        std::size_t delivered{0};
+        std::size_t crash_drops{0};
+        std::size_t ttl_expired{0};
+    };
+
     NetworkMetrics metrics_;
     TraceSink* sink_{nullptr};
+    Published published_; ///< high-water marks already in the registry.
 };
 
 } // namespace snoc::router

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expect.hpp"
+#include "common/postmortem.hpp"
 #include "router/ports.hpp"
 
 namespace snoc::router {
@@ -254,6 +255,7 @@ void RouterCore::step() {
     }
 
     accounting_.advance_to(static_cast<Round>(cycle_));
+    accounting_.publish_registry();
 
     // ---- DeadlockSentinel.  Compiled out at level 0 with the rest of
     // the checking machinery (the observables then stay false/0).
@@ -264,13 +266,19 @@ void RouterCore::step() {
             stalled_cycles_ = 0;
         } else if (++stalled_cycles_ >= stall_limit_ && !sentinel_fired_) {
             sentinel_fired_ = true;
+            const std::string what =
+                "DeadlockSentinel: " + std::to_string(outstanding_) +
+                " packet(s) outstanding with zero progress for " +
+                std::to_string(stalled_cycles_) + " cycles (cycle " +
+                std::to_string(cycle_) + ")";
+            // Even the non-throwing firing (a config without the
+            // deadlock-free expectation) is post-mortem-worthy: an armed
+            // flight recorder dumps its evidence either way.
+            postmortem::notify("deadlock-sentinel", what);
             if (config_.expect_deadlock_free)
                 throw ContractViolation(
-                    "DeadlockSentinel: " + std::to_string(outstanding_) +
-                    " packet(s) outstanding with zero progress for " +
-                    std::to_string(stalled_cycles_) +
-                    " cycles on a configuration statically verified "
-                    "deadlock-free (cycle " + std::to_string(cycle_) + ")");
+                    what + " on a configuration statically verified "
+                           "deadlock-free");
         }
     }
     ++cycle_;

@@ -309,6 +309,7 @@ RunReport RouterAdapter::run(const TrafficTrace& trace, Round limit) {
     router::RouterCore core(Topology::mesh(spec_.width, spec_.height), spec_.config);
     core.set_trace_sink(trace_sink());
     core.apply_crashes(crashes_);
+    live_metrics_ = &core.metrics();
 
     RunReport report;
     report.seed = seed_;
@@ -356,6 +357,7 @@ RunReport RouterAdapter::run(const TrafficTrace& trace, Round limit) {
         aud->check_report(report, kind(), &trace, limit);
         report.audit_violations = aud->violation_count() - audit_before;
     }
+    live_metrics_ = nullptr; // `core` dies with this frame.
     return report;
 }
 

@@ -75,6 +75,10 @@ public:
     /// attached-IpCore flavour of the Interconnect contract.
     RunReport run_until(const std::function<bool()>& done, Round limit);
 
+    const NetworkMetrics* live_metrics() const override {
+        return &net_.metrics();
+    }
+
 private:
     GossipSpec spec_;
     GossipNetwork net_;
@@ -236,11 +240,19 @@ public:
 
     RunReport run(const TrafficTrace& trace, Round limit) override;
 
+    /// Valid only while run() executes (the core is a local of run(), so
+    /// the pointer is published on entry; post-mortem dumps always fire
+    /// from inside the run they describe).
+    const NetworkMetrics* live_metrics() const override {
+        return live_metrics_;
+    }
+
 private:
     BackendKind kind_;
     RouterSpec spec_;
     CrashState crashes_;
     std::uint64_t seed_;
+    const NetworkMetrics* live_metrics_{nullptr};
 };
 
 class StoreForwardAdapter final : public RouterAdapter {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "check/invariant_auditor.hpp"
@@ -9,7 +13,10 @@
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/heartbeat.hpp"
 #include "telemetry/manifest.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -93,10 +100,12 @@ ScenarioRunner::ScenarioRunner(ExperimentSpec spec) : spec_(std::move(spec)) {
         static_cast<bool>(spec_.backend) && static_cast<bool>(spec_.trace);
     SNOC_EXPECT((has_trial + has_traced + has_backend) == 1 &&
                 "set exactly one of trial, traced_trial or backend+trace");
-    // A plain `trial` body has no way to receive the recorder, so asking
-    // for exports there is a spec bug, not a silent no-op.
-    SNOC_EXPECT((!spec_.telemetry.enabled() || !has_trial) &&
-                "telemetry exports need the traced_trial or backend flavour");
+    // A plain `trial` body has no way to receive the recorder (or the
+    // flight recorder a post-mortem bundle drains), so asking for either
+    // there is a spec bug, not a silent no-op.
+    SNOC_EXPECT((!spec_.telemetry.observes_trials() || !has_trial) &&
+                "telemetry exports and post-mortem bundles need the "
+                "traced_trial or backend flavour");
     for (const auto& axis : spec_.axes) SNOC_EXPECT(!axis.values.empty());
 }
 
@@ -127,8 +136,22 @@ RunReport ScenarioRunner::run_trial(const SweepPoint& point, std::size_t cell,
     const std::uint64_t seed0 =
         spec_.base_seed + static_cast<std::uint64_t>(repeat);
     const bool record = spec_.telemetry.enabled();
+    const bool postmortem = !spec_.telemetry.postmortem_out.empty();
+    auto& registry = MetricsRegistry::global();
+    registry.inc(MetricId::ActiveTrials);
+    // The gauge must come back down on the exception path too (a
+    // violation aborting a trial propagates out of this frame).
+    struct ActiveGuard {
+        MetricsRegistry& reg;
+        ~ActiveGuard() { reg.dec(MetricId::ActiveTrials); }
+    } active_guard{registry};
+
     RunReport report;
     Telemetry telemetry;
+    // Always-on flight recorder: O(1) ring writes, so arming it is cheap
+    // enough for production sweeps (BM_GossipRoundRecorded guards the
+    // overhead).  Sized 1 when post-mortems are off — never recorded into.
+    FlightRecorder recorder(postmortem ? spec_.telemetry.flight_capacity : 1);
     std::string backend_name = "custom";
     for (std::size_t attempt = 0; attempt < spec_.max_attempts; ++attempt) {
         const std::uint64_t seed =
@@ -137,26 +160,63 @@ RunReport ScenarioRunner::run_trial(const SweepPoint& point, std::size_t cell,
         // describe the attempt that produced the reported run, not the
         // concatenation of every failed try.
         telemetry.clear();
+        recorder.clear();
         if (spec_.trial) {
             report = spec_.trial(point, seed);
-        } else if (spec_.traced_trial) {
-            report = spec_.traced_trial(point, seed, record ? &telemetry : nullptr);
         } else {
-            auto backend = spec_.backend(point, seed);
-            SNOC_ENSURE(backend != nullptr);
-            backend_name = backend->name();
-            // Per-trial auditor: trials run in parallel, so the auditor
-            // must be private to this trial; its violation count lands in
-            // report.audit_violations (stamped by the adapter).
-            check::InvariantAuditor auditor;
-            if (spec_.audit) backend->set_auditor(&auditor);
-            if (record) backend->set_trace_sink(&telemetry);
-            report = backend->run(spec_.trace(point), spec_.max_rounds);
+            // Construct the backend first (its name belongs in the
+            // bundle header), then arm the post-mortem hook for exactly
+            // the scope where detectors can fire: the run itself.
+            std::unique_ptr<Interconnect> backend;
+            if (spec_.backend) {
+                backend = spec_.backend(point, seed);
+                SNOC_ENSURE(backend != nullptr);
+                backend_name = backend->name();
+            }
+            std::optional<PostmortemDumper> dumper;
+            if (postmortem) {
+                PostmortemInfo info;
+                info.experiment = point.label().empty() ? spec_.name
+                                                        : point.label();
+                info.backend = backend_name;
+                info.seed = seed;
+                dumper.emplace(trial_path(spec_.telemetry.postmortem_out,
+                                          cell, repeat, single_trial),
+                               &recorder, std::move(info));
+                if (backend) dumper->set_live_metrics(backend->live_metrics());
+            }
+            TeeSink tee;
+            if (record) tee.add(&telemetry);
+            if (postmortem) tee.add(&recorder);
+            TraceSink* sink =
+                (record || postmortem) ? static_cast<TraceSink*>(&tee) : nullptr;
+            if (spec_.traced_trial) {
+                report = spec_.traced_trial(point, seed, sink);
+            } else {
+                // Per-trial auditor: trials run in parallel, so the auditor
+                // must be private to this trial; its violation count lands in
+                // report.audit_violations (stamped by the adapter).
+                check::InvariantAuditor auditor;
+                if (spec_.audit) backend->set_auditor(&auditor);
+                if (sink) backend->set_trace_sink(sink);
+                report = backend->run(spec_.trace(point), spec_.max_rounds);
+                // The backend dies with this scope; a detector firing
+                // later in the attempt must not chase its counters.
+                if (dumper) dumper->set_live_metrics(nullptr);
+            }
         }
         report.seed = seed;
         report.attempts = attempt + 1;
         if (report.completed) break;
     }
+
+    registry.inc(MetricId::TrialsTotal);
+    if (report.attempts > 1)
+        registry.inc(MetricId::TrialRetriesTotal, report.attempts - 1);
+    registry.observe(MetricId::TrialRounds, report.rounds);
+    registry.observe(MetricId::TrialDeliveries, report.deliveries);
+    if (postmortem)
+        registry.inc(MetricId::FlightEventsOverwrittenTotal, recorder.dropped());
     if (!record) return report;
 
     const auto& totals = telemetry.totals();
@@ -202,6 +262,8 @@ RunReport ScenarioRunner::run_trial(const SweepPoint& point, std::size_t cell,
         if (spec_.engine.kind == EngineKind::Event)
             manifest.config.emplace_back("shards",
                                          std::to_string(spec_.engine.shards));
+        if (!t.prof_out_ref.empty())
+            manifest.config.emplace_back("prof_out", t.prof_out_ref);
         manifest.artifacts = artifacts;
         write_manifest(manifest, manifest_path_for(artifacts.front()));
     }
@@ -211,6 +273,37 @@ RunReport ScenarioRunner::run_trial(const SweepPoint& point, std::size_t cell,
 std::vector<CellResult> ScenarioRunner::run() {
     const auto points = cells();
     const std::size_t n_trials = points.size() * spec_.repeats;
+    auto& registry = MetricsRegistry::global();
+    registry.set(MetricId::LastSweepCells, points.size());
+
+    std::optional<HeartbeatWriter> heartbeat;
+    if (!spec_.telemetry.heartbeat_out.empty())
+        heartbeat.emplace(spec_.telemetry.heartbeat_out,
+                          spec_.telemetry.heartbeat_every);
+
+    // Shared progress ledger the workers bump after each trial.  The
+    // wall-clock readings here feed heartbeats only (observability, not
+    // results — see the determinism allowlist); trial execution is
+    // entirely independent of them.
+    struct Progress {
+        std::mutex mutex;
+        std::size_t trials_done{0};
+        std::size_t cells_done{0};
+        std::size_t retries{0};
+        std::vector<std::size_t> cell_remaining;
+        std::vector<std::chrono::steady_clock::time_point> cell_start;
+        std::vector<bool> cell_started;
+    } progress;
+    const bool watching = heartbeat.has_value() || progress_ != nullptr;
+    if (watching) {
+        progress.cell_remaining.assign(points.size(), spec_.repeats);
+        progress.cell_start.resize(points.size());
+        progress.cell_started.assign(points.size(), false);
+    }
+    const auto notify = [&](const ProgressUpdate& update) {
+        if (heartbeat) heartbeat->update(update);
+        if (progress_) progress_->update(update);
+    };
 
     // Flatten (cell, repeat) onto the trial index so the whole sweep
     // shares one fan-out; results land in deterministic slots.
@@ -220,7 +313,36 @@ std::vector<CellResult> ScenarioRunner::run() {
         [&](std::uint64_t i) {
             const std::size_t cell = static_cast<std::size_t>(i) / spec_.repeats;
             const std::size_t repeat = static_cast<std::size_t>(i) % spec_.repeats;
-            return run_trial(points[cell], cell, repeat, single_trial);
+            if (watching) {
+                std::lock_guard<std::mutex> lock(progress.mutex);
+                if (!progress.cell_started[cell]) {
+                    progress.cell_started[cell] = true;
+                    progress.cell_start[cell] = std::chrono::steady_clock::now();
+                }
+            }
+            RunReport report = run_trial(points[cell], cell, repeat, single_trial);
+            if (watching) {
+                std::lock_guard<std::mutex> lock(progress.mutex);
+                ++progress.trials_done;
+                progress.retries += report.attempts - 1;
+                ProgressUpdate update;
+                update.experiment = spec_.name;
+                update.cells_total = points.size();
+                update.trials_total = n_trials;
+                update.trials_done = progress.trials_done;
+                update.retries = progress.retries;
+                if (--progress.cell_remaining[cell] == 0) {
+                    ++progress.cells_done;
+                    update.cell_seconds =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            progress.cell_start[cell])
+                            .count();
+                }
+                update.cells_done = progress.cells_done;
+                notify(update);
+            }
+            return report;
         },
         spec_.jobs);
 
@@ -234,6 +356,25 @@ std::vector<CellResult> ScenarioRunner::run() {
                                 static_cast<std::ptrdiff_t>((c + 1) * spec_.repeats));
         cell.stats = aggregate(cell.reports);
         results.push_back(std::move(cell));
+    }
+
+    registry.inc(MetricId::CellsTotal, points.size());
+    registry.inc(MetricId::SweepsTotal);
+    if (watching) {
+        ProgressUpdate update;
+        update.experiment = spec_.name;
+        update.cells_total = points.size();
+        update.cells_done = points.size();
+        update.trials_total = n_trials;
+        update.trials_done = n_trials;
+        std::lock_guard<std::mutex> lock(progress.mutex);
+        update.retries = progress.retries;
+        update.sweep_done = true;
+        notify(update);
+    }
+    if (!spec_.telemetry.metrics_out.empty()) {
+        registry.write_json(spec_.telemetry.metrics_out);
+        registry.write_prometheus(spec_.telemetry.metrics_out + ".prom");
     }
     return results;
 }

@@ -148,6 +148,8 @@ struct ExperimentSpec {
     std::function<TrafficTrace(const SweepPoint&)> trace;
 };
 
+class ProgressSink;
+
 class ScenarioRunner {
 public:
     explicit ScenarioRunner(ExperimentSpec spec);
@@ -156,6 +158,14 @@ public:
 
     /// The sweep cells in row-major order (first axis slowest).
     std::vector<SweepPoint> cells() const;
+
+    /// Watch the sweep make progress (telemetry/heartbeat.hpp): called
+    /// once per completed trial with cumulative counts, once more per
+    /// completed cell and at sweep end.  Pure observer — attaching one
+    /// never changes results.  Not owned; must outlive run(); nullptr
+    /// detaches.  Runs with --heartbeat-out additionally stream through
+    /// an internal HeartbeatWriter; both sinks see every update.
+    void set_progress_sink(ProgressSink* sink) { progress_ = sink; }
 
     /// Execute every (cell, repeat) trial across the thread pool and
     /// aggregate.  Deterministic: identical results for any jobs value.
@@ -177,6 +187,7 @@ private:
                         std::size_t repeat, bool single_trial) const;
 
     ExperimentSpec spec_;
+    ProgressSink* progress_{nullptr};
 };
 
 } // namespace snoc

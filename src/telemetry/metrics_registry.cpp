@@ -1,0 +1,173 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/expect.hpp"
+
+namespace snoc {
+
+namespace {
+
+std::ofstream open_exposition(const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    SNOC_EXPECT(os.is_open());
+    return os;
+}
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry() { reset(); }
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+void MetricsRegistry::inc(MetricId id, std::uint64_t delta) {
+    SNOC_EXPECT(metric_desc(id).kind != MetricKind::Histogram);
+    scalars_[static_cast<std::size_t>(id)].fetch_add(delta,
+                                                     std::memory_order_relaxed);
+}
+
+void MetricsRegistry::dec(MetricId id, std::uint64_t delta) {
+    SNOC_EXPECT(metric_desc(id).kind == MetricKind::Gauge);
+    scalars_[static_cast<std::size_t>(id)].fetch_sub(delta,
+                                                     std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(MetricId id, std::uint64_t value) {
+    SNOC_EXPECT(metric_desc(id).kind == MetricKind::Gauge);
+    scalars_[static_cast<std::size_t>(id)].store(value,
+                                                 std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::value(MetricId id) const {
+    SNOC_EXPECT(metric_desc(id).kind != MetricKind::Histogram);
+    return scalars_[static_cast<std::size_t>(id)].load(
+        std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId id, std::uint64_t sample) {
+    SNOC_EXPECT(metric_desc(id).kind == MetricKind::Histogram);
+    Histogram& h = histograms_[static_cast<std::size_t>(id)];
+    std::size_t bucket = kHistogramBucketCount - 1; // +Inf
+    for (std::size_t b = 0; b < std::size(kHistogramBounds); ++b) {
+        if (sample <= kHistogramBounds[b]) {
+            bucket = b;
+            break;
+        }
+    }
+    h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(sample, std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::histogram_count(MetricId id) const {
+    SNOC_EXPECT(metric_desc(id).kind == MetricKind::Histogram);
+    return histograms_[static_cast<std::size_t>(id)].count.load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::histogram_sum(MetricId id) const {
+    SNOC_EXPECT(metric_desc(id).kind == MetricKind::Histogram);
+    return histograms_[static_cast<std::size_t>(id)].sum.load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::histogram_bucket(MetricId id,
+                                                std::size_t bucket) const {
+    SNOC_EXPECT(metric_desc(id).kind == MetricKind::Histogram);
+    SNOC_EXPECT(bucket < kHistogramBucketCount);
+    const Histogram& h = histograms_[static_cast<std::size_t>(id)];
+    // Prometheus buckets are cumulative: le="8" counts everything <= 8.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= bucket; ++b)
+        cumulative += h.buckets[b].load(std::memory_order_relaxed);
+    return cumulative;
+}
+
+void MetricsRegistry::reset() {
+    for (auto& scalar : scalars_) scalar.store(0, std::memory_order_relaxed);
+    for (auto& h : histograms_) {
+        for (auto& bucket : h.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+        h.count.store(0, std::memory_order_relaxed);
+    }
+}
+
+namespace {
+
+constexpr const char* kind_name(MetricKind kind) {
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+    os << "{\n  \"schema\": \"snoc-metrics-v1\",\n  \"metrics\": {\n";
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+        const MetricDesc& desc = kMetricDescs[i];
+        const auto id = static_cast<MetricId>(i);
+        os << "    \"" << desc.wire << "\": {\"kind\": \""
+           << kind_name(desc.kind) << "\", ";
+        if (desc.kind == MetricKind::Histogram) {
+            os << "\"count\": " << histogram_count(id)
+               << ", \"sum\": " << histogram_sum(id) << ", \"buckets\": {";
+            for (std::size_t b = 0; b < kHistogramBucketCount; ++b) {
+                if (b) os << ", ";
+                if (b + 1 == kHistogramBucketCount)
+                    os << "\"+Inf\"";
+                else
+                    os << '"' << kHistogramBounds[b] << '"';
+                os << ": " << histogram_bucket(id, b);
+            }
+            os << '}';
+        } else {
+            os << "\"value\": " << value(id);
+        }
+        os << '}' << (i + 1 < kMetricCount ? "," : "") << '\n';
+    }
+    os << "  }\n}\n";
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+    auto os = open_exposition(path);
+    write_json(os);
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+        const MetricDesc& desc = kMetricDescs[i];
+        const auto id = static_cast<MetricId>(i);
+        os << "# HELP " << desc.wire << ' ' << desc.help << '\n';
+        os << "# TYPE " << desc.wire << ' ' << kind_name(desc.kind) << '\n';
+        if (desc.kind == MetricKind::Histogram) {
+            for (std::size_t b = 0; b < kHistogramBucketCount; ++b) {
+                os << desc.wire << "_bucket{le=\"";
+                if (b + 1 == kHistogramBucketCount)
+                    os << "+Inf";
+                else
+                    os << kHistogramBounds[b];
+                os << "\"} " << histogram_bucket(id, b) << '\n';
+            }
+            os << desc.wire << "_sum " << histogram_sum(id) << '\n';
+            os << desc.wire << "_count " << histogram_count(id) << '\n';
+        } else {
+            os << desc.wire << ' ' << value(id) << '\n';
+        }
+    }
+}
+
+void MetricsRegistry::write_prometheus(const std::string& path) const {
+    auto os = open_exposition(path);
+    write_prometheus(os);
+}
+
+} // namespace snoc

@@ -1,6 +1,7 @@
 #include "telemetry/prof.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -101,6 +102,29 @@ std::string report() {
         os << buf;
     }
     return os.str();
+}
+
+std::string json_report() {
+    const auto stats = snapshot();
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"snoc-prof-v1\",\n  \"entries\": {";
+    bool first = true;
+    for (const auto& [name, stat] : stats) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "{\"calls\": %llu, \"seconds\": %.9f}",
+                      static_cast<unsigned long long>(stat.calls),
+                      stat.seconds);
+        os << "    \"" << name << "\": " << buf;
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+    return os.str();
+}
+
+void write_json_report(const std::string& path) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << json_report();
 }
 
 } // namespace snoc::prof

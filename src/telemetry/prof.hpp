@@ -46,6 +46,15 @@ void reset();
 /// label; empty string when nothing was recorded.
 std::string report();
 
+/// Machine-readable snapshot() — schema "snoc-prof-v1", one entry per
+/// label in label order, so two dumps of identical stats are
+/// byte-identical.  Always returns a full document (empty `entries`
+/// when nothing was recorded) so --prof-out files always parse.
+std::string json_report();
+
+/// json_report() written to `path` (bench_util's --prof-out atexit hook).
+void write_json_report(const std::string& path);
+
 class Scope {
 public:
     explicit Scope(const char* name) {

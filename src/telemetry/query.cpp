@@ -79,6 +79,29 @@ LoadResult load_jsonl(std::istream& is) {
     std::string line;
     while (std::getline(is, line)) {
         if (line.empty()) continue;
+        if (!result.postmortem && line.find("\"postmortem\":1") !=
+                                      std::string::npos) {
+            PostmortemHeader header;
+            if (const auto v = find_string(line, "reason"))
+                header.reason = std::string(*v);
+            if (const auto v = find_string(line, "detail"))
+                header.detail = std::string(*v);
+            if (const auto v = find_string(line, "experiment"))
+                header.experiment = std::string(*v);
+            if (const auto v = find_string(line, "backend"))
+                header.backend = std::string(*v);
+            if (const auto v = find_number(line, "seed")) header.seed = *v;
+            if (const auto v = find_number(line, "events"))
+                header.events = static_cast<std::size_t>(*v);
+            if (const auto v = find_number(line, "events_overwritten"))
+                header.events_overwritten = static_cast<std::size_t>(*v);
+            if (const auto v = find_number(line, "first_round"))
+                header.first_round = static_cast<Round>(*v);
+            if (const auto v = find_number(line, "last_round"))
+                header.last_round = static_cast<Round>(*v);
+            result.postmortem = std::move(header);
+            continue;
+        }
         const auto round = find_number(line, "round");
         const auto kind_name = find_string(line, "kind");
         const auto tile = find_number(line, "tile");
@@ -105,6 +128,38 @@ LoadResult load_jsonl_file(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
     if (!is.is_open()) return {};
     return load_jsonl(is);
+}
+
+std::vector<TraceEvent> since_round(const std::vector<TraceEvent>& events,
+                                    Round round) {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events)
+        if (e.round >= round) out.push_back(e);
+    return out;
+}
+
+std::vector<TraceEvent> last_rounds(const std::vector<TraceEvent>& events,
+                                    std::size_t n) {
+    if (events.empty() || n == 0) return {};
+    Round last = 0;
+    for (const TraceEvent& e : events) last = std::max(last, e.round);
+    const Round cutoff =
+        n > static_cast<std::size_t>(last) ? 0
+                                           : last - static_cast<Round>(n) + 1;
+    return since_round(events, cutoff);
+}
+
+std::string header_summary(const PostmortemHeader& header) {
+    std::ostringstream os;
+    os << "post-mortem: " << header.reason << '\n';
+    os << "  detail:     " << header.detail << '\n';
+    os << "  experiment: " << header.experiment << '\n';
+    os << "  backend:    " << header.backend << '\n';
+    os << "  seed:       " << header.seed << '\n';
+    os << "  events:     " << header.events << " retained, "
+       << header.events_overwritten << " overwritten, rounds "
+       << header.first_round << ".." << header.last_round << '\n';
+    return os.str();
 }
 
 std::string summary(const std::vector<TraceEvent>& events) {

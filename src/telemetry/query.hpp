@@ -16,13 +16,43 @@
 
 namespace snoc::tracequery {
 
+/// The header line of a `*.postmortem.jsonl` bundle (flight_recorder.hpp's
+/// write_postmortem_bundle): why the trial died and what the recorder had
+/// retained.  Every field after the header line is an ordinary trace
+/// event, so the whole query surface below works on bundles unchanged.
+struct PostmortemHeader {
+    std::string reason;     ///< detector kind ("SNOC_ENSURE", "deadlock-sentinel", ...).
+    std::string detail;     ///< detector-formatted what() text.
+    std::string experiment; ///< sweep cell label or experiment name.
+    std::string backend;
+    std::uint64_t seed{0};
+    std::size_t events{0};             ///< events retained in the bundle.
+    std::size_t events_overwritten{0}; ///< older events the ring dropped.
+    Round first_round{0};
+    Round last_round{0};
+};
+
 struct LoadResult {
     std::vector<TraceEvent> events;
     std::size_t skipped{0}; ///< malformed / unknown-kind lines ignored.
+    /// Set when the dump is a post-mortem bundle (its first line carries
+    /// the "postmortem":1 marker); plain write_jsonl dumps leave it empty.
+    std::optional<PostmortemHeader> postmortem;
 };
 
 LoadResult load_jsonl(std::istream& is);
 LoadResult load_jsonl_file(const std::string& path);
+
+/// Events from `round` onwards (--since-round).
+std::vector<TraceEvent> since_round(const std::vector<TraceEvent>& events,
+                                    Round round);
+/// Events of the `n` highest rounds present (--last-rounds): the tail a
+/// post-mortem reader actually wants.  n = 0 returns nothing.
+std::vector<TraceEvent> last_rounds(const std::vector<TraceEvent>& events,
+                                    std::size_t n);
+
+/// Human-readable rendering of a bundle header ("header" command).
+std::string header_summary(const PostmortemHeader& header);
 
 /// "5:12" -> MessageId{5, 12}; nullopt on malformed input.
 std::optional<MessageId> parse_message_id(std::string_view text);

@@ -1,0 +1,2 @@
+#include "telemetry/metrics_registry.hpp"
+namespace snoc { MetricId used_emit_site() { return MetricId::Used; } }

@@ -1,0 +1,14 @@
+#pragma once
+// Mini registry header in the real file's shape.  "Orphan" is listed but
+// never bumped anywhere, and its wire name is absent from both committed
+// exposition goldens.
+#define SNOC_METRIC_LIST(X)                        \
+    X(counter, Used, "snoc_used_total",            \
+      "A metric something actually feeds")         \
+    X(counter, Orphan, "snoc_orphan_total",        \
+      "A metric nothing feeds")
+enum class MetricId {
+#define SNOC_METRIC(kind, name, wire, help) name,
+    SNOC_METRIC_LIST(SNOC_METRIC)
+#undef SNOC_METRIC
+};

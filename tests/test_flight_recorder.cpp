@@ -1,0 +1,354 @@
+// Flight recorder + post-mortem bundle tests: ring wraparound semantics
+// at the capacity edge cases, deterministic multi-lane drain order (also
+// under concurrent lane writers), the golden bundle byte layout, and the
+// end-to-end guarantee that an injected conservation violation inside an
+// audited ScenarioRunner sweep produces a bundle containing the violating
+// round's events.
+//
+// The last suite doubles as the CI post-mortem mutation self-test: with
+// SNOC_EXPECT_POSTMORTEM=1 in the environment it *requires* a bundle —
+// CI tampers the engine's ledger ([mutation-point:ledger-transmitted]),
+// rebuilds, and runs it to prove a real accounting bug still reaches a
+// dump on disk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/invariant_auditor.hpp"
+#include "common/expect.hpp"
+#include "sim/backends.hpp"
+#include "sim/scenario.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/query.hpp"
+
+namespace snoc {
+namespace {
+
+TraceEvent event(Round round, TraceEventKind kind, TileId tile) {
+    TraceEvent e;
+    e.round = round;
+    e.kind = kind;
+    e.tile = tile;
+    return e;
+}
+
+/// A deterministic synthetic event stream: round r emits two events.
+std::vector<TraceEvent> stream(std::size_t rounds) {
+    std::vector<TraceEvent> events;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        events.push_back(event(static_cast<Round>(r),
+                               TraceEventKind::Transmitted,
+                               static_cast<TileId>(r % 25)));
+        events.push_back(event(static_cast<Round>(r), TraceEventKind::Delivered,
+                               static_cast<TileId>((r + 1) % 25)));
+    }
+    return events;
+}
+
+std::string drain_image(const FlightRecorder& recorder) {
+    std::ostringstream os;
+    for (const TraceEvent& e : recorder.drain())
+        os << e.round << ' ' << static_cast<int>(e.kind) << ' ' << e.tile
+           << '\n';
+    return os.str();
+}
+
+TEST(FlightRecorder, KeepsNewestAtEveryCapacityEdge) {
+    const auto events = stream(8); // 16 events
+    for (const std::size_t capacity : {std::size_t{1}, events.size() - 1,
+                                       events.size(), events.size() + 1}) {
+        FlightRecorder recorder(capacity);
+        for (const TraceEvent& e : events) recorder.record(e);
+        const auto drained = recorder.drain();
+        const std::size_t kept = std::min(capacity, events.size());
+        ASSERT_EQ(drained.size(), kept) << "capacity " << capacity;
+        EXPECT_EQ(recorder.dropped(), events.size() - kept);
+        // The retained window is exactly the newest `kept` events, in
+        // their original order.
+        for (std::size_t i = 0; i < kept; ++i) {
+            const TraceEvent& want = events[events.size() - kept + i];
+            EXPECT_EQ(drained[i].round, want.round);
+            EXPECT_EQ(drained[i].kind, want.kind);
+            EXPECT_EQ(drained[i].tile, want.tile);
+        }
+    }
+}
+
+TEST(FlightRecorder, DrainIsByteIdenticalAcrossRepeats) {
+    const auto events = stream(100);
+    for (const std::size_t capacity : {std::size_t{1}, events.size() - 1,
+                                       events.size(), events.size() + 1}) {
+        FlightRecorder a(capacity);
+        FlightRecorder b(capacity);
+        for (const TraceEvent& e : events) a.record(e);
+        for (const TraceEvent& e : events) b.record(e);
+        EXPECT_EQ(drain_image(a), drain_image(b)) << "capacity " << capacity;
+    }
+}
+
+TEST(FlightRecorder, TotalsSurviveOverwrites) {
+    FlightRecorder recorder(2);
+    for (const TraceEvent& e : stream(10)) recorder.record(e);
+    const auto& totals = recorder.kind_totals();
+    EXPECT_EQ(totals[static_cast<std::size_t>(TraceEventKind::Transmitted)],
+              10u);
+    EXPECT_EQ(totals[static_cast<std::size_t>(TraceEventKind::Delivered)], 10u);
+    EXPECT_EQ(recorder.size(), 2u);
+    EXPECT_EQ(recorder.dropped(), 18u);
+}
+
+TEST(FlightRecorder, ClearForgetsEverything) {
+    FlightRecorder recorder(4);
+    for (const TraceEvent& e : stream(10)) recorder.record(e);
+    recorder.clear();
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+    EXPECT_TRUE(recorder.drain().empty());
+    recorder.record(event(3, TraceEventKind::Delivered, 7));
+    EXPECT_EQ(recorder.drain().size(), 1u);
+}
+
+/// Lanes merge by ascending round with lane-index tie-breaks — the
+/// canonical order, independent of which lane was written first.
+TEST(FlightRecorder, MultiLaneDrainOrderIsCanonical) {
+    FlightRecorder recorder(16, 3);
+    // Write lanes in "wrong" wall order: lane 2 first, then 0, then 1.
+    for (const std::size_t lane : {2u, 0u, 1u})
+        for (Round r = 0; r < 4; ++r)
+            recorder.lane(lane).record(event(
+                r, TraceEventKind::Transmitted, static_cast<TileId>(lane)));
+    const auto drained = recorder.drain();
+    ASSERT_EQ(drained.size(), 12u);
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+        EXPECT_EQ(drained[i].round, static_cast<Round>(i / 3));
+        EXPECT_EQ(drained[i].tile, static_cast<TileId>(i % 3)); // lane index
+    }
+}
+
+/// Concurrent shard writers (the --jobs shape): each lane is written by
+/// its own thread, yet the drain is identical to the serial fill — the
+/// cross-lane order depends only on (round, lane), never on thread
+/// scheduling.
+TEST(FlightRecorder, ConcurrentLaneWritersDrainDeterministically) {
+    constexpr std::size_t kLanes = 4;
+    constexpr Round kRounds = 200;
+    const auto fill = [](FlightRecorder& recorder, bool threaded) {
+        const auto writer = [&recorder](std::size_t lane) {
+            for (Round r = 0; r < kRounds; ++r)
+                recorder.lane(lane).record(
+                    event(r, TraceEventKind::Accepted,
+                          static_cast<TileId>(lane * 100 + r % 100)));
+        };
+        if (threaded) {
+            std::vector<std::thread> threads;
+            for (std::size_t lane = 0; lane < kLanes; ++lane)
+                threads.emplace_back(writer, lane);
+            for (auto& t : threads) t.join();
+        } else {
+            for (std::size_t lane = 0; lane < kLanes; ++lane) writer(lane);
+        }
+    };
+    FlightRecorder serial(64, kLanes);
+    fill(serial, false);
+    const std::string want = drain_image(serial);
+    for (int repeat = 0; repeat < 4; ++repeat) {
+        FlightRecorder threaded(64, kLanes);
+        fill(threaded, true);
+        EXPECT_EQ(drain_image(threaded), want) << "repeat " << repeat;
+    }
+}
+
+/// The bundle byte layout is golden-checked; build-dependent header
+/// fields (git SHA, check level) are scrubbed before comparing.
+std::string scrub(std::string text) {
+    text = std::regex_replace(text, std::regex("\"git_sha\":\"[^\"]*\""),
+                              "\"git_sha\":\"SCRUBBED\"");
+    text = std::regex_replace(text, std::regex("\"check_level\":[0-9]+"),
+                              "\"check_level\":0");
+    return text;
+}
+
+TEST(PostmortemBundle, GoldenBytes) {
+    FlightRecorder recorder(6);
+    for (const TraceEvent& e : stream(5)) recorder.record(e);
+    TraceEvent with_msg = event(5, TraceEventKind::MessageCreated, 3);
+    with_msg.message = MessageId{3, 1};
+    recorder.record(with_msg);
+
+    PostmortemInfo info;
+    info.reason = "wire-conservation";
+    info.detail = "injected: transmitted != accounted (test fixture)";
+    info.experiment = "golden";
+    info.backend = "gossip";
+    info.seed = 42;
+    info.has_metrics = true;
+    info.metrics.rounds = 6;
+    info.metrics.packets_sent = 11;
+    info.metrics.deliveries = 5;
+
+    std::ostringstream os;
+    write_postmortem_bundle(recorder, info, os);
+    const std::string image = scrub(os.str());
+
+    const std::string path =
+        std::string(SNOC_GOLDEN_DIR) + "/postmortem_bundle.golden";
+    if (std::getenv("SNOC_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << image;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << path
+                           << " (run with SNOC_UPDATE_GOLDEN=1 to capture)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(image, scrub(golden.str()));
+}
+
+TEST(PostmortemBundle, RoundTripsThroughTracequery) {
+    FlightRecorder recorder(8);
+    for (const TraceEvent& e : stream(6)) recorder.record(e);
+    PostmortemInfo info;
+    info.reason = "deadlock-sentinel";
+    info.detail = "no packet moved for 64 cycles";
+    info.experiment = "p=0.5";
+    info.backend = "cut-through";
+    info.seed = 7;
+    std::ostringstream os;
+    write_postmortem_bundle(recorder, info, os);
+
+    std::istringstream is(os.str());
+    const auto loaded = tracequery::load_jsonl(is);
+    EXPECT_EQ(loaded.skipped, 0u);
+    ASSERT_TRUE(loaded.postmortem.has_value());
+    EXPECT_EQ(loaded.postmortem->reason, "deadlock-sentinel");
+    EXPECT_EQ(loaded.postmortem->backend, "cut-through");
+    EXPECT_EQ(loaded.postmortem->seed, 7u);
+    EXPECT_EQ(loaded.postmortem->events, 8u);
+    EXPECT_EQ(loaded.postmortem->events_overwritten, 4u);
+    EXPECT_EQ(loaded.postmortem->first_round, 2u);
+    EXPECT_EQ(loaded.postmortem->last_round, 5u);
+    EXPECT_EQ(loaded.events.size(), 8u);
+    // The round filters snoc_trace exposes work on the bundle's events.
+    EXPECT_EQ(tracequery::last_rounds(loaded.events, 1).size(), 2u);
+    EXPECT_EQ(tracequery::since_round(loaded.events, 4).size(), 4u);
+}
+
+/// An InvariantAuditor violation fires the thread-local hook, and an
+/// armed dumper turns it into a bundle containing the recorder's events
+/// for the violating round.  Dump-once: a second violation is ignored.
+TEST(PostmortemDumper, AuditorViolationProducesBundle) {
+    const std::string path = ::testing::TempDir() + "auditor.postmortem.jsonl";
+    std::remove(path.c_str());
+
+    FlightRecorder recorder(32);
+    for (const TraceEvent& e : stream(9)) recorder.record(e);
+
+    PostmortemInfo info;
+    info.experiment = "unit";
+    info.backend = "gossip";
+    info.seed = 1;
+    PostmortemDumper dumper(path, &recorder, info);
+    EXPECT_FALSE(dumper.dumped());
+
+    check::InvariantAuditor auditor;
+    auditor.begin_run("unit");
+    NetworkMetrics tampered;
+    tampered.packets_sent = 5; // packets with zero bits: conservation broken.
+    auditor.check_metrics(tampered, true);
+    ASSERT_FALSE(auditor.clean());
+    EXPECT_TRUE(dumper.dumped());
+
+    const auto loaded = tracequery::load_jsonl_file(path);
+    ASSERT_TRUE(loaded.postmortem.has_value());
+    EXPECT_EQ(loaded.events.size(), 18u);
+    EXPECT_EQ(loaded.postmortem->last_round, 8u);
+
+    // Second violation in the same scope: first failure wins.
+    const std::string first = loaded.postmortem->detail;
+    auditor.check_metrics(tampered, true);
+    const auto reloaded = tracequery::load_jsonl_file(path);
+    ASSERT_TRUE(reloaded.postmortem.has_value());
+    EXPECT_EQ(reloaded.postmortem->detail, first);
+    std::remove(path.c_str());
+}
+
+/// End-to-end through ScenarioRunner: an audited gossip sweep with
+/// --postmortem-out armed.  On a healthy build no bundle appears; when
+/// CI tampers the conservation ledger ([mutation-point:ledger-transmitted]
+/// in src/core/engine.cpp) and sets SNOC_EXPECT_POSTMORTEM=1, the bundle
+/// MUST appear and carry the violating round's events — the proof that a
+/// real accounting bug still reaches a dump on disk.
+TEST(PostmortemDumper, AuditedSweepMutationSelfTest) {
+    const std::string path = ::testing::TempDir() + "sweep.postmortem.jsonl";
+    std::remove(path.c_str());
+
+    ExperimentSpec spec;
+    spec.name = "postmortem-self-test";
+    spec.repeats = 1;
+    spec.base_seed = 3;
+    spec.max_rounds = 60;
+    spec.audit = true;
+    spec.telemetry.postmortem_out = path;
+    spec.telemetry.flight_capacity = 256;
+    spec.backend = [](const SweepPoint&, std::uint64_t seed) {
+        GossipSpec gs;
+        gs.topology = Topology::mesh(4, 4);
+        gs.config.forward_p = 0.6;
+        gs.config.default_ttl = 12;
+        return make_interconnect(std::move(gs), FaultScenario::none(), seed);
+    };
+    spec.trace = [](const SweepPoint&) {
+        TrafficTrace trace;
+        TrafficPhase phase;
+        phase.messages.push_back({0, 15, 64});
+        phase.messages.push_back({15, 0, 64});
+        trace.phases.push_back(phase);
+        return trace;
+    };
+    const bool expect_bundle =
+        std::getenv("SNOC_EXPECT_POSTMORTEM") != nullptr;
+    std::vector<CellResult> results;
+    try {
+        results = ScenarioRunner(std::move(spec)).run();
+    } catch (const ContractViolation&) {
+        // On a tampered build the engine's own SNOC_CHECK(2) conservation
+        // contract may abort the trial after the dumper has fired; the
+        // bundle on disk is what this test is about.
+        ASSERT_TRUE(expect_bundle) << "clean build threw ContractViolation";
+    }
+
+    std::ifstream bundle(path, std::ios::binary);
+    if (!expect_bundle) {
+        ASSERT_EQ(results.size(), 1u);
+        EXPECT_EQ(results[0].stats.audit_violations, 0u);
+        EXPECT_FALSE(bundle.good())
+            << "clean run unexpectedly produced a post-mortem bundle";
+        return;
+    }
+    ASSERT_TRUE(bundle.good())
+        << "mutated build produced no post-mortem bundle at " << path;
+    const auto loaded = tracequery::load_jsonl_file(path);
+    ASSERT_TRUE(loaded.postmortem.has_value());
+    EXPECT_FALSE(loaded.events.empty());
+    // The bundle must contain events from the round the auditor flagged:
+    // conservation is checked per round, so the violating round is the
+    // last one the recorder saw.
+    bool has_violating_round = false;
+    for (const TraceEvent& e : loaded.events)
+        if (e.round == loaded.postmortem->last_round) has_violating_round = true;
+    EXPECT_TRUE(has_violating_round);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace snoc

@@ -13,6 +13,12 @@ lock-step with the code that feeds them.
   self-consistency audit.
 * Every `SNOC_CHECK(level, ...)` level argument must be the literal 0, 1
   or 2 (the only levels the build system accepts).
+* Every `MetricId` in the SNOC_METRIC_LIST X-macro must have at least
+  one emit site (`MetricId::M` in src/, bench/ or tools/ outside the
+  registry's own header/impl) and its wire name must appear in both
+  committed exposition goldens (JSON and Prometheus) — an orphan metric
+  is dashboard vocabulary nothing ever feeds, and a golden missing a
+  wire name means the expositions drifted from the table.
 * Every `BackendKind` enumerator must appear in an
   `engine-equivalence-backends:` marker inside tests/ — the marker names
   the backends the engine-equivalence suites exercise, so a backend
@@ -27,12 +33,19 @@ import re
 from model import Finding, Project
 
 TRACE_HEADER = "src/sim/trace.hpp"
+METRIC_REGISTRY_HEADER = "src/telemetry/metrics_registry.hpp"
+METRIC_GOLDENS = ("tests/golden/metrics_registry.json.golden",
+                  "tests/golden/metrics_registry.prom.golden")
 METRICS_HEADER = "src/core/metrics.hpp"
 AUDITOR_SOURCE = "src/check/invariant_auditor.cpp"
 METRICS_EXPORTER = "src/telemetry/export.cpp"
 INTERCONNECT_HEADER = "src/core/interconnect.hpp"
 
 XMACRO_ENTRY = re.compile(r'\bX\(\s*(\w+)\s*,\s*"([^"]+)"\s*\)')
+# 4-arg metric rows: X(kind, Name, "wire", "help ...").  Long rows wrap
+# with a backslash continuation between Name and the wire string.
+METRIC_ENTRY = re.compile(
+    r'\bX\(\s*(counter|gauge|histogram)\s*,\s*(\w+)\s*,[\s\\]*"([^"]+)"')
 METRICS_FIELD = re.compile(r"^\s*std::size_t\s+(\w+)\s*\{0\}\s*;", re.MULTILINE)
 SNOC_CHECK_CALL = re.compile(r"\bSNOC_CHECK\(\s*([^,\s][^,]*?)\s*,")
 BACKEND_ENUMERATOR = re.compile(r"^\s*([A-Z]\w*)\s*,", re.MULTILINE)
@@ -71,6 +84,19 @@ def parse_trace_kinds(project: Project) -> list[tuple[str, str]]:
     end = header.raw.find("enum class TraceEventKind", start)
     region = header.raw[start:end if end > 0 else len(header.raw)]
     return XMACRO_ENTRY.findall(region)
+
+
+def parse_metric_entries(project: Project) -> list[tuple[str, str, str]]:
+    """(kind, enumerator, wire) rows of SNOC_METRIC_LIST, in table order."""
+    header = project.files.get(METRIC_REGISTRY_HEADER)
+    if header is None:
+        return []
+    start = header.raw.find("#define SNOC_METRIC_LIST(X)")
+    if start < 0:
+        return []
+    end = header.raw.find("enum class MetricId", start)
+    region = header.raw[start:end if end > 0 else len(header.raw)]
+    return METRIC_ENTRY.findall(region)
 
 
 def parse_metrics_counters(project: Project) -> list[str]:
@@ -133,6 +159,47 @@ def check_registries(project: Project) -> list[Finding]:
                             f"invariant auditor's self-consistency/"
                             f"monotonicity checks ({AUDITOR_SOURCE})",
                     key=f"audit:{counter}"))
+
+    metrics = parse_metric_entries(project)
+    if metrics:
+        # Emit sites: anywhere in src/, bench/ or tools/ except the
+        # registry's own header/impl (which enumerates every id by
+        # construction, so counting it would make any metric look alive).
+        emit_text = "\n".join(
+            f.code for f in project.by_top("src", "bench", "tools")
+            if not f.rel.startswith("src/telemetry/metrics_registry."))
+        goldens = {}
+        for rel in METRIC_GOLDENS:
+            path = project.root / rel
+            if path.exists():
+                goldens[rel] = path.read_text()
+            else:
+                findings.append(Finding(
+                    rule="registry-metric-exposition",
+                    file=METRIC_REGISTRY_HEADER, line=0,
+                    message=f"exposition golden {rel} is missing — run "
+                            "test_metrics_registry with SNOC_UPDATE_GOLDEN=1 "
+                            "to capture it",
+                    key=f"metric-golden:{rel}"))
+        for kind, name, wire in metrics:
+            if f"MetricId::{name}" not in emit_text:
+                findings.append(Finding(
+                    rule="registry-metric-emit",
+                    file=METRIC_REGISTRY_HEADER, line=0,
+                    message=f"MetricId::{name} ({kind} \"{wire}\") has no "
+                            "emit site outside the registry itself — an "
+                            "orphan metric is dashboard vocabulary nothing "
+                            "ever feeds",
+                    key=f"metric-emit:{name}"))
+            for rel, text in goldens.items():
+                if wire not in text:
+                    findings.append(Finding(
+                        rule="registry-metric-exposition",
+                        file=METRIC_REGISTRY_HEADER, line=0,
+                        message=f"metric \"{wire}\" is missing from {rel} — "
+                                "the committed exposition drifted from "
+                                "SNOC_METRIC_LIST; refresh the golden",
+                        key=f"metric-exposition:{wire}:{rel}"))
 
     backends = parse_backend_kinds(project)
     if backends:

@@ -1,47 +1,84 @@
-// snoc_trace — query a JSONL trace dump produced with --trace-out.
+// snoc_trace — query a JSONL trace dump produced with --trace-out, or a
+// post-mortem bundle produced with --postmortem-out (the bundle's header
+// line is recognised automatically; its event lines share the dialect).
 //
 //   snoc_trace summary   run.jsonl            headline counters + kind histogram
 //   snoc_trace rounds    run.jsonl            per-round kind table
 //   snoc_trace lifeline  run.jsonl 5:12       every event touching message 5:12
 //   snoc_trace top-tiles run.jsonl [K]        K lossiest tiles (default 10)
 //   snoc_trace top-links run.jsonl [K]        K busiest directed links (default 10)
+//   snoc_trace header    run.postmortem.jsonl why the trial died (bundle header)
+//
+// Every command accepts --last-rounds=N (keep only the N highest rounds)
+// and --since-round=N (drop everything before round N) to focus on the
+// window around a failure.
 //
 // The heavy lifting lives in src/telemetry/query.{hpp,cpp} so tests can
 // exercise the exact code this binary runs.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/cli.hpp"
 #include "telemetry/query.hpp"
 
 namespace {
 
 int usage() {
     std::cerr
-        << "usage: snoc_trace <command> <trace.jsonl> [args]\n"
+        << "usage: snoc_trace <command> <trace.jsonl> [args] "
+           "[--last-rounds=N] [--since-round=N]\n"
            "  summary   <trace.jsonl>          counters + kind histogram\n"
            "  rounds    <trace.jsonl>          per-round kind table\n"
            "  lifeline  <trace.jsonl> <o:seq>  one message's event history\n"
            "  top-tiles <trace.jsonl> [K]      lossiest tiles (default 10)\n"
-           "  top-links <trace.jsonl> [K]      busiest links (default 10)\n";
+           "  top-links <trace.jsonl> [K]      busiest links (default 10)\n"
+           "  header    <bundle.jsonl>         post-mortem bundle header\n";
     return 2;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) return usage();
-    const std::string command = argv[1];
-    const std::string path = argv[2];
+    const snoc::CliArgs args(argc, argv);
+    const auto& positional = args.positional();
+    if (positional.size() < 2) return usage();
+    const std::string& command = positional[0];
+    const std::string& path = positional[1];
 
-    const auto loaded = snoc::tracequery::load_jsonl_file(path);
-    if (loaded.events.empty() && loaded.skipped == 0) {
+    auto loaded = snoc::tracequery::load_jsonl_file(path);
+    if (loaded.events.empty() && loaded.skipped == 0 && !loaded.postmortem) {
         std::cerr << "snoc_trace: no events loaded from " << path << '\n';
         return 1;
     }
     if (loaded.skipped > 0)
         std::cerr << "snoc_trace: warning: skipped " << loaded.skipped
                   << " malformed line(s)\n";
+
+    if (args.has("since-round"))
+        loaded.events = snoc::tracequery::since_round(
+            loaded.events,
+            static_cast<snoc::Round>(args.get_u64("since-round", 0)));
+    if (args.has("last-rounds"))
+        loaded.events = snoc::tracequery::last_rounds(
+            loaded.events,
+            static_cast<std::size_t>(args.get_u64("last-rounds", 0)));
+
+    if (command == "header") {
+        if (!loaded.postmortem) {
+            std::cerr << "snoc_trace: " << path
+                      << " carries no post-mortem header\n";
+            return 1;
+        }
+        std::cout << snoc::tracequery::header_summary(*loaded.postmortem);
+        return 0;
+    }
+    // A bundle's provenance is worth one stderr line even when the user
+    // asked for an event-level view.
+    if (loaded.postmortem)
+        std::cerr << "snoc_trace: post-mortem bundle (reason: "
+                  << loaded.postmortem->reason << ")\n";
 
     if (command == "summary") {
         std::cout << snoc::tracequery::summary(loaded.events);
@@ -52,10 +89,10 @@ int main(int argc, char** argv) {
         return 0;
     }
     if (command == "lifeline") {
-        if (argc < 4) return usage();
-        const auto id = snoc::tracequery::parse_message_id(argv[3]);
+        if (positional.size() < 3) return usage();
+        const auto id = snoc::tracequery::parse_message_id(positional[2]);
         if (!id) {
-            std::cerr << "snoc_trace: bad message id '" << argv[3]
+            std::cerr << "snoc_trace: bad message id '" << positional[2]
                       << "' (want origin:sequence, e.g. 5:12)\n";
             return 2;
         }
@@ -64,7 +101,8 @@ int main(int argc, char** argv) {
     }
     if (command == "top-tiles" || command == "top-links") {
         std::size_t k = 10;
-        if (argc >= 4) k = static_cast<std::size_t>(std::atoll(argv[3]));
+        if (positional.size() >= 3)
+            k = static_cast<std::size_t>(std::atoll(positional[2].c_str()));
         std::cout << (command == "top-tiles"
                           ? snoc::tracequery::top_tiles(loaded.events, k)
                           : snoc::tracequery::top_links(loaded.events, k));
