@@ -15,7 +15,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Static analysis first: snoc_lint (layering DAG, registry cross-checks,
-# determinism, RNG discipline — see tools/snoc_lint/ and DESIGN.md §11) is
+# determinism, RNG discipline, concurrency/thread-safety discipline — see
+# tools/snoc_lint/, DESIGN.md §11 and §16) is
 # fast and failing it should not cost a build; clang-tidy rides along when
 # installed (see scripts/lint.sh — it skips gracefully when the compile
 # database does not exist yet, i.e. before the first configure).

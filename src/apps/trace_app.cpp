@@ -46,11 +46,13 @@ public:
         if (!seen_.insert(key).second) return;
         const std::size_t counted =
             s.delivered_in_phase.fetch_add(1, std::memory_order_acq_rel) + 1;
-        s.total_delivered.fetch_add(1, std::memory_order_relaxed);
+        s.total_delivered.fetch_add(
+            1, std::memory_order_relaxed); // relaxed[commutative-counter]
         if (counted == s.trace.phases[phase].messages.size()) {
             // Exactly one delivery completes the phase; no phase-(k+1)
             // traffic can exist yet, so the reset below races with nothing.
-            s.delivered_in_phase.store(0, std::memory_order_relaxed);
+            s.delivered_in_phase.store(
+                0, std::memory_order_relaxed); // relaxed[pre-release-publish]
             s.phase.fetch_add(1, std::memory_order_release);
         }
     }

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -33,23 +33,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         queue_.push_back(std::move(job));
     }
     work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    UniqueLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            UniqueLock lock(mutex_);
+            while (!stop_ && queue_.empty()) work_cv_.wait(lock);
             if (stop_ && queue_.empty()) return;
             job = std::move(queue_.front());
             queue_.pop_front();
@@ -57,7 +57,7 @@ void ThreadPool::worker_loop() {
         }
         job();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             --active_;
             if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
         }

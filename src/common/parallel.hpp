@@ -16,19 +16,24 @@
 //   * fn must not mutate shared state (accumulate into the returned
 //     value; aggregate after run_trials returns);
 //   * under these rules, results[i] == fn(i) for every jobs value.
+//
+// Concurrency contract (see DESIGN.md §16): all shared state here is
+// either a lock-free atomic with a justified ordering (`relaxed[...]`
+// tags, scripts/ordering_allowlist.txt) or guarded by an annotated
+// snoc::Mutex the Clang thread-safety analysis checks.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace snoc {
 
@@ -48,10 +53,10 @@ public:
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /// Enqueue a job.  Never blocks; the queue is unbounded.
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) SNOC_EXCLUDES(mutex_);
 
     /// Block until the queue is empty and every worker is idle.
-    void wait_idle();
+    void wait_idle() SNOC_EXCLUDES(mutex_);
 
     std::size_t size() const { return workers_.size(); }
 
@@ -61,15 +66,18 @@ public:
     static ThreadPool& shared();
 
 private:
-    void worker_loop();
+    void worker_loop() SNOC_EXCLUDES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable idle_cv_;
-    std::deque<std::function<void()>> queue_;
+    mutable Mutex mutex_;
+    CondVar work_cv_;
+    CondVar idle_cv_;
+    std::deque<std::function<void()>> queue_ SNOC_GUARDED_BY(mutex_);
+    /// Spawned in the constructor, joined in the destructor — both
+    /// single-threaded phases, so no lock guards the vector itself
+    /// (allowlisted: scripts/concurrency_allowlist.txt).
     std::vector<std::thread> workers_;
-    std::size_t active_{0};
-    bool stop_{false};
+    std::size_t active_ SNOC_GUARDED_BY(mutex_){0};
+    bool stop_ SNOC_GUARDED_BY(mutex_){false};
 };
 
 /// Run fn(0..n_trials-1) with up to `jobs` workers (0 = default_jobs())
@@ -97,44 +105,61 @@ auto run_trials(std::size_t n_trials, Fn&& fn, std::size_t jobs = 0)
     // order in `results` is by index, independent of scheduling.
     std::atomic<std::uint64_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    // First-failure slot.  A named struct (not bare locals) so the
+    // guarded_by relation is visible to the thread-safety analysis.
+    struct ErrorSlot {
+        Mutex mutex;
+        std::exception_ptr first SNOC_GUARDED_BY(mutex);
+    } error;
     auto work = [&] {
         for (;;) {
-            const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n_trials || failed.load(std::memory_order_relaxed)) break;
+            const std::uint64_t i =
+                next.fetch_add(1, std::memory_order_relaxed); // relaxed[claim-counter]
+            if (i >= n_trials ||
+                failed.load(std::memory_order_relaxed)) // relaxed[abort-flag]
+                break;
             try {
                 results[i] = fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!error) error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
+                LockGuard lock(error.mutex);
+                if (!error.first) error.first = std::current_exception();
+                failed.store(true, std::memory_order_relaxed); // relaxed[abort-flag]
             }
         }
     };
 
     // The caller is worker #1; helpers come from the shared pool.  Each
-    // helper signals the countdown when it runs out of trials.
+    // helper signals the countdown when it runs out of trials.  The
+    // acq_rel countdown + the caller's acquire re-check publish every
+    // helper's `results[i]` writes to the caller.
     const std::size_t helpers = std::min(jobs, n_trials) - 1;
     std::atomic<std::size_t> remaining{helpers};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    struct DoneLatch {
+        Mutex mutex;
+        CondVar cv;
+    } done;
     ThreadPool& pool = ThreadPool::shared();
     for (std::size_t h = 0; h < helpers; ++h) {
         pool.submit([&] {
             work();
             if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> lock(done_mutex);
-                done_cv.notify_all();
+                LockGuard lock(done.mutex);
+                done.cv.notify_all();
             }
         });
     }
     work();
     {
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+        UniqueLock lock(done.mutex);
+        while (remaining.load(std::memory_order_acquire) != 0)
+            done.cv.wait(lock);
     }
-    if (error) std::rethrow_exception(error);
+    std::exception_ptr first;
+    {
+        LockGuard lock(error.mutex);
+        first = error.first;
+    }
+    if (first) std::rethrow_exception(first);
     return results;
 }
 

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 
+#include "common/annotations.hpp"
 #include "common/expect.hpp"
 #include "common/parallel.hpp"
 #include "noc/fec.hpp"
@@ -67,26 +66,30 @@ void EventEngine::bootstrap() {
 // helpers find the counter exhausted and exit without running anything.
 namespace {
 struct ShardBatch {
-    std::function<void(std::size_t)> fn;
-    std::size_t total{0};
+    ShardBatch(std::function<void(std::size_t)> f, std::size_t n)
+        : fn(std::move(f)), total(n) {}
+
+    const std::function<void(std::size_t)> fn; ///< immutable after construction.
+    const std::size_t total;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar cv;
+    std::exception_ptr error SNOC_GUARDED_BY(mutex);
 
     void work() {
         for (;;) {
-            const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t s =
+                next.fetch_add(1, std::memory_order_relaxed); // relaxed[claim-counter]
             if (s >= total) return;
             try {
                 fn(s);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex);
+                LockGuard lock(mutex);
                 if (!error) error = std::current_exception();
             }
             if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-                std::lock_guard<std::mutex> lock(mutex);
+                LockGuard lock(mutex);
                 cv.notify_all();
             }
         }
@@ -100,20 +103,25 @@ void EventEngine::run_sharded(const std::function<void(std::size_t)>& fn) {
         fn(0);
         return;
     }
-    auto batch = std::make_shared<ShardBatch>();
-    batch->fn = fn;
-    batch->total = total;
+    auto batch = std::make_shared<ShardBatch>(fn, total);
     const std::size_t helpers = std::min(total - 1, ThreadPool::shared().size());
     for (std::size_t h = 0; h < helpers; ++h)
         ThreadPool::shared().submit([batch] { batch->work(); });
     batch->work();
     {
-        std::unique_lock<std::mutex> lock(batch->mutex);
-        batch->cv.wait(lock, [&] {
-            return batch->done.load(std::memory_order_acquire) == batch->total;
-        });
+        UniqueLock lock(batch->mutex);
+        while (batch->done.load(std::memory_order_acquire) != batch->total)
+            batch->cv.wait(lock);
     }
-    if (batch->error) std::rethrow_exception(batch->error);
+    // All error writes happen strictly before the final `done` increment,
+    // so this post-barrier read needs the lock only to satisfy the
+    // guarded_by contract (it is uncontended by construction).
+    std::exception_ptr error;
+    {
+        LockGuard lock(batch->mutex);
+        error = batch->error;
+    }
+    if (error) std::rethrow_exception(error);
 }
 
 GossipNetwork::StepSink EventEngine::shard_sink(Shard& sh) {

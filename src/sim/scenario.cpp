@@ -4,11 +4,11 @@
 #include <array>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "check/invariant_auditor.hpp"
+#include "common/annotations.hpp"
 #include "common/expect.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
@@ -286,16 +286,18 @@ std::vector<CellResult> ScenarioRunner::run() {
     // results — see the determinism allowlist); trial execution is
     // entirely independent of them.
     struct Progress {
-        std::mutex mutex;
-        std::size_t trials_done{0};
-        std::size_t cells_done{0};
-        std::size_t retries{0};
-        std::vector<std::size_t> cell_remaining;
-        std::vector<std::chrono::steady_clock::time_point> cell_start;
-        std::vector<bool> cell_started;
+        Mutex mutex;
+        std::size_t trials_done SNOC_GUARDED_BY(mutex){0};
+        std::size_t cells_done SNOC_GUARDED_BY(mutex){0};
+        std::size_t retries SNOC_GUARDED_BY(mutex){0};
+        std::vector<std::size_t> cell_remaining SNOC_GUARDED_BY(mutex);
+        std::vector<std::chrono::steady_clock::time_point> cell_start
+            SNOC_GUARDED_BY(mutex);
+        std::vector<bool> cell_started SNOC_GUARDED_BY(mutex);
     } progress;
     const bool watching = heartbeat.has_value() || progress_ != nullptr;
     if (watching) {
+        LockGuard lock(progress.mutex);
         progress.cell_remaining.assign(points.size(), spec_.repeats);
         progress.cell_start.resize(points.size());
         progress.cell_started.assign(points.size(), false);
@@ -314,7 +316,7 @@ std::vector<CellResult> ScenarioRunner::run() {
             const std::size_t cell = static_cast<std::size_t>(i) / spec_.repeats;
             const std::size_t repeat = static_cast<std::size_t>(i) % spec_.repeats;
             if (watching) {
-                std::lock_guard<std::mutex> lock(progress.mutex);
+                LockGuard lock(progress.mutex);
                 if (!progress.cell_started[cell]) {
                     progress.cell_started[cell] = true;
                     progress.cell_start[cell] = std::chrono::steady_clock::now();
@@ -322,7 +324,7 @@ std::vector<CellResult> ScenarioRunner::run() {
             }
             RunReport report = run_trial(points[cell], cell, repeat, single_trial);
             if (watching) {
-                std::lock_guard<std::mutex> lock(progress.mutex);
+                LockGuard lock(progress.mutex);
                 ++progress.trials_done;
                 progress.retries += report.attempts - 1;
                 ProgressUpdate update;
@@ -367,7 +369,7 @@ std::vector<CellResult> ScenarioRunner::run() {
         update.cells_done = points.size();
         update.trials_total = n_trials;
         update.trials_done = n_trials;
-        std::lock_guard<std::mutex> lock(progress.mutex);
+        LockGuard lock(progress.mutex);
         update.retries = progress.retries;
         update.sweep_done = true;
         notify(update);

@@ -24,6 +24,14 @@
 // intra-lane order — which equals the canonical ascending-tile-strip
 // order for any lane count.  A default recorder has a single lane and
 // behaves as a plain ring.
+//
+// Concurrency model (DESIGN.md §16): deliberately lock-free and
+// atomic-free.  Each lane is single-writer by contract (one shard), and
+// drain()/size()/postmortem dumps only run after the producing phase has
+// joined — the event engine's countdown barrier publishes every lane
+// write before the merger reads it.  There is therefore nothing for a
+// mutex or an atomic to protect, and record() stays one store + one
+// increment (test_concurrency_stress hammers this contract under TSan).
 #pragma once
 
 #include <cstddef>

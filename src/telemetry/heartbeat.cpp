@@ -186,12 +186,12 @@ HeartbeatWriter::HeartbeatWriter(const std::string& path, std::size_t every_n)
 HeartbeatWriter::~HeartbeatWriter() = default;
 
 std::uint64_t HeartbeatWriter::emitted() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return seq_;
 }
 
 void HeartbeatWriter::update(const ProgressUpdate& update) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     const bool boundary = update.sweep_done || update.cell_seconds >= 0.0;
     const bool on_cadence = every_n_ > 0 && update.trials_done > 0 &&
                             update.trials_done % every_n_ == 0;

@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace snoc {
 
@@ -95,14 +96,15 @@ public:
     std::uint64_t emitted() const;
 
 private:
-    void emit_locked(const ProgressUpdate& update);
+    void emit_locked(const ProgressUpdate& update)
+        SNOC_REQUIRES(mutex_); // [mutation-point:requires-emit-locked]
 
-    mutable std::mutex mutex_;
-    std::ofstream os_;
-    std::size_t every_n_;
-    std::uint64_t seq_{0};
-    std::uint64_t last_rounds_{0};
-    std::chrono::steady_clock::time_point start_;
+    mutable Mutex mutex_; // [mutation-point:annotated-mutex]
+    std::ofstream os_ SNOC_GUARDED_BY(mutex_);
+    std::size_t every_n_ SNOC_GUARDED_BY(mutex_);
+    std::uint64_t seq_ SNOC_GUARDED_BY(mutex_){0};
+    std::uint64_t last_rounds_ SNOC_GUARDED_BY(mutex_){0};
+    std::chrono::steady_clock::time_point start_ SNOC_GUARDED_BY(mutex_);
 };
 
 } // namespace snoc

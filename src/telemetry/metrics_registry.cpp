@@ -27,25 +27,25 @@ MetricsRegistry& MetricsRegistry::global() {
 void MetricsRegistry::inc(MetricId id, std::uint64_t delta) {
     SNOC_EXPECT(metric_desc(id).kind != MetricKind::Histogram);
     scalars_[static_cast<std::size_t>(id)].fetch_add(delta,
-                                                     std::memory_order_relaxed);
+                                                     std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 void MetricsRegistry::dec(MetricId id, std::uint64_t delta) {
     SNOC_EXPECT(metric_desc(id).kind == MetricKind::Gauge);
     scalars_[static_cast<std::size_t>(id)].fetch_sub(delta,
-                                                     std::memory_order_relaxed);
+                                                     std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 void MetricsRegistry::set(MetricId id, std::uint64_t value) {
     SNOC_EXPECT(metric_desc(id).kind == MetricKind::Gauge);
     scalars_[static_cast<std::size_t>(id)].store(value,
-                                                 std::memory_order_relaxed);
+                                                 std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 std::uint64_t MetricsRegistry::value(MetricId id) const {
     SNOC_EXPECT(metric_desc(id).kind != MetricKind::Histogram);
     return scalars_[static_cast<std::size_t>(id)].load(
-        std::memory_order_relaxed);
+        std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 void MetricsRegistry::observe(MetricId id, std::uint64_t sample) {
@@ -58,21 +58,21 @@ void MetricsRegistry::observe(MetricId id, std::uint64_t sample) {
             break;
         }
     }
-    h.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
-    h.sum.fetch_add(sample, std::memory_order_relaxed);
-    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.buckets[bucket].fetch_add(1, std::memory_order_relaxed); // relaxed[monotone-metrics]
+    h.sum.fetch_add(sample, std::memory_order_relaxed); // relaxed[monotone-metrics]
+    h.count.fetch_add(1, std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 std::uint64_t MetricsRegistry::histogram_count(MetricId id) const {
     SNOC_EXPECT(metric_desc(id).kind == MetricKind::Histogram);
     return histograms_[static_cast<std::size_t>(id)].count.load(
-        std::memory_order_relaxed);
+        std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 std::uint64_t MetricsRegistry::histogram_sum(MetricId id) const {
     SNOC_EXPECT(metric_desc(id).kind == MetricKind::Histogram);
     return histograms_[static_cast<std::size_t>(id)].sum.load(
-        std::memory_order_relaxed);
+        std::memory_order_relaxed); // relaxed[monotone-metrics]
 }
 
 std::uint64_t MetricsRegistry::histogram_bucket(MetricId id,
@@ -83,17 +83,17 @@ std::uint64_t MetricsRegistry::histogram_bucket(MetricId id,
     // Prometheus buckets are cumulative: le="8" counts everything <= 8.
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b <= bucket; ++b)
-        cumulative += h.buckets[b].load(std::memory_order_relaxed);
+        cumulative += h.buckets[b].load(std::memory_order_relaxed); // relaxed[monotone-metrics]
     return cumulative;
 }
 
 void MetricsRegistry::reset() {
-    for (auto& scalar : scalars_) scalar.store(0, std::memory_order_relaxed);
+    for (auto& scalar : scalars_) scalar.store(0, std::memory_order_relaxed); // relaxed[monotone-metrics]
     for (auto& h : histograms_) {
         for (auto& bucket : h.buckets)
-            bucket.store(0, std::memory_order_relaxed);
-        h.sum.store(0, std::memory_order_relaxed);
-        h.count.store(0, std::memory_order_relaxed);
+            bucket.store(0, std::memory_order_relaxed); // relaxed[monotone-metrics]
+        h.sum.store(0, std::memory_order_relaxed); // relaxed[monotone-metrics]
+        h.count.store(0, std::memory_order_relaxed); // relaxed[monotone-metrics]
     }
 }
 

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace snoc::prof {
 
@@ -16,19 +17,20 @@ namespace {
 // per-thread mutex is uncontended on the hot record() path; the global
 // one is only taken on first use per thread and in snapshot()/reset().
 struct ThreadRecords {
-    std::mutex mu;
-    std::map<std::string, Stat> stats;
+    Mutex mu;
+    std::map<std::string, Stat> stats SNOC_GUARDED_BY(mu);
 };
 
 // Deliberately immortal (never destroyed): --prof reports via atexit, and
 // these statics are first touched mid-run — after that handler registers —
 // so destroying them at exit would run before the handler reads them.
-std::mutex& registry_mutex() {
-    static std::mutex* mu = new std::mutex;
+Mutex& registry_mutex() {
+    static Mutex* mu = new Mutex;
     return *mu;
 }
 
-std::vector<std::shared_ptr<ThreadRecords>>& registry() {
+std::vector<std::shared_ptr<ThreadRecords>>& registry()
+    SNOC_REQUIRES(registry_mutex()) {
     static auto* threads = new std::vector<std::shared_ptr<ThreadRecords>>;
     return *threads;
 }
@@ -36,7 +38,7 @@ std::vector<std::shared_ptr<ThreadRecords>>& registry() {
 ThreadRecords& local_records() {
     thread_local std::shared_ptr<ThreadRecords> records = [] {
         auto r = std::make_shared<ThreadRecords>();
-        std::lock_guard<std::mutex> lock(registry_mutex());
+        LockGuard lock(registry_mutex());
         registry().push_back(r);
         return r;
     }();
@@ -47,21 +49,22 @@ ThreadRecords& local_records() {
 
 void detail::record(const char* name, double seconds) {
     auto& records = local_records();
-    std::lock_guard<std::mutex> lock(records.mu);
+    LockGuard lock(records.mu);
     Stat& stat = records.stats[name];
     ++stat.calls;
     stat.seconds += seconds;
 }
 
 void set_enabled(bool on) {
-    detail::g_enabled.store(on, std::memory_order_relaxed);
+    detail::g_enabled.store(on,
+                            std::memory_order_relaxed); // relaxed[enable-flag]
 }
 
 std::map<std::string, Stat> snapshot() {
     std::map<std::string, Stat> merged;
-    std::lock_guard<std::mutex> lock(registry_mutex());
+    LockGuard lock(registry_mutex());
     for (const auto& records : registry()) {
-        std::lock_guard<std::mutex> inner(records->mu);
+        LockGuard inner(records->mu);
         for (const auto& [name, stat] : records->stats) {
             Stat& out = merged[name];
             out.calls += stat.calls;
@@ -72,9 +75,9 @@ std::map<std::string, Stat> snapshot() {
 }
 
 void reset() {
-    std::lock_guard<std::mutex> lock(registry_mutex());
+    LockGuard lock(registry_mutex());
     for (const auto& records : registry()) {
-        std::lock_guard<std::mutex> inner(records->mu);
+        LockGuard inner(records->mu);
         records->stats.clear();
     }
 }

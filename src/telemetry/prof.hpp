@@ -26,7 +26,8 @@ void record(const char* name, double seconds);
 } // namespace detail
 
 inline bool enabled() {
-    return detail::g_enabled.load(std::memory_order_relaxed);
+    return detail::g_enabled.load(
+        std::memory_order_relaxed); // relaxed[enable-flag]
 }
 
 void set_enabled(bool on);

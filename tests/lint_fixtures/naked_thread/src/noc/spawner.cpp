@@ -1,0 +1,9 @@
+#include <thread>
+// BAD: std::thread in simulator code outside src/common/ — thread
+// lifecycles belong to the ThreadPool.
+namespace snoc {
+void fire_and_forget() {
+    std::thread worker([] {});
+    worker.join();
+}
+} // namespace snoc

@@ -1,0 +1,15 @@
+#pragma once
+#include <cstddef>
+#include <mutex>
+// BAD: a raw std::mutex member is invisible to the Clang thread-safety
+// analysis; lock-owning classes must use snoc::Mutex (annotations.hpp).
+namespace snoc {
+class BoundedQueue {
+public:
+    void push();
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+};
+} // namespace snoc

@@ -1,0 +1,16 @@
+#include <atomic>
+#include <cstdint>
+// Two BAD relaxed sites (one untagged, one with a tag the ordering
+// allowlist does not know) and one good one.
+namespace snoc {
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_evictions{0};
+
+void touch() {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    g_misses.fetch_add(1, std::memory_order_relaxed); // relaxed[bogus-tag]
+    g_evictions.fetch_add(1,
+                          std::memory_order_relaxed); // relaxed[tally-counter]
+}
+} // namespace snoc

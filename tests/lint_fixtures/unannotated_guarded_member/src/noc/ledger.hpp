@@ -1,0 +1,17 @@
+#pragma once
+#include <cstddef>
+#include "common/annotations.hpp"
+// BAD: Ledger owns a snoc::Mutex but leaves a plain data member without
+// SNOC_GUARDED_BY — exactly the state the analysis silently stops
+// checking.
+namespace snoc {
+class Ledger {
+public:
+    void add(std::size_t n);
+
+private:
+    mutable Mutex mutex_;
+    std::size_t total_ SNOC_GUARDED_BY(mutex_){0};
+    std::size_t unguarded_count_{0};
+};
+} // namespace snoc

@@ -17,6 +17,11 @@ Checkers (--only takes a comma-separated subset):
     rng          raw std::*_distribution outside src/common/
     hygiene      missing #pragma once
     allowlist    stale scripts/determinism_allowlist.txt entries
+    concurrency  thread-safety discipline: raw mutex members, unannotated
+                 members of lock-owning classes, unjustified
+                 memory_order_relaxed, naked std::thread (allowlists:
+                 scripts/concurrency_allowlist.txt,
+                 scripts/ordering_allowlist.txt)
 
 Exit status: 0 clean, 1 findings, 2 broken configuration.
 """
@@ -28,6 +33,7 @@ import json
 import sys
 from pathlib import Path
 
+import concurrency
 import determinism
 import layers
 import registry
@@ -41,6 +47,7 @@ CHECKERS = {
     "rng": determinism.check_rng_discipline,
     "hygiene": determinism.check_hygiene,
     "allowlist": determinism.check_allowlist_staleness,
+    "concurrency": concurrency.check_concurrency,
 }
 
 # Findings in these files are project-level: they must survive the
@@ -48,6 +55,8 @@ CHECKERS = {
 # because editing *other* files is what breaks them.
 PROJECT_LEVEL_FILES = {
     "scripts/determinism_allowlist.txt",
+    concurrency.CONCURRENCY_ALLOWLIST_FILE,
+    concurrency.ORDERING_ALLOWLIST_FILE,
     report.BASELINE_FILE,
     registry.TRACE_HEADER,
     registry.METRICS_HEADER,
@@ -60,7 +69,8 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--root", default=None,
                         help="repository root (default: this tool's repo)")
-    parser.add_argument("--only", default=None, metavar="CHECKERS",
+    parser.add_argument("--only", "--rules", dest="only", default=None,
+                        metavar="CHECKERS",
                         help="comma-separated checker subset (see --list-checks)")
     parser.add_argument("--list-checks", action="store_true",
                         help="print checker names and exit")

@@ -1,0 +1,248 @@
+"""Concurrency-discipline checkers — the lint half of the thread-safety
+story (the compiler half is Clang `-Wthread-safety` behind the
+SNOC_THREAD_SAFETY CMake option; see DESIGN.md §16).
+
+The Clang analysis can only check what is annotated.  These rules close
+the holes annotation-based checking cannot see:
+
+* conc-raw-mutex — a `std::mutex` / `std::condition_variable` data
+  member is invisible to the analysis; lock-owning classes must use
+  `snoc::Mutex` / `snoc::CondVar` (common/annotations.hpp) or carry an
+  allowlist entry saying why not.
+* conc-guarded-by — a class that owns a `snoc::Mutex` must mark every
+  plain data member with `SNOC_GUARDED_BY(...)`; an unannotated member
+  of a lock-owning class is exactly the state the analysis silently
+  stops checking.
+* conc-relaxed-unjustified / conc-relaxed-unknown-tag — every
+  `memory_order_relaxed` site needs a `relaxed[tag]` comment naming a
+  justification pattern from scripts/ordering_allowlist.txt; relaxed
+  is the one ordering the hardware will never punish you for locally
+  and always punish you for globally.
+* conc-naked-thread — `std::thread` in simulator code outside
+  src/common/: thread lifecycles belong to the ThreadPool.
+* conc-ordering-stale-tag / conc-allowlist-stale — allowlist entries
+  must rot loudly, not silently.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from model import Finding, Project
+
+CONCURRENCY_ALLOWLIST_FILE = "scripts/concurrency_allowlist.txt"
+ORDERING_ALLOWLIST_FILE = "scripts/ordering_allowlist.txt"
+
+# The annotated-lock vocabulary itself wraps the raw primitives.
+ANNOTATIONS_HEADER = "src/common/annotations.hpp"
+
+MEMBER_TOPS = ("src", "bench", "tools", "examples")
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:SNOC_\w+(?:\([^)]*\))?\s+)*(\w+)\s*"
+    r"(?:final\s*)?(?::[^;{]*)?\{")
+
+SNOC_MUTEX_MEMBER = re.compile(
+    r"(?:^|\s)(?:mutable\s+)?(?:snoc::)?Mutex\s+(\w+)\s*;")
+RAW_SYNC_MEMBER = re.compile(
+    r"(?:^|\s)(?:mutable\s+)?std::(mutex|recursive_mutex|timed_mutex|"
+    r"shared_mutex|condition_variable|condition_variable_any)\s+(\w+)\s*;")
+MEMBER_NAME = re.compile(r"([A-Za-z_]\w*)\s*(?:\{[^{}]*\})?\s*;\s*$")
+
+# Types that legitimately live unannotated in a lock-owning class: the
+# lock vocabulary itself and lock-free atomics.
+EXEMPT_MEMBER_TYPES = re.compile(
+    r"\b(?:snoc::)?(?:Mutex|CondVar|UniqueLock|LockGuard)\b|"
+    r"\bstd::atomic\b|\bstd::condition_variable\b|\bstd::mutex\b")
+SKIP_MEMBER_PREFIX = re.compile(
+    r"^\s*(?:using\b|typedef\b|static\b|friend\b|template\b|enum\b|"
+    r"public\s*:|private\s*:|protected\s*:|#)")
+
+RELAXED = re.compile(r"\bmemory_order_relaxed\b")
+RELAXED_TAG = re.compile(r"relaxed\[([a-z0-9-]+)\]")
+
+NAKED_THREAD = re.compile(r"\bstd::thread\b")
+
+
+def load_keyed_allowlist(root: Path, rel: str) -> dict[str, int]:
+    """`key  justification` lines -> {key: line number}."""
+    entries: dict[str, int] = {}
+    path = root / rel
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries.setdefault(line.split()[0], lineno)
+    return entries
+
+
+def iter_class_bodies(code: str):
+    """Yield (class_name, [(lineno, depth-1 line)]) for every class/struct
+    body in comment-stripped text.  Depth-1 lines are the class's own
+    member/declaration lines; nested braces (function bodies, nested
+    classes — which get their own iteration) are skipped."""
+    for m in CLASS_RE.finditer(code):
+        name = m.group(1)
+        open_pos = code.index("{", m.end() - 1)
+        depth = 0
+        i = open_pos
+        line_start = code.count("\n", 0, open_pos) + 1
+        body_lines: list[tuple[int, str]] = []
+        current: list[str] = []
+        lineno = line_start
+        while i < len(code):
+            c = code[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    if current:
+                        body_lines.append((lineno, "".join(current)))
+                    break
+            elif c == "\n":
+                if depth == 1 and current:
+                    body_lines.append((lineno, "".join(current)))
+                current = []
+                lineno += 1
+                i += 1
+                continue
+            if depth == 1 and c not in "{}":
+                current.append(c)
+            i += 1
+        yield name, body_lines
+
+
+def _member_findings(src, allow: dict[str, int]) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls, body in iter_class_bodies(src.code):
+        mutex_names = []
+        for _, line in body:
+            m = SNOC_MUTEX_MEMBER.search(line)
+            if m:
+                mutex_names.append(m.group(1))
+        for lineno, line in body:
+            raw_sync = RAW_SYNC_MEMBER.search(line)
+            if raw_sync and src.rel != ANNOTATIONS_HEADER:
+                key = f"{src.rel}:{cls}::{raw_sync.group(2)}"
+                if key not in allow:
+                    findings.append(Finding(
+                        rule="conc-raw-mutex", file=src.rel, line=lineno,
+                        message=f"std::{raw_sync.group(1)} member "
+                                f"'{raw_sync.group(2)}' in '{cls}': invisible "
+                                f"to the thread-safety analysis; use "
+                                f"snoc::Mutex/snoc::CondVar "
+                                f"(common/annotations.hpp) or allowlist "
+                                f"'{key}' in {CONCURRENCY_ALLOWLIST_FILE}",
+                        key=key))
+        if not mutex_names or src.rel == ANNOTATIONS_HEADER:
+            continue
+        guard = mutex_names[0]
+        for lineno, line in body:
+            if "SNOC_GUARDED_BY" in line or "SNOC_PT_GUARDED_BY" in line:
+                continue
+            if "(" in line:
+                continue  # functions; heuristic also skips std::function members
+            if SKIP_MEMBER_PREFIX.search(line):
+                continue
+            m = MEMBER_NAME.search(line)
+            if not m:
+                continue
+            member = m.group(1)
+            decl = line[:m.start(1)]
+            if not decl.strip():
+                continue  # label / lone identifier, not a declaration
+            if EXEMPT_MEMBER_TYPES.search(decl) or \
+                    re.search(r"(?:^|\s)const\s", " " + decl):
+                continue
+            key = f"{src.rel}:{cls}::{member}"
+            if key not in allow:
+                findings.append(Finding(
+                    rule="conc-guarded-by", file=src.rel, line=lineno,
+                    message=f"member '{member}' of lock-owning class '{cls}' "
+                            f"has no SNOC_GUARDED_BY annotation; mark it "
+                            f"SNOC_GUARDED_BY({guard}) (or the right "
+                            f"capability), or allowlist '{key}' in "
+                            f"{CONCURRENCY_ALLOWLIST_FILE} with why it needs "
+                            f"no lock",
+                    key=key))
+    return findings
+
+
+def check_concurrency(project: Project) -> list[Finding]:
+    allow = load_keyed_allowlist(project.root, CONCURRENCY_ALLOWLIST_FILE)
+    ordering = load_keyed_allowlist(project.root, ORDERING_ALLOWLIST_FILE)
+    findings: list[Finding] = []
+    used_tags: set[str] = set()
+
+    for src in sorted(project.by_top(*MEMBER_TOPS), key=lambda f: f.rel):
+        findings.extend(_member_findings(src, allow))
+        raw_lines = src.raw.splitlines()
+        for lineno, line in enumerate(src.code_lines(), 1):
+            if RELAXED.search(line):
+                window = raw_lines[max(0, lineno - 2):lineno]
+                tags = [t for raw in window for t in RELAXED_TAG.findall(raw)]
+                if not tags:
+                    findings.append(Finding(
+                        rule="conc-relaxed-unjustified", file=src.rel,
+                        line=lineno,
+                        message="memory_order_relaxed without a "
+                                "'relaxed[tag]' justification comment (same "
+                                "line or the line above); pick a tag from "
+                                f"{ORDERING_ALLOWLIST_FILE}",
+                        key=f"relaxed:{lineno}"))
+                for tag in tags:
+                    used_tags.add(tag)
+                    if tag not in ordering:
+                        findings.append(Finding(
+                            rule="conc-relaxed-unknown-tag", file=src.rel,
+                            line=lineno,
+                            message=f"justification tag 'relaxed[{tag}]' is "
+                                    f"not in {ORDERING_ALLOWLIST_FILE}; add "
+                                    f"the tag there with its reasoning, or "
+                                    f"use an existing one",
+                            key=tag))
+            if src.top == "src" and not src.rel.startswith("src/common/") \
+                    and NAKED_THREAD.search(line):
+                key = f"{src.rel}:thread"
+                if key not in allow:
+                    findings.append(Finding(
+                        rule="conc-naked-thread", file=src.rel, line=lineno,
+                        message="std::thread outside src/common/: thread "
+                                "lifecycles belong to ThreadPool "
+                                "(common/parallel.hpp); or allowlist "
+                                f"'{key}' in {CONCURRENCY_ALLOWLIST_FILE}",
+                        key=key))
+
+    # Staleness: every allowlist entry must still name something real.
+    for key, lineno in sorted(allow.items(), key=lambda kv: kv[1]):
+        rel, _, ident = key.partition(":")
+        src = project.files.get(rel)
+        alive = False
+        if src is not None:
+            if ident == "thread":
+                alive = NAKED_THREAD.search(src.code) is not None
+            elif "::" in ident:
+                member = ident.rsplit("::", 1)[1]
+                alive = re.search(rf"\b{re.escape(member)}\b", src.code) \
+                    is not None
+        if not alive:
+            findings.append(Finding(
+                rule="conc-allowlist-stale", file=CONCURRENCY_ALLOWLIST_FILE,
+                line=lineno,
+                message=f"entry '{key}': no longer matches anything in "
+                        f"'{rel}' (file gone or member renamed); delete the "
+                        f"entry",
+                key=key))
+    for tag, lineno in sorted(ordering.items(), key=lambda kv: kv[1]):
+        if tag not in used_tags:
+            findings.append(Finding(
+                rule="conc-ordering-stale-tag", file=ORDERING_ALLOWLIST_FILE,
+                line=lineno,
+                message=f"ordering tag '{tag}' is justified here but no "
+                        f"'relaxed[{tag}]' site uses it; delete the entry",
+                key=tag))
+    return findings

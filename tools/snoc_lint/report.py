@@ -40,6 +40,17 @@ RULE_DESCRIPTIONS = {
     "pragma-once": "header lacks #pragma once",
     "stale-allowlist": "determinism allowlist entry no longer matches",
     "baseline-stale": "baseline suppression no longer matches any finding",
+    "conc-raw-mutex":
+        "raw std::mutex/std::condition_variable member (use snoc::Mutex)",
+    "conc-guarded-by":
+        "member of a lock-owning class lacks SNOC_GUARDED_BY",
+    "conc-relaxed-unjustified":
+        "memory_order_relaxed without a relaxed[tag] justification",
+    "conc-relaxed-unknown-tag":
+        "relaxed[tag] not present in scripts/ordering_allowlist.txt",
+    "conc-naked-thread": "std::thread outside src/common/",
+    "conc-ordering-stale-tag": "ordering allowlist tag no longer used",
+    "conc-allowlist-stale": "concurrency allowlist entry no longer matches",
 }
 
 # SARIF severity per rule: structural violations that must gate a merge
@@ -51,6 +62,8 @@ RULE_LEVELS = {
     "pragma-once": "warning",
     "layer-unassigned": "warning",
     "stale-allowlist": "warning",
+    "conc-ordering-stale-tag": "warning",
+    "conc-allowlist-stale": "warning",
     "baseline-stale": "note",
 }
 
